@@ -1,0 +1,93 @@
+// Bandit ablation: the paper picks UCB for the constraint-aware controller
+// because it is lightweight; this bench pits UCB1 against epsilon-greedy and
+// Thompson sampling on the exact controller problem (reward = correctness x
+// constraint score over the five defended detectors) and on a synthetic
+// Bernoulli problem with known regret structure.
+#include "bench_common.hpp"
+
+#include "rl/bandits.hpp"
+
+using namespace drlhmd;
+
+int main() {
+  core::Framework fw = bench::build_pipeline(bench::bench_config());
+
+  // Controller problem: arms = the five defended classical detectors,
+  // stream = validation mixture, reward = correct * (w + (1-w)*cost).
+  const auto& stream = fw.defense_val_mix();
+  const auto& profiles = fw.defended_profiles();
+  std::vector<const ml::Classifier*> models;
+  for (std::size_t i = 0; i + 1 < fw.defended_models().size(); ++i)
+    models.push_back(fw.defended_models()[i].get());
+
+  double min_latency = profiles[0].latency_us;
+  for (const auto& p : profiles) min_latency = std::min(min_latency, p.latency_us);
+
+  std::printf("%s", util::banner("Bandit ablation on the controller problem").c_str());
+  util::Table table({"bandit", "policy", "selected ML", "mean reward",
+                     "best-arm pull share"});
+
+  for (const char* kind : {"ucb", "epsilon-greedy", "thompson"}) {
+    for (const double accuracy_weight : {0.30, 0.97}) {
+      auto bandit = rl::make_bandit(kind, models.size(), 5);
+      util::Rng rng(99);
+      std::vector<std::size_t> order(stream.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      double reward_sum = 0.0;
+      std::uint64_t steps = 0;
+      for (int epoch = 0; epoch < 6; ++epoch) {
+        rng.shuffle(order);
+        for (const std::size_t row : order) {
+          const std::size_t arm = bandit->select();
+          const bool correct = models[arm]->predict(stream.X[row]) == stream.y[row];
+          const double cost = profiles[arm].latency_us > 0
+                                  ? min_latency / profiles[arm].latency_us
+                                  : 1.0;
+          const double reward =
+              correct ? accuracy_weight + (1.0 - accuracy_weight) * cost : 0.0;
+          bandit->update(arm, reward);
+          reward_sum += reward;
+          ++steps;
+        }
+      }
+      const std::size_t best = bandit->best_arm();
+      std::uint64_t total = 0;
+      for (std::size_t a = 0; a < models.size(); ++a) total += bandit->pulls(a);
+      table.add_row({bandit->name(),
+                     accuracy_weight > 0.5 ? "detection-weighted" : "speed-weighted",
+                     profiles[best].name,
+                     util::Table::fmt(reward_sum / static_cast<double>(steps), 4),
+                     util::Table::pct(static_cast<double>(bandit->pulls(best)) /
+                                      static_cast<double>(total))});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Synthetic regret check: Bernoulli arms with known gaps.
+  std::printf("%s", util::banner("Synthetic Bernoulli problem (means .2/.5/.8)").c_str());
+  util::Table synth({"bandit", "steps", "regret", "best-arm share"});
+  const std::vector<double> means = {0.2, 0.5, 0.8};
+  for (const char* kind : {"ucb", "epsilon-greedy", "thompson"}) {
+    for (const std::size_t steps : {1000u, 10000u}) {
+      auto bandit = rl::make_bandit(kind, means.size(), 7);
+      util::Rng rng(7);
+      double reward_sum = 0.0;
+      for (std::size_t t = 0; t < steps; ++t) {
+        const std::size_t arm = bandit->select();
+        const double r = rng.bernoulli(means[arm]) ? 1.0 : 0.0;
+        bandit->update(arm, r);
+        reward_sum += r;
+      }
+      std::uint64_t total = 0;
+      for (std::size_t a = 0; a < means.size(); ++a) total += bandit->pulls(a);
+      synth.add_row({bandit->name(), std::to_string(steps),
+                     util::Table::fmt(0.8 * static_cast<double>(steps) - reward_sum, 1),
+                     util::Table::pct(static_cast<double>(bandit->pulls(2)) /
+                                      static_cast<double>(total))});
+    }
+  }
+  std::printf("%s\n", synth.to_string().c_str());
+  std::printf("Shape: all three converge on this small arm set; UCB needs no\n"
+              "tuning and carries no posterior state — the paper's rationale.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared setup for the reproduction harness: every bench binary builds the
+// same full-scale pipeline (or a reduced one when DRLHMD_BENCH_SCALE is set
+// between 0 and 1) and prints paper-style tables via util::Table.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/framework.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace drlhmd::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("DRLHMD_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+/// Full-scale configuration used by every reproduction binary.
+inline core::FrameworkConfig bench_config(std::uint64_t seed = 2024) {
+  const double scale = bench_scale();
+  core::FrameworkConfig cfg;
+  cfg.corpus.benign_apps = static_cast<std::size_t>(300 * scale);
+  cfg.corpus.malware_apps = static_cast<std::size_t>(300 * scale);
+  cfg.corpus.windows_per_app = 5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Run the full pipeline with progress lines on stderr.
+inline core::Framework build_pipeline(const core::FrameworkConfig& cfg) {
+  core::Framework fw(cfg);
+  util::Timer timer;
+  auto step = [&](const char* what, auto&& fn) {
+    std::fprintf(stderr, "[pipeline] %-22s ", what);
+    std::fflush(stderr);
+    util::Timer t;
+    fn();
+    std::fprintf(stderr, "%6.2fs\n", t.elapsed_seconds());
+  };
+  step("acquire data", [&] { fw.acquire_data(); });
+  step("engineer features", [&] { fw.engineer_features(); });
+  step("train baselines", [&] { fw.train_baselines(); });
+  step("generate attacks", [&] { fw.generate_attacks(); });
+  step("train DRL predictor", [&] { fw.train_predictor(); });
+  step("adversarial training", [&] { fw.train_defenses(); });
+  step("train UCB controllers", [&] { fw.train_controllers(); });
+  step("protect models", [&] { fw.protect_models(); });
+  std::fprintf(stderr, "[pipeline] total %.2fs\n", timer.elapsed_seconds());
+  return fw;
+}
+
+}  // namespace drlhmd::bench

@@ -1,0 +1,39 @@
+// Reproduces Figure 2: per-model F1 across the three scenarios, the
+// degradation caused by adversarial attacks (blue down-arrows, up to -79%
+// in the paper) and the recovery from adversarial training (up to +86% over
+// the attacked F1, up to +10% over regular detection).
+#include "bench_common.hpp"
+
+using namespace drlhmd;
+
+int main() {
+  core::Framework fw = bench::build_pipeline(bench::bench_config());
+  const auto rows = fw.evaluate_scenarios();
+
+  std::printf("%s", util::banner("Figure 2: F1 under attack and after adversarial training").c_str());
+  util::Table table({"ML", "F1 regular", "F1 attacked", "F1 defended",
+                     "attack drop", "defense gain vs attack", "defense gain vs regular"});
+  double max_drop = 0.0, max_gain_attack = 0.0, max_gain_regular = -1.0;
+  for (const auto& row : rows) {
+    const double drop = row.regular.f1 - row.adversarial.f1;
+    const double gain_attack = row.defended.f1 - row.adversarial.f1;
+    const double gain_regular = row.defended.f1 - row.regular.f1;
+    if (row.model != "NN") {  // paper reports extremes over the classical models
+      max_drop = std::max(max_drop, drop);
+      max_gain_attack = std::max(max_gain_attack, gain_attack);
+      max_gain_regular = std::max(max_gain_regular, gain_regular);
+    }
+    table.add_row({row.model, util::Table::fmt(row.regular.f1),
+                   util::Table::fmt(row.adversarial.f1),
+                   util::Table::fmt(row.defended.f1), util::Table::pct(drop),
+                   util::Table::pct(gain_attack), util::Table::pct(gain_regular)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Max F1 degradation under attack:        %s (paper: up to 79%%)\n",
+              util::Table::pct(max_drop).c_str());
+  std::printf("Max F1 recovery vs attacked:            %s (paper: up to 86%%)\n",
+              util::Table::pct(max_gain_attack).c_str());
+  std::printf("Max F1 improvement vs regular:          %s (paper: up to 10%%)\n",
+              util::Table::pct(max_gain_regular).c_str());
+  return 0;
+}

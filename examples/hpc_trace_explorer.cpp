@@ -1,0 +1,60 @@
+// HPC trace explorer: run one application of every program family on the
+// microarchitecture simulator and print its per-window perf counters —
+// the raw substrate every experiment in the paper builds on.
+//
+//   $ ./examples/hpc_trace_explorer
+#include <cstdio>
+
+#include "sim/core.hpp"
+#include "sim/perf_monitor.hpp"
+#include "sim/workload_profiles.hpp"
+#include "util/table.hpp"
+
+using namespace drlhmd;
+
+int main() {
+  const sim::HierarchyConfig hierarchy;
+  const sim::CoreConfig core_config;
+  const sim::PerfMonitorConfig monitor_config;
+  util::Rng rng(7);
+
+  const sim::HpcEvent shown[] = {
+      sim::HpcEvent::kInstructions,     sim::HpcEvent::kCycles,
+      sim::HpcEvent::kLlcLoads,         sim::HpcEvent::kLlcLoadMisses,
+      sim::HpcEvent::kCacheReferences,  sim::HpcEvent::kCacheMisses,
+      sim::HpcEvent::kBranches,         sim::HpcEvent::kBranchMisses,
+      sim::HpcEvent::kDtlbLoadMisses,
+  };
+
+  std::vector<std::string> header = {"family", "class", "window", "IPC"};
+  for (const auto e : shown) header.emplace_back(sim::event_name(e));
+  util::Table table(std::move(header));
+
+  for (std::size_t f = 0; f < sim::kNumProgramFamilies; ++f) {
+    const auto family = static_cast<sim::ProgramFamily>(f);
+    const sim::WorkloadSpec spec = sim::make_application(family, 0, rng);
+    sim::Core core(core_config, hierarchy, sim::Workload(spec, rng.next()),
+                   rng.next());
+    sim::PerfMonitor monitor(core, monitor_config);
+    monitor.warm_up();
+    for (int w = 0; w < 2; ++w) {
+      const sim::HpcSample sample = monitor.sample_window();
+      const double instr =
+          sample.values[static_cast<std::size_t>(sim::HpcEvent::kInstructions)];
+      const double cycles =
+          sample.values[static_cast<std::size_t>(sim::HpcEvent::kCycles)];
+      std::vector<std::string> row = {
+          spec.family, spec.malware ? "malware" : "benign", std::to_string(w),
+          util::Table::fmt(cycles > 0 ? instr / cycles : 0.0, 3)};
+      for (const auto e : shown)
+        row.push_back(util::Table::fmt(
+            sample.values[static_cast<std::size_t>(e)], 0));
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s", util::banner("Per-window HPC samples by program family").c_str());
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nNote how malware families shift the LLC-level counters (the\n"
+              "paper's top-4 features) relative to the benign archetypes.\n");
+  return 0;
+}

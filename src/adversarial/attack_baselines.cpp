@@ -1,0 +1,145 @@
+#include "adversarial/attack_baselines.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace drlhmd::adversarial {
+namespace {
+
+double linf(std::span<const double> r) {
+  double m = 0.0;
+  for (double v : r) m = std::max(m, std::abs(v));
+  return m;
+}
+
+AttackCampaignReport campaign_over_malware(
+    const ml::Dataset& data,
+    const std::function<AttackResult(std::span<const double>)>& attack) {
+  data.validate();
+  AttackCampaignReport report;
+  double norm_sum = 0.0, linf_sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.y[i] != 1) continue;
+    ++report.attempted;
+    const AttackResult result = attack(data.X[i]);
+    if (!result.success) continue;
+    ++report.succeeded;
+    norm_sum += result.weighted_norm;
+    linf_sum += linf(result.perturbation);
+  }
+  if (report.attempted > 0)
+    report.success_rate = static_cast<double>(report.succeeded) /
+                          static_cast<double>(report.attempted);
+  if (report.succeeded > 0) {
+    report.mean_weighted_norm = norm_sum / static_cast<double>(report.succeeded);
+    report.mean_linf = linf_sum / static_cast<double>(report.succeeded);
+  }
+  return report;
+}
+
+ml::Dataset attacked_dataset(
+    const ml::Dataset& data,
+    const std::function<AttackResult(std::span<const double>)>& attack) {
+  data.validate();
+  ml::Dataset out;
+  out.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.y[i] != 1) {
+      out.push(data.X[i], data.y[i]);
+      continue;
+    }
+    AttackResult result = attack(data.X[i]);
+    out.push(result.success ? std::move(result.adversarial) : data.X[i], 1);
+  }
+  return out;
+}
+
+double plain_l2(std::span<const double> r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+FgsmAttack::FgsmAttack(const ml::LogisticRegression& surrogate,
+                       ml::FeatureBounds bounds, FgsmConfig config)
+    : surrogate_(surrogate), bounds_(std::move(bounds)), config_(config) {
+  if (!surrogate_.trained()) throw std::logic_error("FgsmAttack: surrogate not trained");
+  if (config_.epsilon <= 0.0)
+    throw std::invalid_argument("FgsmAttack: epsilon must be > 0");
+  if (config_.target_label != 0 && config_.target_label != 1)
+    throw std::invalid_argument("FgsmAttack: target_label must be 0/1");
+}
+
+AttackResult FgsmAttack::attack(std::span<const double> sample) const {
+  const auto grad = surrogate_.loss_gradient(sample, config_.target_label);
+  AttackResult result;
+  result.adversarial.assign(sample.begin(), sample.end());
+  result.perturbation.assign(sample.size(), 0.0);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    // Descend the loss toward the target: step against the gradient sign.
+    const double step = grad[i] > 0 ? -config_.epsilon
+                                    : (grad[i] < 0 ? config_.epsilon : 0.0);
+    result.adversarial[i] = sample[i] + step;
+  }
+  bounds_.clip(result.adversarial);
+  for (std::size_t i = 0; i < sample.size(); ++i)
+    result.perturbation[i] = result.adversarial[i] - sample[i];
+  result.success = surrogate_.predict(result.adversarial) == config_.target_label;
+  result.weighted_norm = plain_l2(result.perturbation);
+  result.steps_used = 1;
+  return result;
+}
+
+ml::Dataset FgsmAttack::attack_dataset(const ml::Dataset& data) const {
+  return attacked_dataset(data, [&](std::span<const double> x) { return attack(x); });
+}
+
+AttackCampaignReport FgsmAttack::evaluate_campaign(const ml::Dataset& data) const {
+  return campaign_over_malware(data,
+                               [&](std::span<const double> x) { return attack(x); });
+}
+
+RandomNoiseAttack::RandomNoiseAttack(const ml::LogisticRegression& surrogate,
+                                     ml::FeatureBounds bounds,
+                                     RandomNoiseConfig config)
+    : surrogate_(surrogate),
+      bounds_(std::move(bounds)),
+      config_(config),
+      rng_(config.seed) {
+  if (!surrogate_.trained())
+    throw std::logic_error("RandomNoiseAttack: surrogate not trained");
+  if (config_.epsilon <= 0.0)
+    throw std::invalid_argument("RandomNoiseAttack: epsilon must be > 0");
+  if (config_.target_label != 0 && config_.target_label != 1)
+    throw std::invalid_argument("RandomNoiseAttack: target_label must be 0/1");
+}
+
+AttackResult RandomNoiseAttack::attack(std::span<const double> sample) const {
+  AttackResult result;
+  result.adversarial.assign(sample.begin(), sample.end());
+  result.perturbation.assign(sample.size(), 0.0);
+  for (std::size_t i = 0; i < sample.size(); ++i)
+    result.adversarial[i] = sample[i] + rng_.uniform(-config_.epsilon, config_.epsilon);
+  bounds_.clip(result.adversarial);
+  for (std::size_t i = 0; i < sample.size(); ++i)
+    result.perturbation[i] = result.adversarial[i] - sample[i];
+  result.success = surrogate_.predict(result.adversarial) == config_.target_label;
+  result.weighted_norm = plain_l2(result.perturbation);
+  result.steps_used = 1;
+  return result;
+}
+
+ml::Dataset RandomNoiseAttack::attack_dataset(const ml::Dataset& data) const {
+  return attacked_dataset(data, [&](std::span<const double> x) { return attack(x); });
+}
+
+AttackCampaignReport RandomNoiseAttack::evaluate_campaign(
+    const ml::Dataset& data) const {
+  return campaign_over_malware(data,
+                               [&](std::span<const double> x) { return attack(x); });
+}
+
+}  // namespace drlhmd::adversarial

@@ -1,0 +1,64 @@
+// Attack baselines for comparison with LowProFool.
+//
+// The paper positions LowProFool's weighted-l_p imperceptibility against
+// cruder evasion strategies; these two baselines bound the design space:
+//   * FGSM (Goodfellow et al.) — single signed-gradient step of fixed
+//     magnitude epsilon, no imperceptibility weighting;
+//   * RandomNoise — label-agnostic uniform perturbation of magnitude
+//     epsilon, the "can we evade by just being noisy" null hypothesis.
+// Both clip to the observed feature bounds like LowProFool does, so the
+// comparison isolates the *direction* of the perturbation.
+#pragma once
+
+#include "adversarial/lowprofool.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::adversarial {
+
+struct FgsmConfig {
+  double epsilon = 1.0;    // step magnitude in scaled-feature units
+  int target_label = 0;    // craft toward benign
+};
+
+/// Fast Gradient Sign Method against an LR surrogate.
+class FgsmAttack {
+ public:
+  FgsmAttack(const ml::LogisticRegression& surrogate, ml::FeatureBounds bounds,
+             FgsmConfig config = {});
+
+  AttackResult attack(std::span<const double> sample) const;
+  ml::Dataset attack_dataset(const ml::Dataset& data) const;
+  AttackCampaignReport evaluate_campaign(const ml::Dataset& data) const;
+
+ private:
+  const ml::LogisticRegression& surrogate_;
+  ml::FeatureBounds bounds_;
+  FgsmConfig config_;
+};
+
+struct RandomNoiseConfig {
+  double epsilon = 1.0;     // uniform perturbation half-width
+  int target_label = 0;
+  std::uint64_t seed = 71;
+};
+
+/// Uniform random perturbation (evasion null hypothesis).
+class RandomNoiseAttack {
+ public:
+  RandomNoiseAttack(const ml::LogisticRegression& surrogate,
+                    ml::FeatureBounds bounds, RandomNoiseConfig config = {});
+
+  AttackResult attack(std::span<const double> sample) const;
+  ml::Dataset attack_dataset(const ml::Dataset& data) const;
+  AttackCampaignReport evaluate_campaign(const ml::Dataset& data) const;
+
+ private:
+  const ml::LogisticRegression& surrogate_;
+  ml::FeatureBounds bounds_;
+  RandomNoiseConfig config_;
+  mutable util::Rng rng_;
+};
+
+}  // namespace drlhmd::adversarial

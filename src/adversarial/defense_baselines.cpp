@@ -1,0 +1,86 @@
+#include "adversarial/defense_baselines.hpp"
+
+#include <stdexcept>
+
+#include "ml/model_zoo.hpp"
+
+namespace drlhmd::adversarial {
+
+RandomizedEnsembleDefense::RandomizedEnsembleDefense(
+    std::vector<std::unique_ptr<ml::Classifier>> members, std::uint64_t seed)
+    : members_(std::move(members)), rng_(seed) {
+  if (members_.empty())
+    throw std::invalid_argument("RandomizedEnsembleDefense: empty committee");
+  for (const auto& m : members_)
+    if (m == nullptr)
+      throw std::invalid_argument("RandomizedEnsembleDefense: null member");
+}
+
+void RandomizedEnsembleDefense::fit(const ml::Dataset& train) {
+  for (auto& member : members_) member->fit(train);
+}
+
+bool RandomizedEnsembleDefense::trained() const {
+  for (const auto& member : members_)
+    if (!member->trained()) return false;
+  return true;
+}
+
+const ml::Classifier& RandomizedEnsembleDefense::member(std::size_t i) const {
+  if (i >= members_.size())
+    throw std::out_of_range("RandomizedEnsembleDefense::member: bad index");
+  return *members_[i];
+}
+
+int RandomizedEnsembleDefense::predict(std::span<const double> features) const {
+  const std::size_t pick = static_cast<std::size_t>(rng_.next_below(members_.size()));
+  return members_[pick]->predict(features);
+}
+
+ml::MetricReport RandomizedEnsembleDefense::evaluate(const ml::Dataset& data) const {
+  data.validate();
+  std::vector<int> predictions;
+  predictions.reserve(data.size());
+  for (const auto& row : data.X) predictions.push_back(predict(row));
+  return ml::evaluate_predictions(data.y, predictions);
+}
+
+MajorityVoteDefense::MajorityVoteDefense(
+    std::vector<std::unique_ptr<ml::Classifier>> members)
+    : members_(std::move(members)) {
+  if (members_.empty())
+    throw std::invalid_argument("MajorityVoteDefense: empty committee");
+  for (const auto& m : members_)
+    if (m == nullptr) throw std::invalid_argument("MajorityVoteDefense: null member");
+}
+
+void MajorityVoteDefense::fit(const ml::Dataset& train) {
+  for (auto& member : members_) member->fit(train);
+}
+
+double MajorityVoteDefense::predict_proba(std::span<const double> features) const {
+  double total = 0.0;
+  for (const auto& member : members_) total += member->predict_proba(features);
+  return total / static_cast<double>(members_.size());
+}
+
+int MajorityVoteDefense::predict(std::span<const double> features) const {
+  std::size_t votes = 0;
+  for (const auto& member : members_) votes += member->predict(features) == 1 ? 1 : 0;
+  return 2 * votes >= members_.size() ? 1 : 0;
+}
+
+ml::MetricReport MajorityVoteDefense::evaluate(const ml::Dataset& data) const {
+  data.validate();
+  std::vector<int> predictions;
+  predictions.reserve(data.size());
+  for (const auto& row : data.X) predictions.push_back(predict(row));
+  return ml::evaluate_predictions(data.y, predictions);
+}
+
+std::vector<std::unique_ptr<ml::Classifier>> make_diverse_committee(
+    std::uint64_t seed) {
+  return ml::make_classical_models(seed);
+}
+
+}  // namespace drlhmd::adversarial

@@ -1,0 +1,69 @@
+// Defense baselines that the paper's adversarial-training + RL approach is
+// compared against (Table 1 lists them as prior HMD defenses):
+//
+//   * RandomizedEnsembleDefense — RHMD-style (Khasawneh et al., MICRO'17):
+//     a committee of structurally diverse detectors; each inference is
+//     served by one member chosen at random, so a gradient crafted against
+//     any fixed surrogate only evades the members that share its boundary.
+//   * MajorityVoteDefense — the deterministic committee counterpart:
+//     majority vote over the same members (no unpredictability, but
+//     variance reduction).
+//
+// bench_defense_comparison pits both against plain adversarial training.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::adversarial {
+
+/// Committee built from differently-seeded, differently-structured models.
+class RandomizedEnsembleDefense {
+ public:
+  /// Takes ownership of the (untrained) member models.
+  explicit RandomizedEnsembleDefense(
+      std::vector<std::unique_ptr<ml::Classifier>> members,
+      std::uint64_t seed = 83);
+
+  void fit(const ml::Dataset& train);
+
+  /// Stochastic inference: a randomly chosen member answers.
+  int predict(std::span<const double> features) const;
+
+  /// Evaluate over a labeled set with randomized member selection.
+  ml::MetricReport evaluate(const ml::Dataset& data) const;
+
+  std::size_t member_count() const { return members_.size(); }
+  const ml::Classifier& member(std::size_t i) const;
+  bool trained() const;
+
+ private:
+  std::vector<std::unique_ptr<ml::Classifier>> members_;
+  mutable util::Rng rng_;
+};
+
+/// Deterministic majority vote over the same kind of committee.
+class MajorityVoteDefense {
+ public:
+  explicit MajorityVoteDefense(std::vector<std::unique_ptr<ml::Classifier>> members);
+
+  void fit(const ml::Dataset& train);
+  int predict(std::span<const double> features) const;
+  double predict_proba(std::span<const double> features) const;  // mean score
+  ml::MetricReport evaluate(const ml::Dataset& data) const;
+
+  std::size_t member_count() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<ml::Classifier>> members_;
+};
+
+/// The standard diverse committee: the five classical detectors with
+/// distinct seeds.
+std::vector<std::unique_ptr<ml::Classifier>> make_diverse_committee(
+    std::uint64_t seed = 0);
+
+}  // namespace drlhmd::adversarial

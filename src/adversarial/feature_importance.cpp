@@ -1,0 +1,51 @@
+#include "adversarial/feature_importance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace drlhmd::adversarial {
+
+std::vector<double> normalize_importance(std::vector<double> v) {
+  if (v.empty()) throw std::invalid_argument("normalize_importance: empty vector");
+  double norm_sq = 0.0;
+  for (double x : v) {
+    if (x < 0.0) throw std::invalid_argument("normalize_importance: negative weight");
+    norm_sq += x * x;
+  }
+  if (norm_sq == 0.0) {
+    const double uniform = 1.0 / std::sqrt(static_cast<double>(v.size()));
+    for (auto& x : v) x = uniform;
+    return v;
+  }
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+std::vector<double> importance_from_lr(const ml::LogisticRegression& surrogate) {
+  if (!surrogate.trained())
+    throw std::logic_error("importance_from_lr: surrogate not trained");
+  std::vector<double> v = surrogate.weights();
+  for (auto& x : v) x = std::abs(x);
+  return normalize_importance(std::move(v));
+}
+
+std::vector<double> importance_pearson(const ml::Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("importance_pearson: empty data");
+  const std::size_t width = data.num_features();
+  std::vector<double> labels(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    labels[i] = static_cast<double>(data.y[i]);
+  std::vector<double> column(data.size());
+  std::vector<double> v(width);
+  for (std::size_t f = 0; f < width; ++f) {
+    for (std::size_t i = 0; i < data.size(); ++i) column[i] = data.X[i][f];
+    v[f] = std::abs(util::pearson(column, labels));
+  }
+  return normalize_importance(std::move(v));
+}
+
+}  // namespace drlhmd::adversarial

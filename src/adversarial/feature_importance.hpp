@@ -1,0 +1,23 @@
+// Feature-importance vectors for the weighted l_p imperceptibility penalty
+// in LowProFool (Ballet et al. 2019, adapted in paper Section 2.4).
+// Two estimators: |LR coefficient| (the surrogate's own view) and absolute
+// Pearson correlation with the label (the original LowProFool choice).
+// Both are normalized to unit l2 norm.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+
+namespace drlhmd::adversarial {
+
+std::vector<double> importance_from_lr(const ml::LogisticRegression& surrogate);
+
+std::vector<double> importance_pearson(const ml::Dataset& data);
+
+/// Normalize a non-negative importance vector to unit l2 norm; all-zero
+/// input becomes uniform.
+std::vector<double> normalize_importance(std::vector<double> v);
+
+}  // namespace drlhmd::adversarial

@@ -1,0 +1,162 @@
+#include "adversarial/lowprofool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace drlhmd::adversarial {
+
+LowProFool::LowProFool(const ml::LogisticRegression& surrogate,
+                       ml::FeatureBounds bounds, std::vector<double> importance,
+                       LowProFoolConfig config)
+    : surrogate_(surrogate),
+      bounds_(std::move(bounds)),
+      importance_(normalize_importance(std::move(importance))),
+      config_(config) {
+  if (!surrogate_.trained())
+    throw std::logic_error("LowProFool: surrogate must be trained");
+  if (surrogate_.weights().size() != importance_.size())
+    throw std::invalid_argument("LowProFool: importance width mismatch");
+  if (bounds_.lo.size() != importance_.size())
+    throw std::invalid_argument("LowProFool: bounds width mismatch");
+  if (config_.max_steps == 0)
+    throw std::invalid_argument("LowProFool: max_steps must be > 0");
+  if (config_.step_size <= 0.0)
+    throw std::invalid_argument("LowProFool: step_size must be > 0");
+  if (config_.p_norm < 1.0)
+    throw std::invalid_argument("LowProFool: p_norm must be >= 1");
+  if (config_.target_label != 0 && config_.target_label != 1)
+    throw std::invalid_argument("LowProFool: target_label must be 0/1");
+  if (config_.momentum < 0.0 || config_.momentum >= 1.0)
+    throw std::invalid_argument("LowProFool: momentum out of [0,1)");
+  if (config_.confidence_margin < 0.5 || config_.confidence_margin >= 1.0)
+    throw std::invalid_argument("LowProFool: confidence_margin out of [0.5,1)");
+}
+
+double LowProFool::weighted_norm(std::span<const double> r) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i)
+    acc += std::pow(std::abs(r[i] * importance_[i]), config_.p_norm);
+  return std::pow(acc, 1.0 / config_.p_norm);
+}
+
+AttackResult LowProFool::attack(std::span<const double> sample) const {
+  const std::size_t width = importance_.size();
+  if (sample.size() != width)
+    throw std::invalid_argument("LowProFool::attack: feature width mismatch");
+
+  std::vector<double> r(width, 0.0);
+  std::vector<double> velocity(width, 0.0);
+  std::vector<double> x_adv(sample.begin(), sample.end());
+
+  AttackResult best;
+  best.adversarial.assign(sample.begin(), sample.end());
+  best.perturbation.assign(width, 0.0);
+  double best_norm = std::numeric_limits<double>::infinity();
+
+  for (std::size_t step = 0; step < config_.max_steps; ++step) {
+    // Gradient of the classification loss toward the target label.
+    const std::vector<double> loss_grad =
+        surrogate_.loss_gradient(x_adv, config_.target_label);
+
+    for (std::size_t i = 0; i < width; ++i) {
+      // d/dr_i  lambda * ||r ⊙ v||_p^2
+      //   = lambda * 2 * ||r ⊙ v||_p^(2-p) * |r_i v_i|^(p-1) * sign(r_i) * v_i
+      double reg_grad = 0.0;
+      if (r[i] != 0.0) {
+        const double norm = weighted_norm(r);
+        if (norm > 0.0) {
+          const double sign = r[i] > 0.0 ? 1.0 : -1.0;
+          reg_grad = config_.lambda * 2.0 *
+                     std::pow(norm, 2.0 - config_.p_norm) *
+                     std::pow(std::abs(r[i] * importance_[i]),
+                              config_.p_norm - 1.0) *
+                     sign * importance_[i];
+        }
+      }
+      const double grad = loss_grad[i] + reg_grad;
+      velocity[i] = config_.momentum * velocity[i] - config_.step_size * grad;
+      r[i] += velocity[i];
+    }
+
+    // Apply clipping in sample space (Algorithm 1: clipped min/max values).
+    for (std::size_t i = 0; i < width; ++i) x_adv[i] = sample[i] + r[i];
+    bounds_.clip(x_adv);
+    for (std::size_t i = 0; i < width; ++i) r[i] = x_adv[i] - sample[i];
+
+    // Keep the best imperceptible success (target confidence must clear the
+    // margin, not just the 0.5 decision boundary).
+    const double p_malware = surrogate_.predict_proba(x_adv);
+    const double p_target =
+        config_.target_label == 1 ? p_malware : 1.0 - p_malware;
+    if (p_target >= config_.confidence_margin) {
+      const double norm = weighted_norm(r);
+      if (norm < best_norm) {
+        best_norm = norm;
+        best.adversarial = x_adv;
+        best.perturbation = r;
+        best.success = true;
+        best.weighted_norm = norm;
+        best.steps_used = step + 1;
+      }
+    }
+  }
+
+  if (!best.success) {
+    // Report the final attempt for diagnostics.
+    best.adversarial = x_adv;
+    best.perturbation = r;
+    best.weighted_norm = weighted_norm(r);
+    best.steps_used = config_.max_steps;
+  }
+  return best;
+}
+
+ml::Dataset LowProFool::attack_dataset(const ml::Dataset& data,
+                                       bool successful_only) const {
+  data.validate();
+  ml::Dataset out;
+  out.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.y[i] != 1) {
+      out.push(data.X[i], data.y[i]);
+      continue;
+    }
+    AttackResult result = attack(data.X[i]);
+    if (result.success || !successful_only) {
+      out.push(std::move(result.adversarial), 1);
+    } else {
+      out.push(data.X[i], 1);
+    }
+  }
+  return out;
+}
+
+AttackCampaignReport LowProFool::evaluate_campaign(const ml::Dataset& data) const {
+  data.validate();
+  AttackCampaignReport report;
+  double norm_sum = 0.0;
+  double linf_sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.y[i] != 1) continue;
+    ++report.attempted;
+    const AttackResult result = attack(data.X[i]);
+    if (!result.success) continue;
+    ++report.succeeded;
+    norm_sum += result.weighted_norm;
+    double linf = 0.0;
+    for (double v : result.perturbation) linf = std::max(linf, std::abs(v));
+    linf_sum += linf;
+  }
+  if (report.attempted > 0)
+    report.success_rate =
+        static_cast<double>(report.succeeded) / static_cast<double>(report.attempted);
+  if (report.succeeded > 0) {
+    report.mean_weighted_norm = norm_sum / static_cast<double>(report.succeeded);
+    report.mean_linf = linf_sum / static_cast<double>(report.succeeded);
+  }
+  return report;
+}
+
+}  // namespace drlhmd::adversarial

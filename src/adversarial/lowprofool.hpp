@@ -1,0 +1,86 @@
+// LowProFool adversarial-sample generation for tabular HPC data
+// (paper Section 2.4, Algorithm 1).
+//
+// Objective per sample:  g(r) = L(x + r, t) + lambda * || r ⊙ v ||_p^2
+// minimized by gradient descent on r, where L is the surrogate LR's
+// binary-cross-entropy toward the target label t (benign), v is a feature-
+// importance vector, and x + r is clipped to the observed per-feature
+// min/max after every step.  Across steps the attack keeps the *best*
+// perturbation: successful (surrogate says benign) with minimal weighted
+// norm — "assign the best imperceptible perturbation at each step".
+#pragma once
+
+#include <optional>
+
+#include "adversarial/feature_importance.hpp"
+#include "ml/dataset.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/preprocess.hpp"
+
+namespace drlhmd::adversarial {
+
+struct LowProFoolConfig {
+  std::size_t max_steps = 150;
+  double step_size = 0.08;      // gradient-descent rate on r
+  double lambda = 0.5;          // imperceptibility weight
+  double p_norm = 2.0;          // weighted l_p exponent (p >= 1)
+  int target_label = 0;         // benign
+  double momentum = 0.9;        // heavy-ball on the perturbation updates
+  /// Required surrogate confidence in the target label for an attack to
+  /// count as successful.  Values well above 0.5 push adversarial samples
+  /// deep into the target class, which is what gives the paper's attacks
+  /// their near-total transferability to unseen (tree/NN) detectors.
+  double confidence_margin = 0.90;
+};
+
+/// Result of attacking one sample.
+struct AttackResult {
+  std::vector<double> adversarial;   // x + r (clipped)
+  std::vector<double> perturbation;  // r
+  bool success = false;              // surrogate classifies as target label
+  double weighted_norm = 0.0;        // || r ⊙ v ||_p at the kept step
+  std::size_t steps_used = 0;
+};
+
+/// Summary over a whole attacked dataset.
+struct AttackCampaignReport {
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+  double success_rate = 0.0;
+  double mean_weighted_norm = 0.0;   // over successes
+  double mean_linf = 0.0;            // max |r_i| over successes
+};
+
+class LowProFool {
+ public:
+  /// `surrogate` must be trained on the same (scaled) feature space as the
+  /// samples to attack; `bounds` are the observed per-feature min/max used
+  /// for clipping (Algorithm 1 line 1); `importance` is the weight vector v.
+  LowProFool(const ml::LogisticRegression& surrogate, ml::FeatureBounds bounds,
+             std::vector<double> importance, LowProFoolConfig config = {});
+
+  AttackResult attack(std::span<const double> sample) const;
+
+  /// Attack every malware row (label 1) of `data`; benign rows are passed
+  /// through untouched.  Returned dataset keeps ground-truth labels: an
+  /// adversarial malware sample is still label 1 — that is exactly why it
+  /// degrades the detectors.  When `successful_only`, failed attacks keep
+  /// the original (unperturbed) malware sample.
+  ml::Dataset attack_dataset(const ml::Dataset& data,
+                             bool successful_only = true) const;
+
+  /// Campaign statistics over the malware rows of `data`.
+  AttackCampaignReport evaluate_campaign(const ml::Dataset& data) const;
+
+  const std::vector<double>& importance() const { return importance_; }
+
+ private:
+  double weighted_norm(std::span<const double> r) const;
+
+  const ml::LogisticRegression& surrogate_;
+  ml::FeatureBounds bounds_;
+  std::vector<double> importance_;
+  LowProFoolConfig config_;
+};
+
+}  // namespace drlhmd::adversarial

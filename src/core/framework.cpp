@@ -1,0 +1,304 @@
+#include "core/framework.hpp"
+
+#include <stdexcept>
+
+#include "ml/mutual_info.hpp"
+
+namespace drlhmd::core {
+namespace {
+
+/// Subset of a dataset by label.
+ml::Dataset rows_with_label(const ml::Dataset& data, int label) {
+  ml::Dataset out;
+  out.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (data.y[i] == label) out.push(data.X[i], label);
+  return out;
+}
+
+}  // namespace
+
+Framework::Framework(FrameworkConfig config)
+    : config_(std::move(config)), monitor_(config_.metric_tolerance) {
+  if (config_.top_k_features == 0)
+    throw std::invalid_argument("Framework: top_k_features must be > 0");
+}
+
+void Framework::require(bool condition, const char* message) const {
+  if (!condition) throw std::logic_error(std::string("Framework: ") + message);
+}
+
+void Framework::acquire_data() { corpus_ = sim::build_corpus(config_.corpus); }
+
+void Framework::engineer_features() {
+  require(corpus_.has_value(), "acquire_data must run before engineer_features");
+
+  // Raw dataset over all HPC events.
+  ml::Dataset raw;
+  raw.feature_names = corpus_->feature_names;
+  for (const auto& rec : corpus_->records) raw.push(rec.features, rec.malware ? 1 : 0);
+
+  // Cleaning (drop non-finite rows, winsorize counter glitches).
+  raw = ml::clean(raw);
+  raw_all_ = raw;
+
+  // Paper protocol: 80:20 train/test, then 80:20 train/val — split before
+  // fitting anything so no statistic leaks from test into training.
+  util::Rng rng(config_.seed);
+  ml::TrainValTest split = ml::paper_protocol_split(raw, rng);
+
+  if (config_.feature_mode == FeatureSelectionMode::kPaperFeatures) {
+    // The paper's MI-selected feature set, pinned by event name.
+    feature_indices_.clear();
+    for (const char* name :
+         {"LLC-load-misses", "LLC-loads", "cache-misses", "cache-references"}) {
+      const auto event = sim::event_from_name(name);
+      feature_indices_.push_back(static_cast<std::size_t>(event));
+    }
+    if (feature_indices_.size() > config_.top_k_features)
+      feature_indices_.resize(config_.top_k_features);
+  } else {
+    // MI-based selection of the top-k features, estimated on train only.
+    feature_indices_ = ml::select_top_k_features(split.train, config_.top_k_features,
+                                                 config_.mi_bins);
+  }
+  feature_names_.clear();
+  for (std::size_t idx : feature_indices_)
+    feature_names_.push_back(raw.feature_names[idx]);
+
+  ml::Dataset train_sel = split.train.select_features(feature_indices_);
+  ml::Dataset val_sel = split.val.select_features(feature_indices_);
+  ml::Dataset test_sel = split.test.select_features(feature_indices_);
+
+  // Standard scaling fitted on train.
+  scaler_.fit(train_sel);
+  train_ = scaler_.transform(train_sel);
+  val_ = scaler_.transform(val_sel);
+  test_ = scaler_.transform(test_sel);
+
+  // Clipping bounds for the attack (Algorithm 1 line 1), in scaled space.
+  bounds_ = ml::feature_bounds(train_);
+}
+
+void Framework::train_baselines() {
+  require(train_.size() > 0, "engineer_features must run before train_baselines");
+  baseline_models_ = ml::make_all_models(config_.seed);
+  for (auto& model : baseline_models_) model->fit(train_);
+}
+
+void Framework::generate_attacks() {
+  require(train_.size() > 0, "engineer_features must run before generate_attacks");
+
+  // Attacker's surrogate: an LR trained the same way the defenders train
+  // (threat model: attacker gathers its own HPC data with the same process).
+  surrogate_ = std::make_unique<ml::LogisticRegression>();
+  surrogate_->fit(train_);
+  attacker_ = std::make_unique<adversarial::LowProFool>(
+      *surrogate_, bounds_, adversarial::importance_from_lr(*surrogate_),
+      config_.attack);
+
+  adversarial_train_ = attacker_->attack_dataset(rows_with_label(train_, 1));
+  adversarial_val_ = attacker_->attack_dataset(rows_with_label(val_, 1));
+  adversarial_test_ = attacker_->attack_dataset(rows_with_label(test_, 1));
+
+  // Inference mixture under attack: benign traffic plus adversarial malware
+  // (the attacker rewrites every malware HPC vector it launches).
+  attacked_test_mix_ = rows_with_label(test_, 0);
+  attacked_test_mix_.append(adversarial_test_);
+
+  // Validation mixture for profiling defended models: benign + legitimate
+  // malware + adversarial malware from the validation split.
+  defense_val_mix_ = val_;
+  defense_val_mix_.append(adversarial_val_);
+}
+
+void Framework::train_predictor() {
+  require(adversarial_train_.size() > 0,
+          "generate_attacks must run before train_predictor");
+  rl::AdversarialPredictorConfig cfg = config_.predictor;
+  cfg.seed += config_.seed;
+  predictor_ = std::make_unique<rl::AdversarialPredictor>(
+      config_.top_k_features, cfg);
+  // Labeled adversarial pool vs. unlabeled ("None") legitimate pool.
+  predictor_->train(adversarial_train_, train_);
+}
+
+void Framework::train_defenses() {
+  require(adversarial_train_.size() > 0,
+          "generate_attacks must run before train_defenses");
+
+  // Merged HPC database [malware, benign, adversarial]: adversarial samples
+  // are labeled by the predictor's positive feedback in deployment; here the
+  // freshly generated pool is merged with ground-truth label "malware".
+  merged_train_ = train_;
+  merged_train_.append(adversarial_train_);
+
+  defended_models_ = ml::make_all_models(config_.seed + 1);
+  for (auto& model : defended_models_) model->fit(merged_train_);
+
+  // Metric Monitor inputs for the controller (classical models only).
+  std::vector<ml::Classifier*> classical;
+  for (std::size_t i = 0; i + 1 < defended_models_.size(); ++i)
+    classical.push_back(defended_models_[i].get());
+  defended_profiles_ = rl::profile_models(classical, defense_val_mix_);
+}
+
+void Framework::train_controllers() {
+  require(!defended_models_.empty(),
+          "train_defenses must run before train_controllers");
+
+  std::vector<ml::Classifier*> classical;
+  for (std::size_t i = 0; i + 1 < defended_models_.size(); ++i)
+    classical.push_back(defended_models_[i].get());
+
+  controllers_.clear();
+  for (rl::ConstraintPolicy policy :
+       {rl::ConstraintPolicy::kFastInference, rl::ConstraintPolicy::kSmallMemory,
+        rl::ConstraintPolicy::kBestDetection}) {
+    rl::ConstraintControllerConfig cfg = config_.controller;
+    cfg.policy = policy;
+    cfg.training_epochs = config_.controller_epochs;
+    cfg.seed += config_.seed + static_cast<std::uint64_t>(policy);
+    auto controller = std::make_unique<rl::ConstraintController>(
+        classical, defended_profiles_, cfg);
+    // Reward the bandit on held-out data: trees memorize their training
+    // rows, so a merged-train stream would make every arm look perfect.
+    controller->train(defense_val_mix_);
+    controllers_[policy] = std::move(controller);
+  }
+}
+
+void Framework::protect_models(std::uint64_t deploy_timestamp) {
+  require(!defended_models_.empty(), "train_defenses must run before protect_models");
+  for (const auto& model : defended_models_) {
+    vault_.deploy(model->name(), model->serialize(), deploy_timestamp);
+    monitor_.record_baseline(*model, defense_val_mix_);
+  }
+}
+
+void Framework::incremental_defense_update(const ml::Dataset& new_adversarial) {
+  require(!defended_models_.empty(),
+          "train_defenses must run before incremental_defense_update");
+  new_adversarial.validate();
+  if (new_adversarial.size() == 0) return;
+  for (int label : new_adversarial.y)
+    if (label != 1)
+      throw std::invalid_argument(
+          "incremental_defense_update: quarantined samples must be label 1");
+
+  merged_train_.append(new_adversarial);
+  for (auto& model : defended_models_) {
+    auto fresh = model->clone_untrained();
+    fresh->fit(merged_train_);
+    model = std::move(fresh);
+  }
+
+  std::vector<ml::Classifier*> classical;
+  for (std::size_t i = 0; i + 1 < defended_models_.size(); ++i)
+    classical.push_back(defended_models_[i].get());
+  defended_profiles_ = rl::profile_models(classical, defense_val_mix_);
+
+  if (!controllers_.empty()) train_controllers();
+  if (vault_.size() > 0) {
+    // Re-deploy with a bumped timestamp so the vault tracks the new bytes.
+    const std::uint64_t stamp =
+        vault_.record(defended_models_.front()->name())
+            ? vault_.record(defended_models_.front()->name())->deployed_at + 1
+            : 1;
+    protect_models(stamp);
+  }
+}
+
+void Framework::run_all() {
+  acquire_data();
+  engineer_features();
+  train_baselines();
+  generate_attacks();
+  train_predictor();
+  train_defenses();
+  train_controllers();
+  protect_models();
+}
+
+std::vector<ScenarioEvaluation> Framework::evaluate_scenarios() const {
+  require(!baseline_models_.empty() && !defended_models_.empty(),
+          "baselines and defenses must be trained before evaluate_scenarios");
+  std::vector<ScenarioEvaluation> rows;
+  rows.reserve(baseline_models_.size());
+  for (std::size_t i = 0; i < baseline_models_.size(); ++i) {
+    ScenarioEvaluation row;
+    row.model = baseline_models_[i]->name();
+    row.regular = baseline_models_[i]->evaluate(test_);
+    row.adversarial = baseline_models_[i]->evaluate(attacked_test_mix_);
+    row.defended = defended_models_[i]->evaluate(attacked_test_mix_);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ml::MetricReport Framework::evaluate_predictor() const {
+  require(predictor_ != nullptr, "train_predictor must run first");
+  return predictor_->evaluate(adversarial_test_, test_);
+}
+
+std::vector<double> Framework::predictor_reward_trace() const {
+  require(predictor_ != nullptr, "train_predictor must run first");
+  std::vector<std::vector<double>> stream;
+  stream.reserve(adversarial_test_.size() + test_.size());
+  for (const auto& row : adversarial_test_.X) stream.push_back(row);
+  for (const auto& row : test_.X) stream.push_back(row);
+  return predictor_->reward_trace(stream);
+}
+
+adversarial::AttackCampaignReport Framework::attack_report() const {
+  require(attacker_ != nullptr, "generate_attacks must run first");
+  return attacker_->evaluate_campaign(rows_with_label(test_, 1));
+}
+
+const sim::HpcCorpus& Framework::corpus() const {
+  require(corpus_.has_value(), "acquire_data must run first");
+  return *corpus_;
+}
+
+const ml::Dataset& Framework::train_set() const { return train_; }
+const ml::Dataset& Framework::val_set() const { return val_; }
+const ml::Dataset& Framework::test_set() const { return test_; }
+const ml::Dataset& Framework::adversarial_train() const { return adversarial_train_; }
+const ml::Dataset& Framework::adversarial_test() const { return adversarial_test_; }
+const ml::Dataset& Framework::merged_train() const { return merged_train_; }
+const ml::Dataset& Framework::attacked_test_mix() const { return attacked_test_mix_; }
+const ml::Dataset& Framework::defense_val_mix() const { return defense_val_mix_; }
+
+const std::vector<std::string>& Framework::selected_feature_names() const {
+  return feature_names_;
+}
+const std::vector<std::size_t>& Framework::selected_feature_indices() const {
+  return feature_indices_;
+}
+
+const std::vector<std::unique_ptr<ml::Classifier>>& Framework::baseline_models()
+    const {
+  return baseline_models_;
+}
+const std::vector<std::unique_ptr<ml::Classifier>>& Framework::defended_models()
+    const {
+  return defended_models_;
+}
+
+const rl::AdversarialPredictor& Framework::predictor() const {
+  require(predictor_ != nullptr, "train_predictor must run first");
+  return *predictor_;
+}
+
+const rl::ConstraintController& Framework::controller(
+    rl::ConstraintPolicy policy) const {
+  const auto it = controllers_.find(policy);
+  require(it != controllers_.end(), "train_controllers must run first");
+  return *it->second;
+}
+
+const std::vector<rl::ModelProfile>& Framework::defended_profiles() const {
+  return defended_profiles_;
+}
+
+}  // namespace drlhmd::core

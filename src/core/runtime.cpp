@@ -1,0 +1,85 @@
+#include "core/runtime.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::core {
+
+std::string verdict_name(TrafficVerdict verdict) {
+  switch (verdict) {
+    case TrafficVerdict::kBenign: return "benign";
+    case TrafficVerdict::kMalware: return "malware";
+    case TrafficVerdict::kAdversarialMalware: return "adversarial-malware";
+  }
+  throw std::invalid_argument("verdict_name: bad verdict");
+}
+
+DetectionRuntime::DetectionRuntime(Framework& framework, RuntimeConfig config)
+    : framework_(framework), config_(config) {
+  // Deployment prerequisites: the pipeline must be fully trained.
+  (void)framework_.predictor();
+  (void)framework_.controller(config_.policy);
+}
+
+TrafficVerdict DetectionRuntime::process(std::span<const double> features) {
+  ++stats_.processed;
+
+  // Line of defense 1: the DRL predictor's feedback reward.
+  if (framework_.predictor().is_adversarial(features)) {
+    ++stats_.adversarial;
+    // Adversarial vectors are malware masquerading as benign: label and
+    // quarantine them for the next adversarial-training round.
+    quarantine_.push(std::vector<double>(features.begin(), features.end()), 1);
+    maybe_retrain();
+    if (config_.integrity_check_period > 0 &&
+        stats_.processed % config_.integrity_check_period == 0)
+      validate_integrity();
+    return TrafficVerdict::kAdversarialMalware;
+  }
+
+  // Line of defense 2: the constraint-aware controller's scheduled model.
+  const int prediction = framework_.controller(config_.policy).predict(features);
+  if (prediction == 1) {
+    ++stats_.malware;
+  } else {
+    ++stats_.benign;
+  }
+  if (config_.integrity_check_period > 0 &&
+      stats_.processed % config_.integrity_check_period == 0)
+    validate_integrity();
+  return prediction == 1 ? TrafficVerdict::kMalware : TrafficVerdict::kBenign;
+}
+
+void DetectionRuntime::maybe_retrain() {
+  if (config_.retrain_threshold == 0) return;
+  if (quarantine_.size() < config_.retrain_threshold) return;
+  framework_.incremental_defense_update(quarantine_);
+  quarantine_ = ml::Dataset{};
+  ++stats_.retrains;
+}
+
+bool DetectionRuntime::validate_integrity() {
+  ++stats_.integrity_checks;
+  bool all_intact = true;
+  for (const auto& model : framework_.defended_models()) {
+    const auto status =
+        framework_.vault().verify(model->name(), model->serialize());
+    if (status != integrity::VerificationStatus::kIntact) {
+      all_intact = false;
+      ++stats_.integrity_alarms;
+    }
+  }
+  return all_intact;
+}
+
+ml::MetricReport DetectionRuntime::process_stream(const ml::Dataset& stream) {
+  stream.validate();
+  std::vector<int> predictions;
+  predictions.reserve(stream.size());
+  for (const auto& row : stream.X) {
+    const TrafficVerdict verdict = process(row);
+    predictions.push_back(verdict == TrafficVerdict::kBenign ? 0 : 1);
+  }
+  return ml::evaluate_predictions(stream.y, predictions);
+}
+
+}  // namespace drlhmd::core

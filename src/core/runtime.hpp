@@ -1,0 +1,80 @@
+// Run-time deployment loop (paper Figure 1, right-hand side).
+//
+// Incoming HPC windows flow through the deployed defense:
+//   1. the DRL adversarial predictor inspects the sample; positive feedback
+//      reward => the sample is labeled adversarial and quarantined into the
+//      incremental database (it is, by the threat model, malware);
+//   2. otherwise the constraint-aware controller routes the sample to the
+//      scheduled ML detector for the malware/benign verdict;
+//   3. once enough fresh adversarial samples accumulate, the defense
+//      retrains on the enlarged merged DB (adaptive defense);
+//   4. periodically, deployed model bytes are re-hashed against the vault
+//      and the metric monitor re-assesses on the reserved validation set
+//      (Section 2.7); alarms are raised on deviation.
+#pragma once
+
+#include "core/framework.hpp"
+
+namespace drlhmd::core {
+
+enum class TrafficVerdict : std::uint8_t {
+  kBenign = 0,
+  kMalware,
+  kAdversarialMalware,  // flagged by the predictor's feedback reward
+};
+
+std::string verdict_name(TrafficVerdict verdict);
+
+struct RuntimeConfig {
+  /// Fresh quarantined adversarial samples that trigger a defense retrain
+  /// (0 disables adaptive retraining).
+  std::size_t retrain_threshold = 250;
+  /// Samples between integrity validations (0 disables).
+  std::size_t integrity_check_period = 1000;
+  /// Which constraint agent serves detection traffic.
+  rl::ConstraintPolicy policy = rl::ConstraintPolicy::kBestDetection;
+};
+
+struct RuntimeStats {
+  std::uint64_t processed = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t malware = 0;
+  std::uint64_t adversarial = 0;
+  std::uint64_t retrains = 0;
+  std::uint64_t integrity_checks = 0;
+  std::uint64_t integrity_alarms = 0;
+};
+
+/// Stateful deployment loop over a fully trained Framework.
+///
+/// The runtime owns no models; it drives the framework's deployed artifacts
+/// and, on retrain, asks the framework to fold the quarantined samples into
+/// the merged database and refresh defenses/controllers/vault records.
+class DetectionRuntime {
+ public:
+  DetectionRuntime(Framework& framework, RuntimeConfig config = {});
+
+  /// Process one HPC sample (engineered, scaled feature space).
+  TrafficVerdict process(std::span<const double> features);
+
+  /// Process a labeled stream; returns detection metrics where adversarial
+  /// verdicts count as "malware" (they are malware by construction).
+  ml::MetricReport process_stream(const ml::Dataset& stream);
+
+  /// Force an integrity validation pass now.
+  bool validate_integrity();
+
+  const RuntimeStats& stats() const { return stats_; }
+  std::size_t quarantine_size() const { return quarantine_.size(); }
+  const RuntimeConfig& config() const { return config_; }
+
+ private:
+  void maybe_retrain();
+
+  Framework& framework_;
+  RuntimeConfig config_;
+  RuntimeStats stats_;
+  ml::Dataset quarantine_;  // predictor-labeled adversarial samples
+};
+
+}  // namespace drlhmd::core

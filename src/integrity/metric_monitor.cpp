@@ -1,0 +1,55 @@
+#include "integrity/metric_monitor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::integrity {
+
+MetricMonitor::MetricMonitor(double tolerance) : tolerance_(tolerance) {
+  if (tolerance <= 0.0)
+    throw std::invalid_argument("MetricMonitor: tolerance must be > 0");
+}
+
+void MetricMonitor::record_baseline(const ml::Classifier& model,
+                                    const ml::Dataset& reserved) {
+  MetricBaseline baseline;
+  baseline.model_name = model.name();
+  baseline.metrics = model.evaluate(reserved);
+  baselines_[baseline.model_name] = std::move(baseline);
+}
+
+DeviationReport MetricMonitor::assess(const ml::Classifier& model,
+                                      const ml::Dataset& reserved) const {
+  const auto it = baselines_.find(model.name());
+  if (it == baselines_.end())
+    throw std::logic_error("MetricMonitor::assess: no baseline for " + model.name());
+
+  DeviationReport report;
+  report.current = model.evaluate(reserved);
+  const ml::MetricReport& base = it->second.metrics;
+
+  const std::pair<const char*, std::pair<double, double>> checks[] = {
+      {"accuracy", {base.accuracy, report.current.accuracy}},
+      {"f1", {base.f1, report.current.f1}},
+      {"tpr", {base.tpr, report.current.tpr}},
+      {"fpr", {base.fpr, report.current.fpr}},
+      {"tnr", {base.tnr, report.current.tnr}},
+      {"fnr", {base.fnr, report.current.fnr}},
+  };
+  for (const auto& [name, values] : checks) {
+    if (std::abs(values.first - values.second) > tolerance_) {
+      report.deviated = true;
+      report.violations.emplace_back(name);
+    }
+  }
+  return report;
+}
+
+std::optional<MetricBaseline> MetricMonitor::baseline(
+    const std::string& model_name) const {
+  const auto it = baselines_.find(model_name);
+  if (it == baselines_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace drlhmd::integrity

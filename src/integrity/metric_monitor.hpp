@@ -1,0 +1,49 @@
+// Metric monitor (paper Section 2.7): tracks each deployed model's metrics
+// on a reserved offline validation set and raises a deviation alarm when a
+// fresh assessment drifts from the recorded baseline — an indicator of
+// possible model modification.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::integrity {
+
+struct MetricBaseline {
+  std::string model_name;
+  ml::MetricReport metrics;
+};
+
+struct DeviationReport {
+  bool deviated = false;
+  /// Per-metric absolute deltas that exceeded the tolerance.
+  std::vector<std::string> violations;
+  ml::MetricReport current;
+};
+
+class MetricMonitor {
+ public:
+  /// Absolute tolerance applied to every tracked metric.
+  explicit MetricMonitor(double tolerance = 0.02);
+
+  /// Record the baseline by evaluating the model on the reserved set.
+  void record_baseline(const ml::Classifier& model, const ml::Dataset& reserved);
+
+  /// Re-assess; compare ACC/F1/TPR/FPR/TNR/FNR against the baseline.
+  DeviationReport assess(const ml::Classifier& model,
+                         const ml::Dataset& reserved) const;
+
+  std::optional<MetricBaseline> baseline(const std::string& model_name) const;
+  std::size_t tracked_models() const { return baselines_.size(); }
+  double tolerance() const { return tolerance_; }
+
+ private:
+  double tolerance_;
+  std::map<std::string, MetricBaseline> baselines_;
+};
+
+}  // namespace drlhmd::integrity

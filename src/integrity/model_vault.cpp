@@ -1,0 +1,58 @@
+#include "integrity/model_vault.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::integrity {
+
+std::string ModelVault::compute_digest(const std::string& model_name,
+                                       std::uint64_t timestamp,
+                                       std::span<const std::uint8_t> bytes) {
+  Sha256 hasher;
+  hasher.update(model_name);
+  hasher.update("|");
+  hasher.update(std::to_string(timestamp));
+  hasher.update("|");
+  hasher.update(bytes);
+  return to_hex(hasher.finish());
+}
+
+std::string ModelVault::deploy(const std::string& model_name,
+                               std::vector<std::uint8_t> model_bytes,
+                               std::uint64_t timestamp) {
+  if (model_name.empty())
+    throw std::invalid_argument("ModelVault::deploy: empty model name");
+  VaultRecord record;
+  record.model_name = model_name;
+  record.deployed_at = timestamp;
+  record.digest_hex = compute_digest(model_name, timestamp, model_bytes);
+  record.golden_bytes = std::move(model_bytes);
+  const std::string digest = record.digest_hex;
+  records_[model_name] = std::move(record);
+  return digest;
+}
+
+VerificationStatus ModelVault::verify(
+    const std::string& model_name,
+    std::span<const std::uint8_t> current_bytes) const {
+  const auto it = records_.find(model_name);
+  if (it == records_.end()) return VerificationStatus::kUnknownModel;
+  const std::string digest =
+      compute_digest(model_name, it->second.deployed_at, current_bytes);
+  return digest == it->second.digest_hex ? VerificationStatus::kIntact
+                                         : VerificationStatus::kTampered;
+}
+
+std::optional<std::vector<std::uint8_t>> ModelVault::restore(
+    const std::string& model_name) const {
+  const auto it = records_.find(model_name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.golden_bytes;
+}
+
+std::optional<VaultRecord> ModelVault::record(const std::string& model_name) const {
+  const auto it = records_.find(model_name);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace drlhmd::integrity

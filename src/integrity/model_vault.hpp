@@ -1,0 +1,55 @@
+// ML-model integrity vault (paper Section 2.7).
+//
+// On deployment each model's serialized bytes are hashed (SHA-256 over the
+// model identity + deployment timestamp + bytes) and the record stored.
+// Periodic verification recomputes the hash and compares; a mismatch marks
+// the model tampered, and restore() returns the vaulted good copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "integrity/sha256.hpp"
+
+namespace drlhmd::integrity {
+
+struct VaultRecord {
+  std::string model_name;
+  std::uint64_t deployed_at = 0;  // caller-supplied timestamp (seconds)
+  std::string digest_hex;
+  std::vector<std::uint8_t> golden_bytes;  // verified copy for restoration
+};
+
+enum class VerificationStatus : std::uint8_t { kIntact, kTampered, kUnknownModel };
+
+class ModelVault {
+ public:
+  /// Register (or re-register) a deployed model. Returns the stored digest.
+  std::string deploy(const std::string& model_name,
+                     std::vector<std::uint8_t> model_bytes,
+                     std::uint64_t timestamp);
+
+  /// Compare current bytes against the stored record.
+  VerificationStatus verify(const std::string& model_name,
+                            std::span<const std::uint8_t> current_bytes) const;
+
+  /// Golden copy for restoration after tampering; nullopt if unknown.
+  std::optional<std::vector<std::uint8_t>> restore(const std::string& model_name) const;
+
+  std::optional<VaultRecord> record(const std::string& model_name) const;
+  std::size_t size() const { return records_.size(); }
+
+  /// Digest rule: SHA-256("name|timestamp|" + bytes) — binding the model
+  /// path-identity and deployment time into the hash, as the paper does.
+  static std::string compute_digest(const std::string& model_name,
+                                    std::uint64_t timestamp,
+                                    std::span<const std::uint8_t> bytes);
+
+ private:
+  std::map<std::string, VaultRecord> records_;
+};
+
+}  // namespace drlhmd::integrity

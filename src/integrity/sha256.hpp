@@ -1,0 +1,42 @@
+// FIPS 180-4 SHA-256, implemented from scratch for the ML-model integrity
+// vault (paper Section 2.7: periodic hashing of deployed models).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace drlhmd::integrity {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalize and return the digest. The hasher must not be reused after.
+  Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot convenience functions.
+Sha256Digest sha256(std::span<const std::uint8_t> data);
+Sha256Digest sha256(std::string_view text);
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Sha256Digest& digest);
+
+}  // namespace drlhmd::integrity

@@ -1,0 +1,24 @@
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+std::vector<double> Classifier::predict_proba_batch(const Dataset& data) const {
+  std::vector<double> scores;
+  scores.reserve(data.size());
+  for (const auto& row : data.X) scores.push_back(predict_proba(row));
+  return scores;
+}
+
+std::vector<int> Classifier::predict_batch(const Dataset& data) const {
+  std::vector<int> preds;
+  preds.reserve(data.size());
+  for (const auto& row : data.X) preds.push_back(predict(row));
+  return preds;
+}
+
+MetricReport Classifier::evaluate(const Dataset& data) const {
+  const std::vector<double> scores = predict_proba_batch(data);
+  return evaluate_scores(data.y, scores);
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,55 @@
+// Common binary-classifier interface.
+//
+// Every detector in the framework (RF, DT, LR, MLP, LightGBM-style GBDT,
+// conv NN) implements this.  Scores are P(malware); hard predictions
+// threshold at 0.5.  serialize() provides both the persistent format and
+// the memory-footprint measure the constraint-aware controller uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "util/serialize.hpp"
+
+namespace drlhmd::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the dataset (labels 0/1). Implementations must be
+  /// deterministic given their construction-time seed.
+  virtual void fit(const Dataset& train) = 0;
+
+  /// P(label == 1) for one sample.
+  virtual double predict_proba(std::span<const double> features) const = 0;
+
+  int predict(std::span<const double> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<double> predict_proba_batch(const Dataset& data) const;
+  std::vector<int> predict_batch(const Dataset& data) const;
+
+  /// Evaluate on a labeled dataset (scores -> full metric report).
+  MetricReport evaluate(const Dataset& data) const;
+
+  /// Short identifier: "RF", "DT", "LR", "MLP", "LightGBM", "NN".
+  virtual std::string name() const = 0;
+
+  /// Model bytes; used for integrity hashing and memory-footprint metrics.
+  virtual std::vector<std::uint8_t> serialize() const = 0;
+
+  /// Untrained copy with identical hyperparameters (and seed), for
+  /// retraining pipelines such as adversarial training.
+  virtual std::unique_ptr<Classifier> clone_untrained() const = 0;
+
+  virtual bool trained() const = 0;
+};
+
+}  // namespace drlhmd::ml

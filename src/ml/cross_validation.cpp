@@ -1,0 +1,82 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+
+double CrossValidationResult::mean_accuracy() const {
+  if (folds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : folds) total += m.accuracy;
+  return total / static_cast<double>(folds.size());
+}
+
+double CrossValidationResult::mean_f1() const {
+  if (folds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : folds) total += m.f1;
+  return total / static_cast<double>(folds.size());
+}
+
+double CrossValidationResult::mean_auc() const {
+  if (folds.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : folds) total += m.auc;
+  return total / static_cast<double>(folds.size());
+}
+
+double CrossValidationResult::stddev_f1() const {
+  if (folds.size() < 2) return 0.0;
+  const double mean = mean_f1();
+  double acc = 0.0;
+  for (const auto& m : folds) acc += (m.f1 - mean) * (m.f1 - mean);
+  return std::sqrt(acc / static_cast<double>(folds.size() - 1));
+}
+
+std::vector<std::size_t> stratified_folds(const Dataset& data, std::size_t k,
+                                          util::Rng& rng) {
+  data.validate();
+  if (k < 2) throw std::invalid_argument("stratified_folds: k must be >= 2");
+  std::vector<std::size_t> fold_of(data.size());
+  for (int label : {0, 1}) {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      if (data.y[i] == label) rows.push_back(i);
+    rng.shuffle(rows);
+    for (std::size_t r = 0; r < rows.size(); ++r) fold_of[rows[r]] = r % k;
+  }
+  return fold_of;
+}
+
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     std::uint64_t seed) {
+  data.validate();
+  if (k < 2) throw std::invalid_argument("cross_validate: k must be >= 2");
+  if (data.size() < 2 * k)
+    throw std::invalid_argument("cross_validate: dataset too small for k folds");
+
+  util::Rng rng(seed);
+  const std::vector<std::size_t> fold_of = stratified_folds(data, k, rng);
+
+  CrossValidationResult result;
+  result.folds.reserve(k);
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    Dataset train, test;
+    train.feature_names = data.feature_names;
+    test.feature_names = data.feature_names;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      (fold_of[i] == fold ? test : train).push(data.X[i], data.y[i]);
+    if (train.count_label(0) == 0 || train.count_label(1) == 0 ||
+        test.size() == 0)
+      throw std::invalid_argument("cross_validate: degenerate fold (too few rows)");
+
+    auto model = prototype.clone_untrained();
+    model->fit(train);
+    result.folds.push_back(model->evaluate(test));
+  }
+  return result;
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,35 @@
+// k-fold cross-validation for detector assessment and model selection.
+//
+// Used by hmdctl and the ablation benches to report variance alongside the
+// single-split numbers the paper's tables quote.
+#pragma once
+
+#include <functional>
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+struct CrossValidationResult {
+  std::vector<MetricReport> folds;
+
+  double mean_accuracy() const;
+  double mean_f1() const;
+  double mean_auc() const;
+  /// Sample standard deviation of F1 across folds (0 for < 2 folds).
+  double stddev_f1() const;
+};
+
+/// Stratified k-fold CV: for each fold, a fresh untrained clone of
+/// `prototype` is trained on the remaining folds and evaluated on the held-
+/// out fold.  Deterministic in `seed`.
+CrossValidationResult cross_validate(const Classifier& prototype,
+                                     const Dataset& data, std::size_t k,
+                                     std::uint64_t seed = 101);
+
+/// Stratified fold assignment: returns fold index (0..k-1) per row, with
+/// each class distributed evenly across folds.
+std::vector<std::size_t> stratified_folds(const Dataset& data, std::size_t k,
+                                          util::Rng& rng);
+
+}  // namespace drlhmd::ml

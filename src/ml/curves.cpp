@@ -1,0 +1,100 @@
+#include "ml/curves.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+
+struct Sorted {
+  std::vector<std::size_t> order;  // descending score
+  std::size_t n_pos = 0;
+  std::size_t n_neg = 0;
+};
+
+Sorted sort_by_score(std::span<const int> truth, std::span<const double> scores) {
+  if (truth.size() != scores.size())
+    throw std::invalid_argument("curves: size mismatch");
+  if (truth.empty()) throw std::invalid_argument("curves: empty input");
+  Sorted s;
+  s.order.resize(truth.size());
+  std::iota(s.order.begin(), s.order.end(), 0);
+  std::sort(s.order.begin(), s.order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  for (int t : truth) {
+    if (t != 0 && t != 1) throw std::invalid_argument("curves: labels must be 0/1");
+    (t == 1 ? s.n_pos : s.n_neg) += 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(std::span<const int> truth,
+                                std::span<const double> scores) {
+  const Sorted s = sort_by_score(truth, scores);
+  std::vector<RocPoint> curve;
+  curve.push_back({scores[s.order.front()] + 1.0, 0.0, 0.0});
+
+  std::size_t tp = 0, fp = 0;
+  const double np = std::max<std::size_t>(1, s.n_pos);
+  const double nn = std::max<std::size_t>(1, s.n_neg);
+  std::size_t i = 0;
+  while (i < s.order.size()) {
+    const double score = scores[s.order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < s.order.size() && scores[s.order[i]] == score) {
+      (truth[s.order[i]] == 1 ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back({score, static_cast<double>(fp) / nn,
+                     static_cast<double>(tp) / np});
+  }
+  return curve;
+}
+
+std::vector<PrPoint> pr_curve(std::span<const int> truth,
+                              std::span<const double> scores) {
+  const Sorted s = sort_by_score(truth, scores);
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0, fp = 0;
+  const double np = std::max<std::size_t>(1, s.n_pos);
+  std::size_t i = 0;
+  while (i < s.order.size()) {
+    const double score = scores[s.order[i]];
+    while (i < s.order.size() && scores[s.order[i]] == score) {
+      (truth[s.order[i]] == 1 ? tp : fp) += 1;
+      ++i;
+    }
+    const double denom = static_cast<double>(tp + fp);
+    curve.push_back({score, static_cast<double>(tp) / np,
+                     denom > 0 ? static_cast<double>(tp) / denom : 1.0});
+  }
+  return curve;
+}
+
+double auc_from_curve(const std::vector<RocPoint>& curve) {
+  if (curve.size() < 2) return 0.5;
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+double threshold_for_fpr(std::span<const int> truth,
+                         std::span<const double> scores, double max_fpr) {
+  if (max_fpr < 0.0 || max_fpr > 1.0)
+    throw std::invalid_argument("threshold_for_fpr: max_fpr out of [0,1]");
+  const auto curve = roc_curve(truth, scores);
+  double best_threshold = curve.front().threshold;
+  for (const RocPoint& p : curve) {
+    if (p.fpr <= max_fpr) best_threshold = p.threshold;
+    else break;
+  }
+  return best_threshold;
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,42 @@
+// ROC and precision-recall curves from scores, plus threshold selection.
+//
+// Complements the scalar metrics: the benches can print the full operating
+// curve behind any AUC they report, and deployments can pick a decision
+// threshold for a target false-positive budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace drlhmd::ml {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+struct PrPoint {
+  double threshold = 0.0;
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// ROC curve points, ordered by descending threshold: starts near (0,0),
+/// ends at (1,1). Ties in score collapse to a single point.
+std::vector<RocPoint> roc_curve(std::span<const int> truth,
+                                std::span<const double> scores);
+
+/// Precision-recall curve, ordered by descending threshold.
+std::vector<PrPoint> pr_curve(std::span<const int> truth,
+                              std::span<const double> scores);
+
+/// Trapezoidal area under a ROC curve (matches rank-based AUC up to ties).
+double auc_from_curve(const std::vector<RocPoint>& curve);
+
+/// Smallest threshold whose FPR does not exceed `max_fpr` (i.e. the most
+/// sensitive operating point within the false-positive budget).
+double threshold_for_fpr(std::span<const int> truth,
+                         std::span<const double> scores, double max_fpr);
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,98 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::ml {
+
+std::size_t Dataset::count_label(int label) const {
+  std::size_t n = 0;
+  for (int v : y) n += (v == label) ? 1 : 0;
+  return n;
+}
+
+void Dataset::push(std::vector<double> features, int label) {
+  X.push_back(std::move(features));
+  y.push_back(label);
+}
+
+void Dataset::append(const Dataset& other) {
+  if (!other.X.empty() && !X.empty() && other.num_features() != num_features())
+    throw std::invalid_argument("Dataset::append: feature-space mismatch");
+  X.insert(X.end(), other.X.begin(), other.X.end());
+  y.insert(y.end(), other.y.begin(), other.y.end());
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  for (std::size_t i = X.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(X[i - 1], X[j]);
+    std::swap(y[i - 1], y[j]);
+  }
+}
+
+Dataset Dataset::select_features(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.y = y;
+  for (std::size_t idx : indices) {
+    if (idx >= num_features())
+      throw std::out_of_range("Dataset::select_features: index out of range");
+    if (!feature_names.empty()) out.feature_names.push_back(feature_names[idx]);
+  }
+  out.X.reserve(X.size());
+  for (const auto& row : X) {
+    std::vector<double> selected;
+    selected.reserve(indices.size());
+    for (std::size_t idx : indices) selected.push_back(row[idx]);
+    out.X.push_back(std::move(selected));
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  if (X.size() != y.size())
+    throw std::invalid_argument("Dataset: X/y size mismatch");
+  const std::size_t width = num_features();
+  for (const auto& row : X)
+    if (row.size() != width) throw std::invalid_argument("Dataset: ragged rows");
+  for (int label : y)
+    if (label != 0 && label != 1)
+      throw std::invalid_argument("Dataset: labels must be 0 or 1");
+  if (!feature_names.empty() && feature_names.size() != width)
+    throw std::invalid_argument("Dataset: feature_names width mismatch");
+}
+
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                util::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("stratified_split: test_fraction out of (0,1)");
+  data.validate();
+
+  TrainTestSplit split;
+  split.train.feature_names = data.feature_names;
+  split.test.feature_names = data.feature_names;
+
+  for (int label : {0, 1}) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      if (data.y[i] == label) indices.push_back(i);
+    rng.shuffle(indices);
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(indices.size()) * test_fraction);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      Dataset& dst = (k < n_test) ? split.test : split.train;
+      dst.push(data.X[indices[k]], label);
+    }
+  }
+  split.train.shuffle(rng);
+  split.test.shuffle(rng);
+  return split;
+}
+
+TrainValTest paper_protocol_split(const Dataset& data, util::Rng& rng) {
+  TrainTestSplit outer = stratified_split(data, 0.2, rng);
+  TrainTestSplit inner = stratified_split(outer.train, 0.2, rng);
+  return TrainValTest{std::move(inner.train), std::move(inner.test),
+                      std::move(outer.test)};
+}
+
+}  // namespace drlhmd::ml

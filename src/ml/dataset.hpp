@@ -1,0 +1,54 @@
+// Labeled tabular dataset container with the split discipline the paper
+// uses: 80:20 train/test, then a further 80:20 of train into train/val.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+
+/// Binary labels used throughout: 1 = malware (positive class), 0 = benign.
+struct Dataset {
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+  std::vector<std::string> feature_names;
+
+  std::size_t size() const { return X.size(); }
+  std::size_t num_features() const { return X.empty() ? 0 : X.front().size(); }
+  std::size_t count_label(int label) const;
+
+  void push(std::vector<double> features, int label);
+  /// Append all rows of another dataset (feature spaces must match).
+  void append(const Dataset& other);
+  void shuffle(util::Rng& rng);
+
+  /// Keep only the listed feature columns (in the given order).
+  Dataset select_features(std::span<const std::size_t> indices) const;
+
+  /// Throws std::invalid_argument on ragged rows, bad labels, or size
+  /// mismatch between X and y.
+  void validate() const;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified split preserving class proportions. `test_fraction` in (0,1).
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                util::Rng& rng);
+
+/// The paper's full protocol: 80:20 train/test, then 80:20 train/val.
+struct TrainValTest {
+  Dataset train;
+  Dataset val;
+  Dataset test;
+};
+TrainValTest paper_protocol_split(const Dataset& data, util::Rng& rng);
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,211 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+
+constexpr std::uint8_t kFormatVersion = 1;
+
+/// Gini impurity of a (weighted) binary count pair.
+double gini(double n_pos, double n_total) {
+  if (n_total <= 0.0) return 0.0;
+  const double p = n_pos / n_total;
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
+  if (config_.max_depth == 0)
+    throw std::invalid_argument("DecisionTree: max_depth must be > 0");
+  if (config_.min_samples_split < 2)
+    throw std::invalid_argument("DecisionTree: min_samples_split must be >= 2");
+  if (config_.min_samples_leaf == 0)
+    throw std::invalid_argument("DecisionTree: min_samples_leaf must be > 0");
+}
+
+void DecisionTree::fit(const Dataset& train) {
+  const std::vector<std::uint32_t> weights(train.size(), 1);
+  fit_weighted(train, weights);
+}
+
+void DecisionTree::fit_weighted(const Dataset& train,
+                                std::span<const std::uint32_t> weights) {
+  train.validate();
+  if (train.size() == 0)
+    throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  if (weights.size() != train.size())
+    throw std::invalid_argument("DecisionTree::fit_weighted: weight size mismatch");
+
+  nodes_.clear();
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    if (weights[i] > 0) rows.push_back(i);
+  if (rows.empty())
+    throw std::invalid_argument("DecisionTree::fit_weighted: all weights zero");
+  util::Rng rng(config_.seed);
+  build(train, weights, rows, 0, rng);
+}
+
+std::uint32_t DecisionTree::build(const Dataset& train,
+                                  std::span<const std::uint32_t> weights,
+                                  std::vector<std::size_t>& rows, std::size_t depth,
+                                  util::Rng& rng) {
+  double w_total = 0.0, w_pos = 0.0;
+  for (std::size_t r : rows) {
+    const double w = weights[r];
+    w_total += w;
+    if (train.y[r] == 1) w_pos += w;
+  }
+
+  const auto node_index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].proba = w_total > 0.0 ? w_pos / w_total : 0.5;
+
+  const bool pure = w_pos == 0.0 || w_pos == w_total;
+  if (pure || depth >= config_.max_depth || rows.size() < config_.min_samples_split)
+    return node_index;
+
+  // Candidate features (subsampled for random forests).
+  const std::size_t width = train.num_features();
+  std::vector<std::size_t> features;
+  if (config_.max_features == 0 || config_.max_features >= width) {
+    features.resize(width);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = rng.sample_without_replacement(width, config_.max_features);
+  }
+
+  // Exact greedy split search: sort rows per feature, scan boundaries.
+  double best_gain = 1e-12;
+  std::size_t best_feature = width;
+  double best_threshold = 0.0;
+  const double parent_impurity = gini(w_pos, w_total);
+
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return train.X[a][f] < train.X[b][f];
+    });
+    double left_total = 0.0, left_pos = 0.0;
+    std::size_t left_count = 0;
+    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const std::size_t r = sorted[k];
+      const double w = weights[r];
+      left_total += w;
+      left_count += 1;
+      if (train.y[r] == 1) left_pos += w;
+      const double v = train.X[r][f];
+      const double v_next = train.X[sorted[k + 1]][f];
+      if (v == v_next) continue;  // no boundary between equal values
+      if (left_count < config_.min_samples_leaf ||
+          sorted.size() - left_count < config_.min_samples_leaf)
+        continue;
+      const double right_total = w_total - left_total;
+      const double right_pos = w_pos - left_pos;
+      const double weighted_child =
+          (left_total * gini(left_pos, left_total) +
+           right_total * gini(right_pos, right_total)) /
+          w_total;
+      const double gain = parent_impurity - weighted_child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature == width) return node_index;  // no useful split
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (train.X[r][best_feature] <= best_threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+
+  rows.clear();
+  rows.shrink_to_fit();  // release before recursing
+
+  nodes_[node_index].feature = static_cast<std::uint32_t>(best_feature);
+  nodes_[node_index].threshold = best_threshold;
+  const std::uint32_t left = build(train, weights, left_rows, depth + 1, rng);
+  nodes_[node_index].left = left;
+  const std::uint32_t right = build(train, weights, right_rows, depth + 1, rng);
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::predict_proba(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("DecisionTree: not trained");
+  std::uint32_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.feature == Node::kLeaf) return node.proba;
+    if (node.feature >= features.size())
+      throw std::invalid_argument("DecisionTree: feature width mismatch");
+    idx = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::size_t DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS carrying depth.
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[idx];
+    if (node.feature != Node::kLeaf) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::vector<std::uint8_t> DecisionTree::serialize() const {
+  util::ByteWriter w;
+  w.write_string("DT");
+  w.write_u8(kFormatVersion);
+  w.write_u64(nodes_.size());
+  for (const Node& n : nodes_) {
+    w.write_u32(n.feature);
+    w.write_f64(n.threshold);
+    w.write_u32(n.left);
+    w.write_u32(n.right);
+    w.write_f64(n.proba);
+  }
+  return w.take();
+}
+
+DecisionTree DecisionTree::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "DT")
+    throw std::invalid_argument("DecisionTree::deserialize: bad magic");
+  if (r.read_u8() != kFormatVersion)
+    throw std::invalid_argument("DecisionTree::deserialize: bad version");
+  DecisionTree tree;
+  const std::uint64_t count = r.read_u64();
+  tree.nodes_.resize(static_cast<std::size_t>(count));
+  for (auto& n : tree.nodes_) {
+    n.feature = r.read_u32();
+    n.threshold = r.read_f64();
+    n.left = r.read_u32();
+    n.right = r.read_u32();
+    n.proba = r.read_f64();
+  }
+  return tree;
+}
+
+std::unique_ptr<Classifier> DecisionTree::clone_untrained() const {
+  return std::make_unique<DecisionTree>(config_);
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,59 @@
+// CART decision tree with Gini impurity (binary classification).
+//
+// Also the building block for RandomForest, which enables per-split feature
+// subsampling and bootstrap row weighting through the config.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 12;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// 0 = consider all features at each split; otherwise sample this many.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 13;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {});
+
+  void fit(const Dataset& train) override;
+  /// Fit with per-row multiplicities (bootstrap counts); rows with weight 0
+  /// are ignored.  Used by RandomForest.
+  void fit_weighted(const Dataset& train, std::span<const std::uint32_t> weights);
+
+  double predict_proba(std::span<const double> features) const override;
+  std::string name() const override { return "DT"; }
+  std::vector<std::uint8_t> serialize() const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  bool trained() const override { return !nodes_.empty(); }
+
+  static DecisionTree deserialize(std::span<const std::uint8_t> bytes);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Internal node when feature != kLeaf; children are indices into nodes_.
+    static constexpr std::uint32_t kLeaf = 0xFFFFFFFFu;
+    std::uint32_t feature = kLeaf;
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double proba = 0.0;  // P(malware) at leaf
+  };
+
+  std::uint32_t build(const Dataset& train, std::span<const std::uint32_t> weights,
+                      std::vector<std::size_t>& rows, std::size_t depth,
+                      util::Rng& rng);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,120 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+constexpr std::uint8_t kFormatVersion = 1;
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config)
+    : config_(config) {
+  if (config_.learning_rate <= 0.0)
+    throw std::invalid_argument("LogisticRegression: learning_rate must be > 0");
+  if (config_.epochs == 0)
+    throw std::invalid_argument("LogisticRegression: epochs must be > 0");
+  if (config_.l2 < 0.0)
+    throw std::invalid_argument("LogisticRegression: l2 must be >= 0");
+}
+
+void LogisticRegression::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0)
+    throw std::invalid_argument("LogisticRegression::fit: empty dataset");
+  const std::size_t n = train.size();
+  const std::size_t width = train.num_features();
+  weights_.assign(width, 0.0);
+  bias_ = 0.0;
+
+  std::vector<double> grad(width);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(logit(train.X[i]));
+      const double err = p - static_cast<double>(train.y[i]);
+      for (std::size_t c = 0; c < width; ++c) grad[c] += err * train.X[i][c];
+      grad_bias += err;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t c = 0; c < width; ++c) {
+      grad[c] = grad[c] * inv_n + config_.l2 * weights_[c];
+      weights_[c] -= config_.learning_rate * grad[c];
+    }
+    bias_ -= config_.learning_rate * grad_bias * inv_n;
+  }
+}
+
+double LogisticRegression::logit(std::span<const double> features) const {
+  if (features.size() != weights_.size())
+    throw std::invalid_argument("LogisticRegression: feature width mismatch");
+  double z = bias_;
+  for (std::size_t c = 0; c < features.size(); ++c) z += weights_[c] * features[c];
+  return z;
+}
+
+double LogisticRegression::predict_proba(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("LogisticRegression: not trained");
+  return sigmoid(logit(features));
+}
+
+std::vector<double> LogisticRegression::probability_gradient(
+    std::span<const double> features) const {
+  const double p = predict_proba(features);
+  std::vector<double> grad(weights_.size());
+  for (std::size_t c = 0; c < weights_.size(); ++c)
+    grad[c] = p * (1.0 - p) * weights_[c];
+  return grad;
+}
+
+std::vector<double> LogisticRegression::loss_gradient(
+    std::span<const double> features, int target) const {
+  if (target != 0 && target != 1)
+    throw std::invalid_argument("LogisticRegression::loss_gradient: target must be 0/1");
+  const double p = predict_proba(features);
+  // d/dx BCE(sigmoid(w.x+b), t) = (p - t) * w
+  std::vector<double> grad(weights_.size());
+  for (std::size_t c = 0; c < weights_.size(); ++c)
+    grad[c] = (p - static_cast<double>(target)) * weights_[c];
+  return grad;
+}
+
+std::vector<std::uint8_t> LogisticRegression::serialize() const {
+  util::ByteWriter w;
+  w.write_string("LR");
+  w.write_u8(kFormatVersion);
+  w.write_f64(bias_);
+  w.write_f64_vec(weights_);
+  return w.take();
+}
+
+LogisticRegression LogisticRegression::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "LR")
+    throw std::invalid_argument("LogisticRegression::deserialize: bad magic");
+  if (r.read_u8() != kFormatVersion)
+    throw std::invalid_argument("LogisticRegression::deserialize: bad version");
+  LogisticRegression model;
+  model.bias_ = r.read_f64();
+  model.weights_ = r.read_f64_vec();
+  return model;
+}
+
+std::unique_ptr<Classifier> LogisticRegression::clone_untrained() const {
+  return std::make_unique<LogisticRegression>(config_);
+}
+
+}  // namespace drlhmd::ml

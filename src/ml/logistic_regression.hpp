@@ -1,0 +1,51 @@
+// L2-regularized logistic regression trained by full-batch gradient descent.
+//
+// Besides being one of the paper's five detectors, LR plays two extra roles
+// in the attack pipeline (Algorithm 1): the differentiable surrogate whose
+// gradient drives LowProFool, and the "imperceptibility evaluator" that
+// scores generated adversarial samples.  Coefficients and the input gradient
+// are therefore part of the public interface.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+struct LogisticRegressionConfig {
+  double learning_rate = 0.3;
+  std::size_t epochs = 1500;
+  double l2 = 1e-4;
+  std::uint64_t seed = 7;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {});
+
+  void fit(const Dataset& train) override;
+  double predict_proba(std::span<const double> features) const override;
+  std::string name() const override { return "LR"; }
+  std::vector<std::uint8_t> serialize() const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  bool trained() const override { return !weights_.empty(); }
+
+  static LogisticRegression deserialize(std::span<const std::uint8_t> bytes);
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// d P(y=1|x) / dx — the surrogate gradient used by LowProFool.
+  std::vector<double> probability_gradient(std::span<const double> features) const;
+
+  /// d BCE(x, target) / dx for target in {0, 1}.
+  std::vector<double> loss_gradient(std::span<const double> features, int target) const;
+
+ private:
+  double logit(std::span<const double> features) const;
+
+  LogisticRegressionConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,105 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace drlhmd::ml {
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if ((truth != 0 && truth != 1) || (predicted != 0 && predicted != 1))
+    throw std::invalid_argument("ConfusionMatrix::add: labels must be 0/1");
+  if (truth == 1) {
+    predicted == 1 ? ++tp : ++fn;
+  } else {
+    predicted == 1 ? ++fp : ++tn;
+  }
+}
+
+namespace {
+
+double safe_div(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+MetricReport from_confusion(ConfusionMatrix cm) {
+  MetricReport m;
+  m.confusion = cm;
+  const auto tp = static_cast<double>(cm.tp);
+  const auto fp = static_cast<double>(cm.fp);
+  const auto tn = static_cast<double>(cm.tn);
+  const auto fn = static_cast<double>(cm.fn);
+  m.accuracy = safe_div(tp + tn, tp + tn + fp + fn);
+  m.precision = safe_div(tp, tp + fp);
+  m.recall = safe_div(tp, tp + fn);
+  m.tpr = m.recall;
+  m.fpr = safe_div(fp, fp + tn);
+  m.fnr = safe_div(fn, fn + tp);
+  m.tnr = safe_div(tn, tn + fp);
+  m.f1 = safe_div(2.0 * m.precision * m.recall, m.precision + m.recall);
+  return m;
+}
+
+}  // namespace
+
+MetricReport evaluate_predictions(std::span<const int> truth,
+                                  std::span<const int> predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("evaluate_predictions: size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) cm.add(truth[i], predicted[i]);
+  return from_confusion(cm);
+}
+
+MetricReport evaluate_scores(std::span<const int> truth,
+                             std::span<const double> scores, double threshold) {
+  if (truth.size() != scores.size())
+    throw std::invalid_argument("evaluate_scores: size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    cm.add(truth[i], scores[i] >= threshold ? 1 : 0);
+  MetricReport m = from_confusion(cm);
+  m.auc = roc_auc(truth, scores);
+  return m;
+}
+
+double roc_auc(std::span<const int> truth, std::span<const double> scores) {
+  if (truth.size() != scores.size())
+    throw std::invalid_argument("roc_auc: size mismatch");
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int t : truth) (t == 1 ? n_pos : n_neg) += 1;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Mann-Whitney U via average ranks (ties get midranks).
+  std::vector<std::size_t> order(truth.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_pos = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k)
+      if (truth[order[k]] == 1) rank_sum_pos += mid_rank;
+    i = j + 1;
+  }
+  const double u = rank_sum_pos -
+                   static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<std::string> metric_row(const MetricReport& m) {
+  using util::Table;
+  return {Table::fmt(m.accuracy), Table::fmt(m.f1),  Table::fmt(m.auc),
+          Table::fmt(m.tpr),      Table::fmt(m.fpr), Table::fmt(m.fnr),
+          Table::fmt(m.tnr)};
+}
+
+std::vector<std::string> metric_header() {
+  return {"ACC", "F1", "AUC", "TPR", "FPR", "FNR", "TNR"};
+}
+
+}  // namespace drlhmd::ml

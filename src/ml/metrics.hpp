@@ -1,0 +1,53 @@
+// Detection-quality metrics used throughout the paper's evaluation:
+// ACC, F1, AUC, TPR, FPR, FNR, TNR, precision, recall.
+// Convention: label 1 = malware = positive class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drlhmd::ml {
+
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  std::uint64_t total() const { return tp + fp + tn + fn; }
+  void add(int truth, int predicted);
+};
+
+struct MetricReport {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;   // == TPR
+  double f1 = 0.0;
+  double auc = 0.5;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double fnr = 0.0;
+  double tnr = 0.0;
+  ConfusionMatrix confusion;
+};
+
+/// Metrics from hard predictions (AUC left at 0.5).
+MetricReport evaluate_predictions(std::span<const int> truth,
+                                  std::span<const int> predicted);
+
+/// Metrics from scores: hard metrics at `threshold`, plus rank-based AUC
+/// (Mann-Whitney with tie correction).
+MetricReport evaluate_scores(std::span<const int> truth,
+                             std::span<const double> scores,
+                             double threshold = 0.5);
+
+/// Rank-based ROC AUC only.
+double roc_auc(std::span<const int> truth, std::span<const double> scores);
+
+/// One formatted row "ACC F1 AUC TPR FPR FNR TNR" (paper Table 2 layout).
+std::vector<std::string> metric_row(const MetricReport& m);
+std::vector<std::string> metric_header();
+
+}  // namespace drlhmd::ml

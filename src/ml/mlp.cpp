@@ -1,0 +1,90 @@
+#include "ml/mlp.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+constexpr std::uint8_t kFormatVersion = 1;
+}
+
+MlpClassifier::MlpClassifier(MlpConfig config) : config_(std::move(config)) {
+  if (config_.hidden.empty())
+    throw std::invalid_argument("MlpClassifier: need at least one hidden layer");
+  if (config_.epochs == 0 || config_.batch_size == 0)
+    throw std::invalid_argument("MlpClassifier: epochs/batch_size must be > 0");
+  if (config_.learning_rate <= 0.0)
+    throw std::invalid_argument("MlpClassifier: learning_rate must be > 0");
+}
+
+void MlpClassifier::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument("MlpClassifier::fit: empty dataset");
+  in_features_ = train.num_features();
+
+  util::Rng rng(config_.seed);
+  net_ = nn::make_mlp(in_features_, config_.hidden, 2, rng);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      Matrix batch(end - start, in_features_);
+      std::vector<int> labels(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        const std::size_t row = order[i];
+        for (std::size_t c = 0; c < in_features_; ++c)
+          batch.at(i - start, c) = train.X[row][c];
+        labels[i - start] = train.y[row];
+      }
+      net_.zero_grad();
+      const Matrix logits = net_.forward(batch);
+      const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+      net_.backward(loss.grad);
+      net_.adam_step(config_.learning_rate);
+    }
+  }
+}
+
+double MlpClassifier::predict_proba(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("MlpClassifier: not trained");
+  if (features.size() != in_features_)
+    throw std::invalid_argument("MlpClassifier: feature width mismatch");
+  const Matrix logits = net_.forward(Matrix::row_vector(features));
+  const Matrix probs = nn::softmax(logits);
+  return probs.at(0, 1);
+}
+
+std::vector<std::uint8_t> MlpClassifier::serialize() const {
+  util::ByteWriter w;
+  w.write_string("MLP");
+  w.write_u8(kFormatVersion);
+  w.write_u64(in_features_);
+  const auto net_bytes = net_.serialize();
+  w.write_u64(net_bytes.size());
+  for (std::uint8_t b : net_bytes) w.write_u8(b);
+  return w.take();
+}
+
+MlpClassifier MlpClassifier::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "MLP")
+    throw std::invalid_argument("MlpClassifier::deserialize: bad magic");
+  if (r.read_u8() != kFormatVersion)
+    throw std::invalid_argument("MlpClassifier::deserialize: bad version");
+  MlpClassifier model;
+  model.in_features_ = static_cast<std::size_t>(r.read_u64());
+  const std::uint64_t len = r.read_u64();
+  std::vector<std::uint8_t> net_bytes(static_cast<std::size_t>(len));
+  for (auto& b : net_bytes) b = r.read_u8();
+  model.net_ = nn::Network::deserialize(net_bytes);
+  return model;
+}
+
+std::unique_ptr<Classifier> MlpClassifier::clone_untrained() const {
+  return std::make_unique<MlpClassifier>(config_);
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,39 @@
+// MLP detector (paper's best-performing classical model): Dense+ReLU stack
+// with a 2-way softmax head, trained with minibatch Adam.
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/nn.hpp"
+
+namespace drlhmd::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  std::size_t epochs = 60;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  std::uint64_t seed = 31;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpConfig config = {});
+
+  void fit(const Dataset& train) override;
+  double predict_proba(std::span<const double> features) const override;
+  std::string name() const override { return "MLP"; }
+  std::vector<std::uint8_t> serialize() const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  bool trained() const override { return !net_.empty(); }
+
+  static MlpClassifier deserialize(std::span<const std::uint8_t> bytes);
+
+  std::size_t param_count() const { return net_.param_count(); }
+
+ private:
+  MlpConfig config_;
+  mutable nn::Network net_;  // forward() caches internally; logically const
+  std::size_t in_features_ = 0;
+};
+
+}  // namespace drlhmd::ml

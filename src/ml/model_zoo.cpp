@@ -1,0 +1,64 @@
+#include "ml/model_zoo.hpp"
+
+#include <stdexcept>
+
+#include "ml/conv_net.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+
+namespace drlhmd::ml {
+
+std::unique_ptr<Classifier> make_model(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kRf: {
+      RandomForestConfig c;
+      c.seed += seed;
+      return std::make_unique<RandomForest>(c);
+    }
+    case ModelKind::kDt: {
+      DecisionTreeConfig c;
+      c.seed += seed;
+      return std::make_unique<DecisionTree>(c);
+    }
+    case ModelKind::kLr: {
+      LogisticRegressionConfig c;
+      c.seed += seed;
+      return std::make_unique<LogisticRegression>(c);
+    }
+    case ModelKind::kMlp: {
+      MlpConfig c;
+      c.seed += seed;
+      return std::make_unique<MlpClassifier>(c);
+    }
+    case ModelKind::kLightGbm: {
+      GbdtConfig c;
+      c.seed += seed;
+      return std::make_unique<Gbdt>(c);
+    }
+    case ModelKind::kNn: {
+      ConvNetConfig c;
+      c.seed += seed;
+      return std::make_unique<ConvNetClassifier>(c);
+    }
+  }
+  throw std::invalid_argument("make_model: bad kind");
+}
+
+std::vector<std::unique_ptr<Classifier>> make_classical_models(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Classifier>> models;
+  for (ModelKind kind : {ModelKind::kRf, ModelKind::kDt, ModelKind::kLr,
+                         ModelKind::kMlp, ModelKind::kLightGbm})
+    models.push_back(make_model(kind, seed));
+  return models;
+}
+
+std::vector<std::unique_ptr<Classifier>> make_all_models(std::uint64_t seed) {
+  auto models = make_classical_models(seed);
+  models.push_back(make_model(ModelKind::kNn, seed));
+  return models;
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,24 @@
+// Factory for the paper's detector ensemble: five classical ML models
+// (RF, DT, LR, MLP, LightGBM) plus the NN, in the order Table 2 reports.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+enum class ModelKind : std::uint8_t { kRf, kDt, kLr, kMlp, kLightGbm, kNn };
+
+/// Construct one untrained model with the library's default hyperparameters.
+std::unique_ptr<Classifier> make_model(ModelKind kind, std::uint64_t seed = 0);
+
+/// The five classical models (Table 2 order: RF, DT, LR, MLP, LightGBM).
+/// These are the models the constraint-aware controller schedules.
+std::vector<std::unique_ptr<Classifier>> make_classical_models(std::uint64_t seed = 0);
+
+/// All six detectors (classical + NN), Table 2 order.
+std::vector<std::unique_ptr<Classifier>> make_all_models(std::uint64_t seed = 0);
+
+}  // namespace drlhmd::ml

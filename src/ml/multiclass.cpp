@@ -1,0 +1,103 @@
+#include "ml/multiclass.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::ml {
+
+std::size_t MulticlassDataset::count_class(std::size_t c) const {
+  std::size_t n = 0;
+  for (std::size_t label : y) n += label == c ? 1 : 0;
+  return n;
+}
+
+void MulticlassDataset::validate() const {
+  if (X.size() != y.size())
+    throw std::invalid_argument("MulticlassDataset: X/y size mismatch");
+  if (class_names.empty())
+    throw std::invalid_argument("MulticlassDataset: no classes");
+  const std::size_t width = X.empty() ? 0 : X.front().size();
+  for (const auto& row : X)
+    if (row.size() != width)
+      throw std::invalid_argument("MulticlassDataset: ragged rows");
+  for (std::size_t label : y)
+    if (label >= class_names.size())
+      throw std::invalid_argument("MulticlassDataset: label out of range");
+}
+
+OneVsRestClassifier::OneVsRestClassifier(const Classifier& prototype)
+    : prototype_(prototype) {}
+
+void OneVsRestClassifier::fit(const MulticlassDataset& train) {
+  train.validate();
+  if (train.size() == 0)
+    throw std::invalid_argument("OneVsRestClassifier::fit: empty dataset");
+
+  members_.clear();
+  class_names_ = train.class_names;
+  for (std::size_t c = 0; c < train.num_classes(); ++c) {
+    if (train.count_class(c) == 0)
+      throw std::invalid_argument("OneVsRestClassifier::fit: class '" +
+                                  train.class_names[c] + "' has no samples");
+    Dataset binary;
+    binary.X = train.X;
+    binary.y.reserve(train.size());
+    for (std::size_t label : train.y) binary.y.push_back(label == c ? 1 : 0);
+    auto member = prototype_.clone_untrained();
+    member->fit(binary);
+    members_.push_back(std::move(member));
+  }
+}
+
+std::vector<double> OneVsRestClassifier::scores(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("OneVsRestClassifier: not trained");
+  std::vector<double> out;
+  out.reserve(members_.size());
+  for (const auto& member : members_) out.push_back(member->predict_proba(features));
+  return out;
+}
+
+std::size_t OneVsRestClassifier::predict(std::span<const double> features) const {
+  const std::vector<double> s = scores(features);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < s.size(); ++c)
+    if (s[c] > s[best]) best = c;
+  return best;
+}
+
+MulticlassReport OneVsRestClassifier::evaluate(const MulticlassDataset& data) const {
+  data.validate();
+  if (data.num_classes() != members_.size())
+    throw std::invalid_argument("OneVsRestClassifier::evaluate: class-count mismatch");
+
+  MulticlassReport report;
+  const std::size_t k = members_.size();
+  report.confusion.assign(k, std::vector<std::size_t>(k, 0));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::size_t predicted = predict(data.X[i]);
+    ++report.confusion[data.y[i]][predicted];
+    correct += predicted == data.y[i] ? 1 : 0;
+  }
+  report.accuracy = data.size() > 0
+                        ? static_cast<double>(correct) / static_cast<double>(data.size())
+                        : 0.0;
+
+  report.per_class_recall.assign(k, 0.0);
+  double recall_sum = 0.0;
+  std::size_t classes_present = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < k; ++p) total += report.confusion[c][p];
+    if (total == 0) continue;
+    report.per_class_recall[c] =
+        static_cast<double>(report.confusion[c][c]) / static_cast<double>(total);
+    recall_sum += report.per_class_recall[c];
+    ++classes_present;
+  }
+  report.macro_recall =
+      classes_present > 0 ? recall_sum / static_cast<double>(classes_present) : 0.0;
+  return report;
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,65 @@
+// One-vs-rest multiclass classification on top of the binary Classifier
+// interface.
+//
+// The paper's corpus carries malware *classes* ("Worms, Viruses, Botnets,
+// Ransomware, and more"); this wrapper turns any binary detector into a
+// program-family classifier, used by `bench_families` to report which
+// families are hardest to detect and to attack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::ml {
+
+/// Multiclass dataset: labels are class indices into `class_names`.
+struct MulticlassDataset {
+  std::vector<std::vector<double>> X;
+  std::vector<std::size_t> y;
+  std::vector<std::string> class_names;
+
+  std::size_t size() const { return X.size(); }
+  std::size_t num_classes() const { return class_names.size(); }
+  std::size_t count_class(std::size_t c) const;
+  void validate() const;
+};
+
+struct MulticlassReport {
+  double accuracy = 0.0;
+  /// Unweighted mean of per-class recalls (balanced accuracy).
+  double macro_recall = 0.0;
+  /// confusion[truth][predicted]
+  std::vector<std::vector<std::size_t>> confusion;
+  std::vector<double> per_class_recall;
+};
+
+/// One-vs-rest committee: one clone of the prototype per class, trained on
+/// "this class vs everything else"; prediction is the argmax class score.
+class OneVsRestClassifier {
+ public:
+  /// `prototype` supplies hyperparameters; one untrained clone is made per
+  /// class at fit time.
+  explicit OneVsRestClassifier(const Classifier& prototype);
+
+  void fit(const MulticlassDataset& train);
+
+  std::size_t predict(std::span<const double> features) const;
+  /// Per-class scores (each member's P(its class)); not normalized.
+  std::vector<double> scores(std::span<const double> features) const;
+
+  MulticlassReport evaluate(const MulticlassDataset& data) const;
+
+  bool trained() const { return !members_.empty(); }
+  std::size_t class_count() const { return members_.size(); }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+ private:
+  const Classifier& prototype_;
+  std::vector<std::unique_ptr<Classifier>> members_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace drlhmd::ml

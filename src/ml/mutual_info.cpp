@@ -1,0 +1,98 @@
+#include "ml/mutual_info.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+
+/// Discretize one feature into equal-frequency bins; returns per-row bin ids.
+std::vector<std::size_t> discretize(const Dataset& data, std::size_t feature,
+                                    std::size_t bins) {
+  const std::size_t n = data.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data.X[a][feature] < data.X[b][feature];
+  });
+  std::vector<std::size_t> bin_of(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::size_t b = rank * bins / n;
+    // Ties must land in the same bin or the estimate becomes order-dependent:
+    // inherit the bin of an equal-valued predecessor.
+    if (rank > 0 &&
+        data.X[order[rank]][feature] == data.X[order[rank - 1]][feature]) {
+      b = bin_of[order[rank - 1]];
+    }
+    bin_of[order[rank]] = b;
+  }
+  return bin_of;
+}
+
+}  // namespace
+
+MutualInfoResult mutual_information(const Dataset& data, std::size_t bins) {
+  data.validate();
+  if (data.size() == 0)
+    throw std::invalid_argument("mutual_information: empty dataset");
+  if (bins < 2) throw std::invalid_argument("mutual_information: bins must be >= 2");
+
+  const std::size_t n = data.size();
+  const std::size_t width = data.num_features();
+  const double dn = static_cast<double>(n);
+
+  // H(Y).
+  std::array<std::size_t, 2> label_counts{data.count_label(0), data.count_label(1)};
+  double h_y = 0.0;
+  for (std::size_t c : label_counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / dn;
+    h_y -= p * std::log(p);
+  }
+
+  MutualInfoResult result;
+  result.scores.resize(width);
+  for (std::size_t f = 0; f < width; ++f) {
+    const auto bin_of = discretize(data, f, bins);
+    std::vector<std::size_t> marginal(bins, 0);
+    std::vector<std::size_t> joint(bins * 2, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++marginal[bin_of[i]];
+      ++joint[bin_of[i] * 2 + static_cast<std::size_t>(data.y[i])];
+    }
+    double h_x = 0.0, h_xy = 0.0;
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (marginal[b] > 0) {
+        const double p = static_cast<double>(marginal[b]) / dn;
+        h_x -= p * std::log(p);
+      }
+      for (int label = 0; label < 2; ++label) {
+        const std::size_t c = joint[b * 2 + static_cast<std::size_t>(label)];
+        if (c > 0) {
+          const double p = static_cast<double>(c) / dn;
+          h_xy -= p * std::log(p);
+        }
+      }
+    }
+    result.scores[f] = std::max(0.0, h_x + h_y - h_xy);  // clamp fp noise
+  }
+
+  result.ranking.resize(width);
+  std::iota(result.ranking.begin(), result.ranking.end(), 0);
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.scores[a] > result.scores[b];
+                   });
+  return result;
+}
+
+std::vector<std::size_t> select_top_k_features(const Dataset& data, std::size_t k,
+                                               std::size_t bins) {
+  const MutualInfoResult mi = mutual_information(data, bins);
+  const std::size_t keep = std::min(k, mi.ranking.size());
+  return {mi.ranking.begin(), mi.ranking.begin() + static_cast<std::ptrdiff_t>(keep)};
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,29 @@
+// Mutual-information feature selection (paper Section 2.1):
+//   I(X; Y) = H(X) + H(Y) - H(X, Y)
+// estimated by equal-frequency discretization of each continuous feature,
+// then ranking features by I and keeping the top-k (the paper keeps the top
+// four HPC events).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace drlhmd::ml {
+
+struct MutualInfoResult {
+  std::vector<double> scores;            // nats, one per feature
+  std::vector<std::size_t> ranking;      // feature indices, best first
+};
+
+/// Estimate I(feature; label) for every feature.  `bins` is the number of
+/// equal-frequency buckets used to discretize each feature.
+MutualInfoResult mutual_information(const Dataset& data, std::size_t bins = 16);
+
+/// Indices of the top-k features by MI (k clamped to the feature count).
+std::vector<std::size_t> select_top_k_features(const Dataset& data, std::size_t k,
+                                               std::size_t bins = 16);
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,118 @@
+#include "ml/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace drlhmd::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("StandardScaler::fit: empty data");
+  const std::size_t width = data.num_features();
+  std::vector<util::RunningStats> stats(width);
+  for (const auto& row : data.X)
+    for (std::size_t c = 0; c < width; ++c) stats[c].add(row[c]);
+  mean_.resize(width);
+  scale_.resize(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    mean_[c] = stats[c].mean();
+    const double sd = stats[c].stddev();
+    scale_[c] = sd > 0.0 ? sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> row) const {
+  if (row.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    out[c] = (row[c] - mean_[c]) / scale_[c];
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out;
+  out.y = data.y;
+  out.feature_names = data.feature_names;
+  out.X.reserve(data.size());
+  for (const auto& row : data.X) out.X.push_back(transform(row));
+  return out;
+}
+
+std::vector<double> StandardScaler::inverse_transform(std::span<const double> row) const {
+  if (row.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler::inverse_transform: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    out[c] = row[c] * scale_[c] + mean_[c];
+  return out;
+}
+
+Dataset clean(const Dataset& data, double q_low, double q_high) {
+  data.validate();
+  if (!(q_low < q_high))
+    throw std::invalid_argument("clean: q_low must be < q_high");
+  Dataset out;
+  out.feature_names = data.feature_names;
+
+  // Pass 1: drop non-finite rows.
+  std::vector<const std::vector<double>*> keep;
+  std::vector<int> keep_y;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    bool finite = true;
+    for (double v : data.X[i])
+      if (!std::isfinite(v)) { finite = false; break; }
+    if (finite) {
+      keep.push_back(&data.X[i]);
+      keep_y.push_back(data.y[i]);
+    }
+  }
+  if (keep.empty()) return out;
+
+  // Pass 2: winsorize each feature to its quantile range.
+  const std::size_t width = keep.front()->size();
+  std::vector<double> lo(width), hi(width);
+  std::vector<double> col(keep.size());
+  for (std::size_t c = 0; c < width; ++c) {
+    for (std::size_t i = 0; i < keep.size(); ++i) col[i] = (*keep[i])[c];
+    lo[c] = util::quantile(col, q_low);
+    hi[c] = util::quantile(col, q_high);
+  }
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    std::vector<double> row = *keep[i];
+    for (std::size_t c = 0; c < width; ++c) row[c] = std::clamp(row[c], lo[c], hi[c]);
+    out.push(std::move(row), keep_y[i]);
+  }
+  return out;
+}
+
+FeatureBounds feature_bounds(const Dataset& data) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("feature_bounds: empty data");
+  const std::size_t width = data.num_features();
+  FeatureBounds b;
+  b.lo.assign(width, 0.0);
+  b.hi.assign(width, 0.0);
+  for (std::size_t c = 0; c < width; ++c) {
+    b.lo[c] = b.hi[c] = data.X.front()[c];
+  }
+  for (const auto& row : data.X) {
+    for (std::size_t c = 0; c < width; ++c) {
+      b.lo[c] = std::min(b.lo[c], row[c]);
+      b.hi[c] = std::max(b.hi[c], row[c]);
+    }
+  }
+  return b;
+}
+
+void FeatureBounds::clip(std::span<double> row) const {
+  if (row.size() != lo.size())
+    throw std::invalid_argument("FeatureBounds::clip: width mismatch");
+  for (std::size_t c = 0; c < row.size(); ++c)
+    row[c] = std::clamp(row[c], lo[c], hi[c]);
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,44 @@
+// Feature engineering: cleaning + standard scaling (paper Section 2.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace drlhmd::ml {
+
+/// Zero-mean/unit-variance scaler (scikit-learn StandardScaler semantics:
+/// constant features scale by 1 to avoid division by zero).
+class StandardScaler {
+ public:
+  void fit(const Dataset& data);
+  bool fitted() const { return !mean_.empty(); }
+
+  std::vector<double> transform(std::span<const double> row) const;
+  Dataset transform(const Dataset& data) const;
+  std::vector<double> inverse_transform(std::span<const double> row) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+/// Data cleaning: drop rows containing NaN/inf and clip each feature to the
+/// [q_low, q_high] quantile range observed in the data (winsorization), the
+/// usual counter-glitch treatment for perf samples.
+Dataset clean(const Dataset& data, double q_low = 0.001, double q_high = 0.999);
+
+/// Per-feature min/max over a dataset (used for adversarial clipping).
+struct FeatureBounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  void clip(std::span<double> row) const;
+};
+FeatureBounds feature_bounds(const Dataset& data);
+
+}  // namespace drlhmd::ml

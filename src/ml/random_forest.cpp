@@ -1,0 +1,88 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+namespace {
+constexpr std::uint8_t kFormatVersion = 1;
+}
+
+RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
+  if (config_.n_trees == 0)
+    throw std::invalid_argument("RandomForest: n_trees must be > 0");
+}
+
+void RandomForest::fit(const Dataset& train) {
+  train.validate();
+  if (train.size() == 0)
+    throw std::invalid_argument("RandomForest::fit: empty dataset");
+
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+  util::Rng rng(config_.seed);
+
+  DecisionTreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::lround(std::sqrt(static_cast<double>(train.num_features())))));
+  }
+
+  std::vector<std::uint32_t> weights(train.size());
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    // Bootstrap: multinomial row multiplicities.
+    std::fill(weights.begin(), weights.end(), 0);
+    for (std::size_t i = 0; i < train.size(); ++i)
+      ++weights[rng.next_below(train.size())];
+
+    tree_config.seed = rng.next();
+    DecisionTree tree(tree_config);
+    tree.fit_weighted(train, weights);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::predict_proba(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("RandomForest: not trained");
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree.predict_proba(features);
+  return total / static_cast<double>(trees_.size());
+}
+
+std::vector<std::uint8_t> RandomForest::serialize() const {
+  util::ByteWriter w;
+  w.write_string("RF");
+  w.write_u8(kFormatVersion);
+  w.write_u64(trees_.size());
+  for (const auto& tree : trees_) {
+    const auto bytes = tree.serialize();
+    w.write_u64(bytes.size());
+    for (std::uint8_t b : bytes) w.write_u8(b);
+  }
+  return w.take();
+}
+
+RandomForest RandomForest::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "RF")
+    throw std::invalid_argument("RandomForest::deserialize: bad magic");
+  if (r.read_u8() != kFormatVersion)
+    throw std::invalid_argument("RandomForest::deserialize: bad version");
+  RandomForest forest;
+  const std::uint64_t count = r.read_u64();
+  forest.trees_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const std::uint64_t len = r.read_u64();
+    std::vector<std::uint8_t> tree_bytes(static_cast<std::size_t>(len));
+    for (auto& b : tree_bytes) b = r.read_u8();
+    forest.trees_.push_back(DecisionTree::deserialize(tree_bytes));
+  }
+  return forest;
+}
+
+std::unique_ptr<Classifier> RandomForest::clone_untrained() const {
+  return std::make_unique<RandomForest>(config_);
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,38 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+#pragma once
+
+#include "ml/decision_tree.hpp"
+
+namespace drlhmd::ml {
+
+struct RandomForestConfig {
+  std::size_t n_trees = 60;
+  DecisionTreeConfig tree{.max_depth = 12,
+                          .min_samples_split = 4,
+                          .min_samples_leaf = 2,
+                          .max_features = 0,  // 0 -> sqrt(width) chosen at fit
+                          .seed = 0};
+  std::uint64_t seed = 17;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {});
+
+  void fit(const Dataset& train) override;
+  double predict_proba(std::span<const double> features) const override;
+  std::string name() const override { return "RF"; }
+  std::vector<std::uint8_t> serialize() const override;
+  std::unique_ptr<Classifier> clone_untrained() const override;
+  bool trained() const override { return !trees_.empty(); }
+
+  static RandomForest deserialize(std::span<const std::uint8_t> bytes);
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,98 @@
+#include "rl/adversarial_predictor.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::rl {
+
+AdversarialPredictor::AdversarialPredictor(std::size_t feature_count,
+                                           AdversarialPredictorConfig config)
+    : feature_count_(feature_count),
+      config_(config),
+      agent_(feature_count, 2, config.a2c) {
+  if (feature_count_ == 0)
+    throw std::invalid_argument("AdversarialPredictor: feature_count == 0");
+  if (config_.epochs == 0)
+    throw std::invalid_argument("AdversarialPredictor: epochs must be > 0");
+}
+
+void AdversarialPredictor::train(const ml::Dataset& adversarial,
+                                 const ml::Dataset& unlabeled) {
+  adversarial.validate();
+  unlabeled.validate();
+  if (adversarial.size() == 0)
+    throw std::invalid_argument("AdversarialPredictor::train: no adversarial data");
+  if (adversarial.num_features() != feature_count_ ||
+      (unlabeled.size() > 0 && unlabeled.num_features() != feature_count_))
+    throw std::invalid_argument("AdversarialPredictor::train: feature width mismatch");
+
+  // Build the training stream: (sample, is_adversarial) pairs.
+  struct Item {
+    const std::vector<double>* x;
+    bool adversarial;
+  };
+  std::vector<Item> stream;
+  stream.reserve(adversarial.size() + unlabeled.size());
+  for (const auto& row : adversarial.X) stream.push_back({&row, true});
+  for (const auto& row : unlabeled.X) stream.push_back({&row, false});
+
+  util::Rng rng(config_.seed);
+  double reward_sum = 0.0;
+  std::size_t episodes = 0;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(stream);
+    for (const Item& item : stream) {
+      // Single-step episode: the environment pays the adversarial reward
+      // only when a truly adversarial sample is flagged as such; unlabeled
+      // ("None") samples always pay reward_none.
+      const std::size_t action = agent_.act(*item.x, rng);
+      const bool flagged =
+          action == static_cast<std::size_t>(PredictorAction::kFlagAdversarial);
+      const double reward = (item.adversarial && flagged)
+                                ? config_.reward_adversarial
+                                : config_.reward_none;
+      agent_.update(*item.x, action, reward, /*next_value=*/0.0, /*done=*/true);
+      reward_sum += reward;
+      ++episodes;
+    }
+  }
+  mean_episode_reward_ = episodes > 0 ? reward_sum / static_cast<double>(episodes) : 0.0;
+  trained_ = true;
+}
+
+double AdversarialPredictor::feedback_reward(std::span<const double> features) const {
+  if (!trained_) throw std::logic_error("AdversarialPredictor: not trained");
+  // The critic models E[reward | s]; the actor's policy determines how much
+  // of the achievable reward is collected, so the feedback combines both:
+  // V(s) is already the on-policy expectation.
+  return agent_.value(features);
+}
+
+bool AdversarialPredictor::is_adversarial(std::span<const double> features) const {
+  return feedback_reward(features) > config_.reward_threshold;
+}
+
+ml::MetricReport AdversarialPredictor::evaluate(const ml::Dataset& adversarial,
+                                                const ml::Dataset& legitimate) const {
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (const auto& row : adversarial.X) {
+    truth.push_back(1);
+    scores.push_back(feedback_reward(row));
+  }
+  for (const auto& row : legitimate.X) {
+    truth.push_back(0);
+    scores.push_back(feedback_reward(row));
+  }
+  return ml::evaluate_scores(truth, scores, config_.reward_threshold);
+}
+
+std::vector<double> AdversarialPredictor::reward_trace(
+    const std::vector<std::vector<double>>& stream) const {
+  std::vector<double> trace;
+  trace.reserve(stream.size());
+  for (const auto& row : stream) trace.push_back(feedback_reward(row));
+  return trace;
+}
+
+}  // namespace drlhmd::rl

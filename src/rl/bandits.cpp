@@ -1,0 +1,158 @@
+#include "rl/bandits.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::rl {
+
+std::size_t Bandit::best_arm() const {
+  std::size_t best = 0;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  for (std::size_t arm = 0; arm < arm_count(); ++arm) {
+    const double mean = mean_reward(arm);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+UcbBanditAdapter::UcbBanditAdapter(std::size_t n_arms, UcbConfig config)
+    : inner_(n_arms, config) {}
+
+EpsilonGreedyBandit::EpsilonGreedyBandit(std::size_t n_arms,
+                                         EpsilonGreedyConfig config)
+    : counts_(n_arms, 0), sums_(n_arms, 0.0), config_(config), rng_(config.seed) {
+  if (n_arms == 0) throw std::invalid_argument("EpsilonGreedyBandit: no arms");
+  if (config_.epsilon < 0.0 || config_.epsilon > 1.0)
+    throw std::invalid_argument("EpsilonGreedyBandit: epsilon out of [0,1]");
+}
+
+std::size_t EpsilonGreedyBandit::select() {
+  // Unexplored arms first.
+  for (std::size_t arm = 0; arm < counts_.size(); ++arm)
+    if (counts_[arm] == 0) return arm;
+  if (rng_.bernoulli(config_.epsilon))
+    return static_cast<std::size_t>(rng_.next_below(counts_.size()));
+  std::size_t best = 0;
+  for (std::size_t arm = 1; arm < counts_.size(); ++arm)
+    if (mean_reward(arm) > mean_reward(best)) best = arm;
+  return best;
+}
+
+void EpsilonGreedyBandit::update(std::size_t arm, double reward) {
+  if (arm >= counts_.size())
+    throw std::out_of_range("EpsilonGreedyBandit::update: bad arm");
+  ++counts_[arm];
+  sums_[arm] += reward;
+}
+
+double EpsilonGreedyBandit::mean_reward(std::size_t arm) const {
+  if (arm >= counts_.size())
+    throw std::out_of_range("EpsilonGreedyBandit::mean_reward: bad arm");
+  return counts_[arm] == 0 ? 0.0 : sums_[arm] / static_cast<double>(counts_[arm]);
+}
+
+std::uint64_t EpsilonGreedyBandit::pulls(std::size_t arm) const {
+  if (arm >= counts_.size())
+    throw std::out_of_range("EpsilonGreedyBandit::pulls: bad arm");
+  return counts_[arm];
+}
+
+ThompsonBandit::ThompsonBandit(std::size_t n_arms, ThompsonConfig config)
+    : alpha_(n_arms, config.prior_alpha),
+      beta_(n_arms, config.prior_beta),
+      counts_(n_arms, 0),
+      sums_(n_arms, 0.0),
+      config_(config),
+      rng_(config.seed) {
+  if (n_arms == 0) throw std::invalid_argument("ThompsonBandit: no arms");
+  if (config.prior_alpha <= 0.0 || config.prior_beta <= 0.0)
+    throw std::invalid_argument("ThompsonBandit: priors must be > 0");
+}
+
+double ThompsonBandit::sample_beta(double alpha, double beta) {
+  // Beta(a,b) via two Gamma draws (Marsaglia-Tsang for shape >= 1; the
+  // boost trick Gamma(a) = Gamma(a+1) * U^(1/a) covers shape < 1).
+  auto gamma_draw = [&](double shape) {
+    double boost = 1.0;
+    if (shape < 1.0) {
+      double u = rng_.uniform();
+      while (u <= 0.0) u = rng_.uniform();
+      boost = std::pow(u, 1.0 / shape);
+      shape += 1.0;
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x = rng_.normal();
+      double v = 1.0 + c * x;
+      if (v <= 0.0) continue;
+      v = v * v * v;
+      const double u = rng_.uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+        return boost * d * v;
+    }
+  };
+  const double ga = gamma_draw(alpha);
+  const double gb = gamma_draw(beta);
+  const double total = ga + gb;
+  return total > 0.0 ? ga / total : 0.5;
+}
+
+std::size_t ThompsonBandit::select() {
+  std::size_t best = 0;
+  double best_sample = -1.0;
+  for (std::size_t arm = 0; arm < alpha_.size(); ++arm) {
+    const double sample = sample_beta(alpha_[arm], beta_[arm]);
+    if (sample > best_sample) {
+      best_sample = sample;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+void ThompsonBandit::update(std::size_t arm, double reward) {
+  if (arm >= alpha_.size())
+    throw std::out_of_range("ThompsonBandit::update: bad arm");
+  const double r = std::clamp(reward, 0.0, 1.0);
+  alpha_[arm] += r;
+  beta_[arm] += 1.0 - r;
+  ++counts_[arm];
+  sums_[arm] += reward;
+}
+
+double ThompsonBandit::mean_reward(std::size_t arm) const {
+  if (arm >= alpha_.size())
+    throw std::out_of_range("ThompsonBandit::mean_reward: bad arm");
+  return counts_[arm] == 0 ? 0.0 : sums_[arm] / static_cast<double>(counts_[arm]);
+}
+
+std::uint64_t ThompsonBandit::pulls(std::size_t arm) const {
+  if (arm >= alpha_.size())
+    throw std::out_of_range("ThompsonBandit::pulls: bad arm");
+  return counts_[arm];
+}
+
+std::unique_ptr<Bandit> make_bandit(const std::string& kind, std::size_t n_arms,
+                                    std::uint64_t seed) {
+  if (kind == "ucb") return std::make_unique<UcbBanditAdapter>(n_arms);
+  if (kind == "epsilon-greedy") {
+    EpsilonGreedyConfig cfg;
+    cfg.seed += seed;
+    return std::make_unique<EpsilonGreedyBandit>(n_arms, cfg);
+  }
+  if (kind == "thompson") {
+    ThompsonConfig cfg;
+    cfg.seed += seed;
+    return std::make_unique<ThompsonBandit>(n_arms, cfg);
+  }
+  throw std::invalid_argument("make_bandit: unknown kind '" + kind + "'");
+}
+
+}  // namespace drlhmd::rl

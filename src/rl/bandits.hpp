@@ -1,0 +1,107 @@
+// Alternative bandit algorithms for the constraint-aware controller.
+//
+// The paper chooses UCB for its lightweight footprint; these comparators
+// let `bench_bandit_ablation` quantify that choice: epsilon-greedy (the
+// simplest baseline) and Thompson sampling (Beta-Bernoulli posterior, the
+// usual regret-optimal contender).  All three share one interface so the
+// controller logic is interchangeable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rl/ucb.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::rl {
+
+/// Common multi-armed-bandit interface.
+class Bandit {
+ public:
+  virtual ~Bandit() = default;
+
+  virtual std::size_t select() = 0;
+  virtual void update(std::size_t arm, double reward) = 0;
+  virtual std::size_t arm_count() const = 0;
+  virtual double mean_reward(std::size_t arm) const = 0;
+  virtual std::uint64_t pulls(std::size_t arm) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Arm with the highest empirical mean.
+  std::size_t best_arm() const;
+};
+
+/// Adapter exposing UcbBandit through the common interface.
+class UcbBanditAdapter final : public Bandit {
+ public:
+  explicit UcbBanditAdapter(std::size_t n_arms, UcbConfig config = {});
+
+  std::size_t select() override { return inner_.select(); }
+  void update(std::size_t arm, double reward) override { inner_.update(arm, reward); }
+  std::size_t arm_count() const override { return inner_.arm_count(); }
+  double mean_reward(std::size_t arm) const override { return inner_.mean_reward(arm); }
+  std::uint64_t pulls(std::size_t arm) const override { return inner_.pulls(arm); }
+  std::string name() const override { return "UCB1"; }
+
+ private:
+  UcbBandit inner_;
+};
+
+struct EpsilonGreedyConfig {
+  double epsilon = 0.1;
+  std::uint64_t seed = 89;
+};
+
+class EpsilonGreedyBandit final : public Bandit {
+ public:
+  explicit EpsilonGreedyBandit(std::size_t n_arms, EpsilonGreedyConfig config = {});
+
+  std::size_t select() override;
+  void update(std::size_t arm, double reward) override;
+  std::size_t arm_count() const override { return counts_.size(); }
+  double mean_reward(std::size_t arm) const override;
+  std::uint64_t pulls(std::size_t arm) const override;
+  std::string name() const override { return "epsilon-greedy"; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+  EpsilonGreedyConfig config_;
+  util::Rng rng_;
+};
+
+struct ThompsonConfig {
+  /// Rewards in [0, 1] are treated as Bernoulli success probabilities
+  /// (fractional rewards update the posterior fractionally).
+  double prior_alpha = 1.0;
+  double prior_beta = 1.0;
+  std::uint64_t seed = 97;
+};
+
+class ThompsonBandit final : public Bandit {
+ public:
+  explicit ThompsonBandit(std::size_t n_arms, ThompsonConfig config = {});
+
+  std::size_t select() override;
+  void update(std::size_t arm, double reward) override;
+  std::size_t arm_count() const override { return alpha_.size(); }
+  double mean_reward(std::size_t arm) const override;
+  std::uint64_t pulls(std::size_t arm) const override;
+  std::string name() const override { return "Thompson"; }
+
+ private:
+  double sample_beta(double alpha, double beta);
+
+  std::vector<double> alpha_, beta_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+  ThompsonConfig config_;
+  util::Rng rng_;
+};
+
+std::unique_ptr<Bandit> make_bandit(const std::string& kind, std::size_t n_arms,
+                                    std::uint64_t seed = 0);
+
+}  // namespace drlhmd::rl

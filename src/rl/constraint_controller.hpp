@@ -1,0 +1,89 @@
+// Constraint-aware controller (paper Section 2.6).
+//
+// A UCB bandit schedules one of the five classical detectors per incoming
+// sample.  Three specializations mirror the paper's agents:
+//   Agent 1 — fastest inference while keeping detection accuracy,
+//   Agent 2 — smallest memory footprint with accurate predictions,
+//   Agent 3 — best detection, with latency/memory as a soft tiebreak.
+//
+// The MDP state the paper describes is the 14-tuple [4 HPC features,
+// 5 model predictions, 5 constraint-pass flags]; UCB1 conditions only on
+// accumulated rewards, so the state is exposed for observation/logging and
+// enters learning through the reward function, exactly as in Section 2.6.2
+// (reward 1 for a correct prediction scaled by constraint satisfaction,
+// 0 otherwise).
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "rl/model_profile.hpp"
+#include "rl/ucb.hpp"
+
+namespace drlhmd::rl {
+
+enum class ConstraintPolicy : std::uint8_t {
+  kFastInference = 0,  // Agent 1
+  kSmallMemory,        // Agent 2
+  kBestDetection,      // Agent 3
+};
+
+std::string policy_name(ConstraintPolicy policy);
+
+struct ConstraintControllerConfig {
+  ConstraintPolicy policy = ConstraintPolicy::kBestDetection;
+  /// Weight of raw correctness vs. the constraint score inside the reward.
+  /// Defaults are policy-dependent when left negative.
+  double accuracy_weight = -1.0;
+  UcbConfig ucb{};
+  std::size_t training_epochs = 3;
+  std::uint64_t seed = 47;
+};
+
+class ConstraintController {
+ public:
+  /// `models` must all be trained on the merged (adversarially augmented)
+  /// dataset; `profiles` must align index-wise with `models`.
+  ConstraintController(std::vector<ml::Classifier*> models,
+                       std::vector<ModelProfile> profiles,
+                       ConstraintControllerConfig config = {});
+
+  /// Offline training over a labeled stream (the merged DB).
+  void train(const ml::Dataset& stream);
+
+  /// Current scheduled model (greedy arm).
+  std::size_t selected_model() const;
+  const ml::Classifier& model(std::size_t index) const;
+  const ModelProfile& profile(std::size_t index) const;
+  std::size_t model_count() const { return models_.size(); }
+
+  /// Route one sample through the scheduled model.
+  int predict(std::span<const double> features) const;
+  double predict_proba(std::span<const double> features) const;
+
+  /// Online adaptation: route, observe ground truth, update the bandit.
+  int observe(std::span<const double> features, int truth);
+
+  /// Evaluate the controller's routed predictions on a labeled set.
+  ml::MetricReport evaluate(const ml::Dataset& data) const;
+
+  /// Constraint score in [0, 1] for a model under this policy.
+  double constraint_score(std::size_t index) const;
+
+  /// The paper's 14-tuple state for one sample: 4 HPCs, 5 predictions,
+  /// 5 constraint flags (score >= 0.5).
+  std::vector<double> build_state(std::span<const double> features) const;
+
+  const UcbBandit& bandit() const { return bandit_; }
+
+ private:
+  double reward(std::size_t arm, bool correct) const;
+
+  std::vector<ml::Classifier*> models_;
+  std::vector<ModelProfile> profiles_;
+  ConstraintControllerConfig config_;
+  UcbBandit bandit_;
+  double accuracy_weight_ = 0.9;
+  double min_latency_ = 0.0;
+  std::size_t min_memory_ = 0;
+};
+
+}  // namespace drlhmd::rl

@@ -1,0 +1,30 @@
+// Gym-style environment interface (paper customizes OpenAI Gym's baseline
+// class; this is the C++ equivalent).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace drlhmd::rl {
+
+struct StepResult {
+  std::vector<double> observation;  // next state (empty when done)
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Start a new episode; returns the initial observation.
+  virtual std::vector<double> reset() = 0;
+
+  /// Apply an action; returns next observation, reward, done flag.
+  virtual StepResult step(std::size_t action) = 0;
+
+  virtual std::size_t observation_size() const = 0;
+  virtual std::size_t action_count() const = 0;
+};
+
+}  // namespace drlhmd::rl

@@ -1,0 +1,47 @@
+#include "rl/model_profile.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace drlhmd::rl {
+
+ModelProfile profile_model(const ml::Classifier& model,
+                           const ml::Dataset& validation, std::size_t repeats) {
+  if (!model.trained())
+    throw std::logic_error("profile_model: model must be trained");
+  validation.validate();
+  if (validation.size() == 0)
+    throw std::invalid_argument("profile_model: empty validation set");
+  if (repeats == 0) throw std::invalid_argument("profile_model: repeats must be > 0");
+
+  ModelProfile profile;
+  profile.name = model.name();
+  profile.metrics = model.evaluate(validation);
+  profile.memory_bytes = model.serialize().size();
+
+  // Latency: average over repeats x validation passes; a volatile sink
+  // prevents the calls from being optimized away.
+  util::Timer timer;
+  volatile double sink = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep)
+    for (const auto& row : validation.X) sink = sink + model.predict_proba(row);
+  (void)sink;
+  profile.latency_us =
+      timer.elapsed_us() / static_cast<double>(repeats * validation.size());
+  return profile;
+}
+
+std::vector<ModelProfile> profile_models(const std::vector<ml::Classifier*>& models,
+                                         const ml::Dataset& validation,
+                                         std::size_t repeats) {
+  std::vector<ModelProfile> profiles;
+  profiles.reserve(models.size());
+  for (const ml::Classifier* model : models) {
+    if (model == nullptr) throw std::invalid_argument("profile_models: null model");
+    profiles.push_back(profile_model(*model, validation, repeats));
+  }
+  return profiles;
+}
+
+}  // namespace drlhmd::rl

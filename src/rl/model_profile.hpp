@@ -1,0 +1,32 @@
+// Metric Monitor (paper Figure 1): measures each detector's detection
+// metrics on a validation set, its mean single-sample inference latency,
+// and its memory footprint (serialized model size).  These profiles feed
+// the constraint-aware controller's reward function.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drlhmd::rl {
+
+struct ModelProfile {
+  std::string name;
+  double latency_us = 0.0;        // mean per-sample predict latency
+  std::size_t memory_bytes = 0;   // serialized model size
+  ml::MetricReport metrics;       // on the validation set
+};
+
+/// Profile one model: evaluates on `validation`, times `repeats` full
+/// passes for the latency estimate, and serializes for the footprint.
+ModelProfile profile_model(const ml::Classifier& model,
+                           const ml::Dataset& validation,
+                           std::size_t repeats = 3);
+
+/// Profile a set of models against the same validation data.
+std::vector<ModelProfile> profile_models(
+    const std::vector<ml::Classifier*>& models, const ml::Dataset& validation,
+    std::size_t repeats = 3);
+
+}  // namespace drlhmd::rl

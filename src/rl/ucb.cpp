@@ -1,0 +1,62 @@
+#include "rl/ucb.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace drlhmd::rl {
+
+UcbBandit::UcbBandit(std::size_t n_arms, UcbConfig config)
+    : counts_(n_arms, 0), sums_(n_arms, 0.0), config_(config) {
+  if (n_arms == 0) throw std::invalid_argument("UcbBandit: need at least one arm");
+  if (config_.exploration < 0.0)
+    throw std::invalid_argument("UcbBandit: exploration must be >= 0");
+}
+
+std::uint64_t UcbBandit::pulls(std::size_t arm) const {
+  if (arm >= counts_.size()) throw std::out_of_range("UcbBandit::pulls: bad arm");
+  return counts_[arm];
+}
+
+double UcbBandit::mean_reward(std::size_t arm) const {
+  if (arm >= counts_.size()) throw std::out_of_range("UcbBandit::mean_reward: bad arm");
+  return counts_[arm] == 0 ? 0.0 : sums_[arm] / static_cast<double>(counts_[arm]);
+}
+
+double UcbBandit::ucb(std::size_t arm) const {
+  if (arm >= counts_.size()) throw std::out_of_range("UcbBandit::ucb: bad arm");
+  if (counts_[arm] == 0) return std::numeric_limits<double>::infinity();
+  const double bonus = config_.exploration *
+                       std::sqrt(std::log(static_cast<double>(total_)) /
+                                 static_cast<double>(counts_[arm]));
+  return mean_reward(arm) + bonus;
+}
+
+std::size_t UcbBandit::select() const {
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t arm = 0; arm < counts_.size(); ++arm) {
+    if (counts_[arm] == 0) return arm;  // round-robin through unexplored arms
+    const double value = ucb(arm);
+    if (value > best_value) {
+      best_value = value;
+      best = arm;
+    }
+  }
+  return best;
+}
+
+void UcbBandit::update(std::size_t arm, double reward) {
+  if (arm >= counts_.size()) throw std::out_of_range("UcbBandit::update: bad arm");
+  ++counts_[arm];
+  ++total_;
+  sums_[arm] += reward;
+}
+
+void UcbBandit::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(sums_.begin(), sums_.end(), 0.0);
+  total_ = 0;
+}
+
+}  // namespace drlhmd::rl

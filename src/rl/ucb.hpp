@@ -1,0 +1,40 @@
+// Upper Confidence Bound (UCB1) bandit — the lightweight RL algorithm the
+// constraint-aware controller uses for run-time model scheduling
+// (paper Section 2.6: chosen for its minimal parameter size and latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace drlhmd::rl {
+
+struct UcbConfig {
+  double exploration = 1.4142135623730951;  // sqrt(2), classic UCB1
+};
+
+class UcbBandit {
+ public:
+  explicit UcbBandit(std::size_t n_arms, UcbConfig config = {});
+
+  /// Arm with the highest upper confidence bound; unexplored arms first.
+  std::size_t select() const;
+
+  void update(std::size_t arm, double reward);
+
+  std::size_t arm_count() const { return counts_.size(); }
+  std::uint64_t total_pulls() const { return total_; }
+  std::uint64_t pulls(std::size_t arm) const;
+  double mean_reward(std::size_t arm) const;
+  /// Upper confidence bound of an arm (infinity when unexplored).
+  double ucb(std::size_t arm) const;
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> sums_;
+  std::uint64_t total_ = 0;
+  UcbConfig config_;
+};
+
+}  // namespace drlhmd::rl

@@ -1,0 +1,68 @@
+#include "sim/branch_predictor.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::sim {
+namespace {
+
+std::uint8_t saturate(std::uint8_t counter, bool taken) {
+  if (taken) return counter < 3 ? static_cast<std::uint8_t>(counter + 1) : counter;
+  return counter > 0 ? static_cast<std::uint8_t>(counter - 1) : counter;
+}
+
+}  // namespace
+
+bool BranchPredictor::observe(std::uint64_t pc, bool taken) {
+  const bool predicted = predict(pc);
+  ++stats_.predictions;
+  if (predicted != taken) ++stats_.mispredictions;
+  update(pc, taken);
+  return predicted == taken;
+}
+
+BimodalPredictor::BimodalPredictor(std::size_t table_bits) {
+  if (table_bits == 0 || table_bits > 24)
+    throw std::invalid_argument("BimodalPredictor: table_bits out of (0, 24]");
+  counters_.assign(std::size_t{1} << table_bits, 1);  // weakly not-taken
+  mask_ = counters_.size() - 1;
+}
+
+bool BimodalPredictor::predict(std::uint64_t pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+void BimodalPredictor::update(std::uint64_t pc, bool taken) {
+  auto& c = counters_[index(pc)];
+  c = saturate(c, taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t table_bits, std::size_t history_bits) {
+  if (table_bits == 0 || table_bits > 24)
+    throw std::invalid_argument("GsharePredictor: table_bits out of (0, 24]");
+  if (history_bits == 0 || history_bits > 32)
+    throw std::invalid_argument("GsharePredictor: history_bits out of (0, 32]");
+  counters_.assign(std::size_t{1} << table_bits, 1);
+  mask_ = counters_.size() - 1;
+  history_mask_ = (std::uint64_t{1} << history_bits) - 1;
+}
+
+bool GsharePredictor::predict(std::uint64_t pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(std::uint64_t pc, bool taken) {
+  auto& c = counters_[index(pc)];
+  c = saturate(c, taken);
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+std::unique_ptr<BranchPredictor> make_bimodal(std::size_t table_bits) {
+  return std::make_unique<BimodalPredictor>(table_bits);
+}
+
+std::unique_ptr<BranchPredictor> make_gshare(std::size_t table_bits,
+                                             std::size_t history_bits) {
+  return std::make_unique<GsharePredictor>(table_bits, history_bits);
+}
+
+}  // namespace drlhmd::sim

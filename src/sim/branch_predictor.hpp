@@ -1,0 +1,87 @@
+// Dynamic branch predictors: bimodal (per-PC 2-bit counters) and gshare
+// (global-history XOR PC indexing).  Used by the in-order core to produce
+// the `branches` / `branch-misses` HPC events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace drlhmd::sim {
+
+struct BranchStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t mispredictions = 0;
+
+  double misprediction_rate() const {
+    return predictions == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) / static_cast<double>(predictions);
+  }
+};
+
+/// Common predictor interface: predict, then update with the real outcome.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predicted direction for the branch at `pc`.
+  virtual bool predict(std::uint64_t pc) const = 0;
+
+  /// Learn the actual outcome; records a misprediction when the prior
+  /// prediction disagreed. Returns whether the prediction was correct.
+  bool observe(std::uint64_t pc, bool taken);
+
+  const BranchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BranchStats{}; }
+
+ protected:
+  virtual void update(std::uint64_t pc, bool taken) = 0;
+
+ private:
+  BranchStats stats_;
+};
+
+/// Table of 2-bit saturating counters indexed by PC bits.
+class BimodalPredictor final : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(std::size_t table_bits = 12);
+
+  bool predict(std::uint64_t pc) const override;
+
+ protected:
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const { return (pc >> 2) & mask_; }
+
+  std::vector<std::uint8_t> counters_;  // 0..3, taken when >= 2
+  std::size_t mask_;
+};
+
+/// gshare: counters indexed by (PC >> 2) XOR global history.
+class GsharePredictor final : public BranchPredictor {
+ public:
+  explicit GsharePredictor(std::size_t table_bits = 14, std::size_t history_bits = 12);
+
+  bool predict(std::uint64_t pc) const override;
+
+ protected:
+  void update(std::uint64_t pc, bool taken) override;
+
+ private:
+  std::size_t index(std::uint64_t pc) const {
+    return ((pc >> 2) ^ history_) & mask_;
+  }
+
+  std::vector<std::uint8_t> counters_;
+  std::size_t mask_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+std::unique_ptr<BranchPredictor> make_bimodal(std::size_t table_bits = 12);
+std::unique_ptr<BranchPredictor> make_gshare(std::size_t table_bits = 14,
+                                             std::size_t history_bits = 12);
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,127 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace drlhmd::sim {
+
+std::uint64_t CacheConfig::num_sets() const {
+  if (line_bytes == 0 || associativity == 0) return 0;
+  return size_bytes / (static_cast<std::uint64_t>(line_bytes) * associativity);
+}
+
+void CacheConfig::validate() const {
+  if (size_bytes == 0 || line_bytes == 0 || associativity == 0)
+    throw std::invalid_argument(name + ": zero-sized cache parameter");
+  if (!std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
+    throw std::invalid_argument(name + ": line size must be a power of two");
+  if (size_bytes % (static_cast<std::uint64_t>(line_bytes) * associativity) != 0)
+    throw std::invalid_argument(name + ": size not divisible by line*ways");
+  const std::uint64_t sets = num_sets();
+  if (sets == 0 || !std::has_single_bit(sets))
+    throw std::invalid_argument(name + ": set count must be a power of two");
+}
+
+Cache::Cache(CacheConfig config, util::Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  config_.validate();
+  sets_ = config_.num_sets();
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(
+      static_cast<std::uint64_t>(config_.line_bytes)));
+  ways_.assign(sets_ * config_.associativity, Way{});
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const {
+  return (addr >> line_shift_) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const {
+  return addr >> line_shift_;  // full line address as tag; set bits redundant but harmless
+}
+
+bool Cache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint64_t base = set_index(addr) * config_.associativity;
+  ++tick_;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      ++stats_.hits;
+      if (config_.policy == ReplacementPolicy::kLru) way.order = tick_;
+      if (config_.policy == ReplacementPolicy::kSrrip) way.order = 0;  // near re-reference
+      return true;
+    }
+  }
+  ++stats_.misses;
+  const std::size_t victim = victim_way(base);
+  Way& way = ways_[base + victim];
+  if (way.valid) ++stats_.evictions;
+  way.valid = true;
+  way.tag = tag;
+  // LRU recency / FIFO insertion time; SRRIP inserts with a long
+  // re-reference prediction (RRPV = 2 of 3) so scans age out quickly.
+  way.order = config_.policy == ReplacementPolicy::kSrrip ? 2 : tick_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint64_t base = set_index(addr) * config_.associativity;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint64_t base = set_index(addr) * config_.associativity;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = ways_[base + w];
+    if (way.valid && way.tag == tag) {
+      way.valid = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+std::size_t Cache::victim_way(std::uint64_t set_base) {
+  // Prefer an invalid way.
+  for (std::uint32_t w = 0; w < config_.associativity; ++w)
+    if (!ways_[set_base + w].valid) return w;
+  switch (config_.policy) {
+    case ReplacementPolicy::kRandom:
+      return static_cast<std::size_t>(rng_.next_below(config_.associativity));
+    case ReplacementPolicy::kSrrip: {
+      // Find a way with RRPV == 3, aging every way until one appears.
+      for (;;) {
+        for (std::uint32_t w = 0; w < config_.associativity; ++w)
+          if (ways_[set_base + w].order >= 3) return w;
+        for (std::uint32_t w = 0; w < config_.associativity; ++w)
+          ++ways_[set_base + w].order;
+      }
+    }
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kFifo: {
+      std::size_t victim = 0;
+      std::uint64_t oldest = ways_[set_base].order;
+      for (std::uint32_t w = 1; w < config_.associativity; ++w) {
+        if (ways_[set_base + w].order < oldest) {
+          oldest = ways_[set_base + w].order;
+          victim = w;
+        }
+      }
+      return victim;
+    }
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,86 @@
+// Set-associative cache model with pluggable replacement policy.
+//
+// Functional (tag-only) simulation: no data payloads, just presence and
+// replacement state, which is all that is needed to produce hit/miss event
+// streams for the HPC counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+
+/// kSrrip is static re-reference interval prediction (2-bit RRPV per way):
+/// scan-resistant, the common modern-LLC policy.
+enum class ReplacementPolicy : std::uint8_t { kLru, kFifo, kRandom, kSrrip };
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+  ReplacementPolicy policy = ReplacementPolicy::kLru;
+
+  std::uint64_t num_sets() const;
+  /// Throws std::invalid_argument when geometry is inconsistent
+  /// (non-power-of-two line/sets, size not divisible, zero fields).
+  void validate() const;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+/// Tag-array cache.  `access` returns true on hit and installs the line on
+/// miss (allocate-on-miss for both reads and writes, matching a write-
+/// allocate write-back design).
+class Cache {
+ public:
+  explicit Cache(CacheConfig config, util::Rng rng = util::Rng{0xCACE5EED});
+
+  /// Look up the line containing `addr`; update replacement state.
+  bool access(std::uint64_t addr);
+
+  /// Probe without modifying state (for tests and inclusive-hierarchy checks).
+  bool contains(std::uint64_t addr) const;
+
+  /// Invalidate a single line if present; returns whether it was present.
+  bool invalidate(std::uint64_t addr);
+
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t order = 0;  // LRU timestamp, FIFO insertion tick, or RRPV
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+  std::size_t victim_way(std::uint64_t set_base);
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Way> ways_;  // num_sets * associativity, set-major
+  std::uint64_t sets_ = 0;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t tick_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace drlhmd::sim

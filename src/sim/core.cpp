@@ -1,0 +1,124 @@
+#include "sim/core.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::sim {
+namespace {
+
+std::unique_ptr<BranchPredictor> make_predictor(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kBimodal: return make_bimodal();
+    case PredictorKind::kGshare: return make_gshare();
+  }
+  throw std::invalid_argument("make_predictor: bad kind");
+}
+
+}  // namespace
+
+Core::Core(const CoreConfig& config, const HierarchyConfig& hierarchy,
+           Workload workload, std::uint64_t seed)
+    : config_(config),
+      hierarchy_(hierarchy),
+      predictor_(make_predictor(config.predictor)),
+      workload_(std::move(workload)),
+      rng_(seed),
+      next_context_switch_(config.context_switch_period) {}
+
+void Core::charge_cycles(std::uint64_t n) {
+  counts_.increment(HpcEvent::kCycles, n);
+  counts_.increment(HpcEvent::kRefCycles, n);
+  counts_.increment(HpcEvent::kBusCycles, n / 4);
+}
+
+void Core::step() {
+  const MicroOp op = workload_.next();
+  const std::uint64_t footprint = workload_.spec().code_footprint_bytes;
+
+  // Fetch.
+  const std::uint64_t pc = config_.code_base + (fetch_offset_ % footprint);
+  const std::uint32_t fetch_latency = hierarchy_.access_instruction(pc, counts_);
+  counts_.increment(HpcEvent::kInstructions);
+  std::uint64_t cost = 1 + fetch_latency;
+  if (fetch_latency > 0)
+    counts_.increment(HpcEvent::kStalledCyclesFrontend, fetch_latency);
+
+  switch (op.kind) {
+    case OpKind::kAlu:
+      counts_.increment(HpcEvent::kAluOps);
+      fetch_offset_ += 4;
+      break;
+
+    case OpKind::kLoad:
+    case OpKind::kStore: {
+      const bool is_store = op.kind == OpKind::kStore;
+      const std::uint64_t before_faults = counts_[HpcEvent::kDtlbLoadMisses] +
+                                          counts_[HpcEvent::kDtlbStoreMisses];
+      const std::uint32_t latency = hierarchy_.access_data(op.addr, is_store, counts_);
+      const std::uint64_t after_faults = counts_[HpcEvent::kDtlbLoadMisses] +
+                                         counts_[HpcEvent::kDtlbStoreMisses];
+      // Load-to-use stall beyond the pipelined L1 latency.
+      const std::uint32_t l1 = hierarchy_.config().l1_latency;
+      if (latency > l1) {
+        // Overlapped misses: only 1/memory_parallelism of the raw stall is
+        // exposed to the pipeline.
+        const auto stall = static_cast<std::uint32_t>(
+            static_cast<double>(latency - l1) /
+            std::max(1.0, config_.memory_parallelism));
+        cost += stall;
+        counts_.increment(HpcEvent::kStalledCyclesBackend, stall);
+      }
+      if (after_faults > before_faults && rng_.bernoulli(config_.page_fault_prob)) {
+        counts_.increment(HpcEvent::kPageFaults);
+        cost += config_.page_fault_penalty;
+      }
+      fetch_offset_ += 4;
+      break;
+    }
+
+    case OpKind::kBranch: {
+      counts_.increment(HpcEvent::kBranches);
+      counts_.increment(HpcEvent::kBranchLoads);
+      // Stable per-site PC so the predictor can learn each site's bias.
+      const std::uint64_t site_pc =
+          config_.code_base + ((static_cast<std::uint64_t>(op.branch_site) * 16) % footprint);
+      const bool correct = predictor_->observe(site_pc, op.taken);
+      if (!correct) {
+        counts_.increment(HpcEvent::kBranchMisses);
+        counts_.increment(HpcEvent::kBranchLoadMisses);
+        cost += config_.mispredict_penalty;
+      }
+      if (op.taken) {
+        const auto displaced = static_cast<std::int64_t>(fetch_offset_) + op.jump_bytes;
+        fetch_offset_ = static_cast<std::uint64_t>(
+            displaced < 0 ? displaced + static_cast<std::int64_t>(footprint) : displaced);
+      } else {
+        fetch_offset_ += 4;
+      }
+      break;
+    }
+  }
+
+  charge_cycles(cost);
+
+  if (counts_[HpcEvent::kCycles] >= next_context_switch_) {
+    counts_.increment(HpcEvent::kContextSwitches);
+    charge_cycles(config_.context_switch_penalty);
+    next_context_switch_ = counts_[HpcEvent::kCycles] + config_.context_switch_period;
+  }
+}
+
+void Core::run_cycles(std::uint64_t budget) {
+  const std::uint64_t target = counts_[HpcEvent::kCycles] + budget;
+  while (counts_[HpcEvent::kCycles] < target) step();
+}
+
+void Core::run_instructions(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+double Core::ipc() const {
+  const std::uint64_t c = cycles();
+  return c == 0 ? 0.0 : static_cast<double>(instructions()) / static_cast<double>(c);
+}
+
+}  // namespace drlhmd::sim

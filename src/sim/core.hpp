@@ -1,0 +1,80 @@
+// In-order timing core.
+//
+// Executes workload micro-ops against the memory hierarchy and a branch
+// predictor, advancing a cycle counter with a simple additive stall model
+// (base CPI 1, plus fetch stalls, plus load-to-use stalls beyond L1, plus
+// branch-misprediction penalties).  All HPC events accumulate in a single
+// EventCounts file, which the PerfMonitor snapshots per sampling window.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/branch_predictor.hpp"
+#include "sim/events.hpp"
+#include "sim/memory_hierarchy.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+
+enum class PredictorKind : std::uint8_t { kBimodal, kGshare };
+
+struct CoreConfig {
+  PredictorKind predictor = PredictorKind::kGshare;
+  std::uint32_t mispredict_penalty = 15;
+
+  /// Memory-level parallelism: modern cores overlap outstanding misses, so
+  /// the visible load-to-use stall is the raw latency divided by this
+  /// factor.  1.0 models a fully blocking core.
+  double memory_parallelism = 4.0;
+
+  // OS-noise model: occasional page faults on TLB misses and periodic
+  // context switches, so counters carry the same low-level noise floor a
+  // real perf session sees.
+  double page_fault_prob = 5e-4;          // per data-TLB miss
+  std::uint32_t page_fault_penalty = 4000;
+  std::uint64_t context_switch_period = 2'000'000;  // cycles
+  std::uint32_t context_switch_penalty = 1500;
+
+  std::uint64_t code_base = 0x0040'0000ull;
+};
+
+/// Single-context core bound to one workload for its lifetime.
+class Core {
+ public:
+  Core(const CoreConfig& config, const HierarchyConfig& hierarchy,
+       Workload workload, std::uint64_t seed);
+
+  /// Execute exactly one micro-op.
+  void step();
+
+  /// Run until at least `budget` more cycles have elapsed.
+  void run_cycles(std::uint64_t budget);
+
+  /// Run exactly `n` micro-ops.
+  void run_instructions(std::uint64_t n);
+
+  std::uint64_t cycles() const { return counts_[HpcEvent::kCycles]; }
+  std::uint64_t instructions() const { return counts_[HpcEvent::kInstructions]; }
+  double ipc() const;
+
+  const EventCounts& counts() const { return counts_; }
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  const BranchPredictor& predictor() const { return *predictor_; }
+  const Workload& workload() const { return workload_; }
+
+ private:
+  void charge_cycles(std::uint64_t n);
+
+  CoreConfig config_;
+  MemoryHierarchy hierarchy_;
+  std::unique_ptr<BranchPredictor> predictor_;
+  Workload workload_;
+  util::Rng rng_;
+  EventCounts counts_;
+  std::uint64_t fetch_offset_ = 0;       // instruction pointer within footprint
+  std::uint64_t next_context_switch_ = 0;
+};
+
+}  // namespace drlhmd::sim

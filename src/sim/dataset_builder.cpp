@@ -1,0 +1,86 @@
+#include "sim/dataset_builder.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace drlhmd::sim {
+
+std::size_t HpcCorpus::num_malware() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.malware ? 1 : 0;
+  return n;
+}
+
+std::size_t HpcCorpus::num_benign() const { return records.size() - num_malware(); }
+
+HpcCorpus build_corpus(const CorpusConfig& config) {
+  if (config.windows_per_app == 0)
+    throw std::invalid_argument("build_corpus: windows_per_app must be > 0");
+
+  util::Rng rng(config.seed);
+  HpcCorpus corpus;
+  corpus.feature_names = PerfMonitor::feature_names();
+
+  const auto benign = benign_families();
+  const auto malware = malware_families();
+
+  auto run_app = [&](ProgramFamily family, std::uint32_t app_id) {
+    WorkloadSpec spec = make_application(family, app_id, rng);
+    // Fresh hierarchy per application: every program starts cold, exactly as
+    // a fresh LXC container run does in the paper's collection flow.
+    Core core(config.core, config.hierarchy, Workload(spec, rng.next()),
+              /*seed=*/rng.next());
+    PerfMonitor monitor(core, config.monitor);
+    monitor.warm_up();
+    for (std::size_t w = 0; w < config.windows_per_app; ++w) {
+      HpcRecord rec;
+      rec.app = spec.name;
+      rec.family = spec.family;
+      rec.malware = spec.malware;
+      rec.features = monitor.sample_window().values;
+      corpus.records.push_back(std::move(rec));
+    }
+  };
+
+  for (std::size_t i = 0; i < config.benign_apps; ++i)
+    run_app(benign[i % benign.size()], static_cast<std::uint32_t>(i));
+  for (std::size_t i = 0; i < config.malware_apps; ++i)
+    run_app(malware[i % malware.size()], static_cast<std::uint32_t>(i));
+
+  return corpus;
+}
+
+util::CsvDocument corpus_to_csv(const HpcCorpus& corpus) {
+  util::CsvDocument doc;
+  doc.header = {"app", "family", "label"};
+  for (const auto& name : corpus.feature_names) doc.header.push_back(name);
+  for (const auto& rec : corpus.records) {
+    std::vector<std::string> row = {rec.app, rec.family,
+                                    rec.malware ? "malware" : "benign"};
+    for (double v : rec.features) row.push_back(util::Table::fmt(v, 6));
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+HpcCorpus corpus_from_csv(const util::CsvDocument& doc) {
+  HpcCorpus corpus;
+  if (doc.header.size() < 4)
+    throw std::invalid_argument("corpus_from_csv: header too short");
+  corpus.feature_names.assign(doc.header.begin() + 3, doc.header.end());
+  for (const auto& row : doc.rows) {
+    HpcRecord rec;
+    rec.app = row[0];
+    rec.family = row[1];
+    if (row[2] != "malware" && row[2] != "benign")
+      throw std::invalid_argument("corpus_from_csv: bad label '" + row[2] + "'");
+    rec.malware = row[2] == "malware";
+    rec.features.reserve(corpus.feature_names.size());
+    for (std::size_t c = 3; c < row.size(); ++c) rec.features.push_back(std::stod(row[c]));
+    corpus.records.push_back(std::move(rec));
+  }
+  return corpus;
+}
+
+}  // namespace drlhmd::sim

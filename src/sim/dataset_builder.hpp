@@ -1,0 +1,51 @@
+// Corpus construction: instantiate applications across program families,
+// run each on a cold core, and collect labeled per-window HPC samples.
+// This is the stand-in for the paper's perf-scripted data acquisition over
+// >3,000 benign/malware applications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/perf_monitor.hpp"
+#include "sim/workload_profiles.hpp"
+#include "util/csv.hpp"
+
+namespace drlhmd::sim {
+
+struct CorpusConfig {
+  std::size_t benign_apps = 300;
+  std::size_t malware_apps = 300;
+  std::size_t windows_per_app = 5;
+  PerfMonitorConfig monitor{};
+  HierarchyConfig hierarchy{};
+  CoreConfig core{};
+  std::uint64_t seed = 42;
+};
+
+/// One labeled HPC observation.
+struct HpcRecord {
+  std::string app;
+  std::string family;
+  bool malware = false;
+  std::vector<double> features;  // per HpcEvent, enum order
+};
+
+struct HpcCorpus {
+  std::vector<std::string> feature_names;
+  std::vector<HpcRecord> records;
+
+  std::size_t num_malware() const;
+  std::size_t num_benign() const;
+};
+
+/// Build the full labeled corpus. Deterministic in `config.seed`.
+HpcCorpus build_corpus(const CorpusConfig& config);
+
+/// Export/import CSV (one row per record: app, family, label, features...).
+util::CsvDocument corpus_to_csv(const HpcCorpus& corpus);
+HpcCorpus corpus_from_csv(const util::CsvDocument& doc);
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,70 @@
+#include "sim/events.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace drlhmd::sim {
+namespace {
+
+constexpr std::array<std::string_view, kNumHpcEvents> kEventNames = {
+    "cycles",
+    "instructions",
+    "ref-cycles",
+    "bus-cycles",
+    "stalled-cycles-frontend",
+    "stalled-cycles-backend",
+    "cache-references",
+    "cache-misses",
+    "LLC-loads",
+    "LLC-load-misses",
+    "LLC-stores",
+    "LLC-store-misses",
+    "L1-dcache-loads",
+    "L1-dcache-load-misses",
+    "L1-dcache-stores",
+    "L1-dcache-store-misses",
+    "L1-icache-loads",
+    "L1-icache-load-misses",
+    "L2-accesses",
+    "L2-misses",
+    "dTLB-loads",
+    "dTLB-load-misses",
+    "dTLB-stores",
+    "dTLB-store-misses",
+    "iTLB-loads",
+    "iTLB-load-misses",
+    "branches",
+    "branch-misses",
+    "branch-loads",
+    "branch-load-misses",
+    "mem-loads",
+    "mem-stores",
+    "alu-ops",
+    "page-faults",
+    "context-switches",
+    "LLC-prefetches",
+    "LLC-prefetch-misses",
+};
+
+}  // namespace
+
+std::string_view event_name(HpcEvent e) {
+  const auto idx = static_cast<std::size_t>(e);
+  if (idx >= kNumHpcEvents) throw std::out_of_range("event_name: bad event");
+  return kEventNames[idx];
+}
+
+HpcEvent event_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+    if (kEventNames[i] == name) return static_cast<HpcEvent>(i);
+  throw std::out_of_range("event_from_name: unknown event '" + std::string(name) + "'");
+}
+
+EventCounts EventCounts::delta_since(const EventCounts& earlier) const {
+  EventCounts d;
+  for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+    d.counts_[i] = counts_[i] - earlier.counts_[i];
+  return d;
+}
+
+}  // namespace drlhmd::sim

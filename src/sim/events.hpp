@@ -1,0 +1,94 @@
+// Hardware-performance-counter event catalogue.
+//
+// Mirrors the perf-style event list the paper collects ("+30 events" at a
+// 10 ms sampling period).  Every counter the timing core and the memory
+// hierarchy can increment is enumerated here; an HPC sample is the vector of
+// per-window deltas of these counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace drlhmd::sim {
+
+/// Countable microarchitectural events.  Names follow `perf list` notation.
+enum class HpcEvent : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kRefCycles,
+  kBusCycles,
+  kStalledCyclesFrontend,
+  kStalledCyclesBackend,
+
+  kCacheReferences,   // LLC accesses, perf semantics
+  kCacheMisses,       // LLC misses, perf semantics
+  kLlcLoads,
+  kLlcLoadMisses,
+  kLlcStores,
+  kLlcStoreMisses,
+
+  kL1DcacheLoads,
+  kL1DcacheLoadMisses,
+  kL1DcacheStores,
+  kL1DcacheStoreMisses,
+  kL1IcacheLoads,
+  kL1IcacheLoadMisses,
+
+  kL2Accesses,
+  kL2Misses,
+
+  kDtlbLoads,
+  kDtlbLoadMisses,
+  kDtlbStores,
+  kDtlbStoreMisses,
+  kItlbLoads,
+  kItlbLoadMisses,
+
+  kBranches,
+  kBranchMisses,
+  kBranchLoads,       // alias counter kept distinct, as perf reports it
+  kBranchLoadMisses,
+
+  kMemLoads,
+  kMemStores,
+  kAluOps,
+  kPageFaults,
+  kContextSwitches,
+
+  kLlcPrefetches,      // prefetch fills reaching the LLC level
+  kLlcPrefetchMisses,  // prefetch fills that went to memory
+
+  kCount  // sentinel
+};
+
+inline constexpr std::size_t kNumHpcEvents = static_cast<std::size_t>(HpcEvent::kCount);
+
+/// perf-style spelling for each event, indexable by the enum value.
+std::string_view event_name(HpcEvent e);
+
+/// Inverse of event_name; throws std::out_of_range for unknown names.
+HpcEvent event_from_name(std::string_view name);
+
+/// Fixed-size counter file: one 64-bit counter per event.
+class EventCounts {
+ public:
+  void increment(HpcEvent e, std::uint64_t by = 1) {
+    counts_[static_cast<std::size_t>(e)] += by;
+  }
+  std::uint64_t operator[](HpcEvent e) const {
+    return counts_[static_cast<std::size_t>(e)];
+  }
+  std::span<const std::uint64_t> raw() const { return counts_; }
+
+  /// Per-window delta (this - earlier); caller guarantees monotonicity.
+  EventCounts delta_since(const EventCounts& earlier) const;
+
+  void reset() { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kNumHpcEvents> counts_{};
+};
+
+}  // namespace drlhmd::sim

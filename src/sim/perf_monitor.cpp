@@ -1,0 +1,59 @@
+#include "sim/perf_monitor.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace drlhmd::sim {
+
+PerfMonitor::PerfMonitor(Core& core, const PerfMonitorConfig& config)
+    : core_(core),
+      config_(config),
+      last_snapshot_(core.counts()),
+      noise_rng_(config.noise_seed) {}
+
+void PerfMonitor::warm_up() {
+  core_.run_cycles(config_.warmup_cycles);
+  last_snapshot_ = core_.counts();
+}
+
+HpcSample PerfMonitor::sample_window() {
+  core_.run_cycles(config_.window_cycles);
+  const EventCounts now = core_.counts();
+  const EventCounts delta = now.delta_since(last_snapshot_);
+  last_snapshot_ = now;
+
+  HpcSample s;
+  s.values.reserve(kNumHpcEvents);
+  for (std::uint64_t v : delta.raw()) s.values.push_back(static_cast<double>(v));
+
+  // Event-multiplexing estimation noise: each event is only observed for a
+  // slice of the window and extrapolated, so its estimate carries relative
+  // error growing with the number of multiplex groups.
+  if (config_.pmu_counters > 0 && config_.pmu_counters < kNumHpcEvents) {
+    const double groups = std::ceil(static_cast<double>(kNumHpcEvents) /
+                                    static_cast<double>(config_.pmu_counters));
+    const double sigma = config_.multiplex_noise * std::sqrt(groups - 1.0);
+    for (double& v : s.values) {
+      const double factor = std::max(0.0, noise_rng_.normal(1.0, sigma));
+      v *= factor;
+    }
+  }
+  return s;
+}
+
+std::vector<HpcSample> PerfMonitor::collect(std::size_t n) {
+  std::vector<HpcSample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(sample_window());
+  return samples;
+}
+
+std::vector<std::string> PerfMonitor::feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kNumHpcEvents);
+  for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+    names.emplace_back(event_name(static_cast<HpcEvent>(i)));
+  return names;
+}
+
+}  // namespace drlhmd::sim

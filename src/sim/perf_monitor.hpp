@@ -1,0 +1,60 @@
+// perf-style sampling monitor.
+//
+// The paper samples HPCs every 10 ms with Linux `perf`.  Here a sampling
+// window is a fixed cycle budget (window_cycles ~ 10 ms at the nominal
+// clock); each sample is the vector of per-window event deltas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/events.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+
+/// One sampling window worth of counter deltas.
+struct HpcSample {
+  std::vector<double> values;  // one per HpcEvent, in enum order
+};
+
+struct PerfMonitorConfig {
+  std::uint64_t window_cycles = 500'000;  // "10 ms" at the nominal clock
+  std::uint64_t warmup_cycles = 250'000;  // discard cold-cache transient
+
+  /// perf event multiplexing: with more events than hardware counters the
+  /// kernel time-slices them and scales the counts, which adds
+  /// multiplicative estimation noise.  `pmu_counters` = simultaneously
+  /// countable events (0 disables the model); 37 events over 8 PMCs means
+  /// each event is observed ~8/37 of the window.
+  std::uint32_t pmu_counters = 0;
+  double multiplex_noise = 0.02;  // per-sqrt(groups-1) relative sigma
+  std::uint64_t noise_seed = 0xA11CE;
+};
+
+/// Drives a Core and snapshots counter deltas per window.
+class PerfMonitor {
+ public:
+  PerfMonitor(Core& core, const PerfMonitorConfig& config);
+
+  /// Run the warm-up budget (no sample emitted).  Idempotent per call site:
+  /// simply executes more cycles.
+  void warm_up();
+
+  /// Run one window and return its counter deltas.
+  HpcSample sample_window();
+
+  /// Collect n consecutive windows.
+  std::vector<HpcSample> collect(std::size_t n);
+
+  static std::vector<std::string> feature_names();
+
+ private:
+  Core& core_;
+  PerfMonitorConfig config_;
+  EventCounts last_snapshot_;
+  util::Rng noise_rng_;
+};
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,82 @@
+#include "sim/prefetcher.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace drlhmd::sim {
+
+NextLinePrefetcher::NextLinePrefetcher(std::uint32_t line_bytes, std::uint32_t degree)
+    : line_bytes_(line_bytes), degree_(degree) {
+  if (line_bytes == 0 || !std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
+    throw std::invalid_argument("NextLinePrefetcher: bad line size");
+  if (degree == 0 || degree > 16)
+    throw std::invalid_argument("NextLinePrefetcher: degree out of (0,16]");
+}
+
+std::vector<std::uint64_t> NextLinePrefetcher::observe(std::uint64_t addr) {
+  std::vector<std::uint64_t> out;
+  out.reserve(degree_);
+  const std::uint64_t line = addr & ~static_cast<std::uint64_t>(line_bytes_ - 1);
+  for (std::uint32_t d = 1; d <= degree_; ++d)
+    out.push_back(line + static_cast<std::uint64_t>(d) * line_bytes_);
+  record(out.size());
+  return out;
+}
+
+StridePrefetcher::StridePrefetcher(std::uint32_t table_entries, std::uint32_t degree,
+                                   std::uint32_t line_bytes)
+    : table_(table_entries), degree_(degree), line_bytes_(line_bytes) {
+  if (table_entries == 0)
+    throw std::invalid_argument("StridePrefetcher: empty table");
+  if (degree == 0 || degree > 16)
+    throw std::invalid_argument("StridePrefetcher: degree out of (0,16]");
+  if (line_bytes == 0 || !std::has_single_bit(static_cast<std::uint64_t>(line_bytes)))
+    throw std::invalid_argument("StridePrefetcher: bad line size");
+}
+
+std::size_t StridePrefetcher::index_of(std::uint64_t addr) const {
+  // Streams are distinguished by their 1 MiB region: the workload model
+  // allocates logically distinct buffers in distinct regions.
+  const std::uint64_t region = addr >> 20;
+  return static_cast<std::size_t>((region * 0x9E3779B97F4A7C15ull) >> 32) %
+         table_.size();
+}
+
+std::vector<std::uint64_t> StridePrefetcher::observe(std::uint64_t addr) {
+  Entry& entry = table_[index_of(addr)];
+  const std::uint64_t tag = addr >> 20;
+  std::vector<std::uint64_t> out;
+
+  if (!entry.valid || entry.tag != tag) {
+    entry = Entry{.tag = tag, .last_addr = addr, .stride = 0, .confidence = 0,
+                  .valid = true};
+    record(0);
+    return out;
+  }
+
+  const std::int64_t stride =
+      static_cast<std::int64_t>(addr) - static_cast<std::int64_t>(entry.last_addr);
+  if (stride == entry.stride && stride != 0) {
+    if (entry.confidence < 3) ++entry.confidence;
+  } else {
+    entry.stride = stride;
+    entry.confidence = entry.confidence > 0 ? static_cast<std::uint8_t>(entry.confidence - 1) : 0;
+  }
+  entry.last_addr = addr;
+
+  // Reference-prediction-table style: allocate -> transient (stride
+  // recorded) -> steady (stride repeated once) -> prefetch.
+  if (entry.confidence >= 1 && entry.stride != 0) {
+    out.reserve(degree_);
+    std::int64_t next = static_cast<std::int64_t>(addr);
+    for (std::uint32_t d = 0; d < degree_; ++d) {
+      next += entry.stride;
+      if (next < 0) break;
+      out.push_back(static_cast<std::uint64_t>(next));
+    }
+  }
+  record(out.size());
+  return out;
+}
+
+}  // namespace drlhmd::sim

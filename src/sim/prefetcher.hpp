@@ -1,0 +1,84 @@
+// Hardware prefetchers.
+//
+// Modern cores ship next-line and stride prefetchers that substantially
+// reshape LLC traffic for streaming workloads — exactly the access class
+// several of our program families (ransomware sweeps, codec streams) live
+// in.  The models below sit next to the L2: on every demand access they may
+// issue prefetch addresses that the hierarchy installs into L2/LLC.
+//
+// Ablation `bench_ablation_sim` shows how enabling/disabling prefetch moves
+// the HPC feature distributions the detectors rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace drlhmd::sim {
+
+struct PrefetchStats {
+  std::uint64_t issued = 0;      // prefetch addresses generated
+  std::uint64_t triggers = 0;    // demand accesses observed
+};
+
+/// Prefetcher interface: observe a demand access, return addresses to
+/// prefetch (possibly empty).
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// `addr` is the demand access; returns prefetch candidate addresses.
+  virtual std::vector<std::uint64_t> observe(std::uint64_t addr) = 0;
+
+  const PrefetchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PrefetchStats{}; }
+
+ protected:
+  void record(std::size_t issued) {
+    ++stats_.triggers;
+    stats_.issued += issued;
+  }
+
+ private:
+  PrefetchStats stats_;
+};
+
+/// Next-N-line prefetcher: on every demand miss-side access, prefetch the
+/// following `degree` cache lines.
+class NextLinePrefetcher final : public Prefetcher {
+ public:
+  explicit NextLinePrefetcher(std::uint32_t line_bytes = 64, std::uint32_t degree = 2);
+
+  std::vector<std::uint64_t> observe(std::uint64_t addr) override;
+
+ private:
+  std::uint32_t line_bytes_;
+  std::uint32_t degree_;
+};
+
+/// Reference-prediction-table stride prefetcher: tracks per-stream strides
+/// (streams identified by address-region hash) and prefetches `degree`
+/// strides ahead once a stride has been confirmed twice.
+class StridePrefetcher final : public Prefetcher {
+ public:
+  explicit StridePrefetcher(std::uint32_t table_entries = 64, std::uint32_t degree = 4,
+                            std::uint32_t line_bytes = 64);
+
+  std::vector<std::uint64_t> observe(std::uint64_t addr) override;
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    std::uint64_t last_addr = 0;
+    std::int64_t stride = 0;
+    std::uint8_t confidence = 0;  // saturating 0..3; prefetch when >= 1
+    bool valid = false;
+  };
+
+  std::size_t index_of(std::uint64_t addr) const;
+
+  std::vector<Entry> table_;
+  std::uint32_t degree_;
+  std::uint32_t line_bytes_;
+};
+
+}  // namespace drlhmd::sim

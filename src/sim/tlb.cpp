@@ -1,0 +1,26 @@
+#include "sim/tlb.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::sim {
+namespace {
+
+CacheConfig to_cache_config(const TlbConfig& t) {
+  if (t.entries == 0 || t.associativity == 0 || t.page_bytes == 0)
+    throw std::invalid_argument(t.name + ": zero TLB parameter");
+  if (t.entries % t.associativity != 0)
+    throw std::invalid_argument(t.name + ": entries not divisible by ways");
+  CacheConfig c;
+  c.name = t.name;
+  c.line_bytes = t.page_bytes;
+  c.associativity = t.associativity;
+  c.size_bytes = static_cast<std::uint64_t>(t.entries) * t.page_bytes;
+  c.policy = ReplacementPolicy::kLru;
+  return c;
+}
+
+}  // namespace
+
+Tlb::Tlb(const TlbConfig& config) : config_(config), cache_(to_cache_config(config)) {}
+
+}  // namespace drlhmd::sim

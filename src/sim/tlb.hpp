@@ -1,0 +1,37 @@
+// Translation lookaside buffer model (set-associative over page numbers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cache.hpp"
+
+namespace drlhmd::sim {
+
+struct TlbConfig {
+  std::string name = "tlb";
+  std::uint32_t entries = 64;
+  std::uint32_t associativity = 4;
+  std::uint32_t page_bytes = 4096;
+};
+
+/// A TLB is structurally a tag cache over page numbers; we reuse the Cache
+/// machinery with one "line" per page.
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Translate the address' page; returns true on TLB hit.
+  bool access(std::uint64_t addr) { return cache_.access(addr); }
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  void reset_stats() { cache_.reset_stats(); }
+  void flush() { cache_.flush(); }
+  const TlbConfig& config() const { return config_; }
+
+ private:
+  TlbConfig config_;
+  Cache cache_;
+};
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,116 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drlhmd::sim {
+
+void WorkloadSpec::validate() const {
+  if (phases.empty()) throw std::invalid_argument(name + ": workload has no phases");
+  if (code_footprint_bytes == 0)
+    throw std::invalid_argument(name + ": zero code footprint");
+  for (const auto& p : phases) {
+    const double mem = p.load_frac + p.store_frac + p.branch_frac;
+    if (p.load_frac < 0 || p.store_frac < 0 || p.branch_frac < 0 || mem > 1.0)
+      throw std::invalid_argument(name + "/" + p.name + ": op fractions out of range");
+    if (p.sequential_frac < 0 || p.sequential_frac > 1)
+      throw std::invalid_argument(name + "/" + p.name + ": sequential_frac out of [0,1]");
+    if (p.hot_frac < 0 || p.hot_frac > 1)
+      throw std::invalid_argument(name + "/" + p.name + ": hot_frac out of [0,1]");
+    if (p.taken_bias < 0 || p.taken_bias > 1)
+      throw std::invalid_argument(name + "/" + p.name + ": taken_bias out of [0,1]");
+    if (p.branch_entropy < 0 || p.branch_entropy > 1)
+      throw std::invalid_argument(name + "/" + p.name + ": branch_entropy out of [0,1]");
+    if (p.weight <= 0) throw std::invalid_argument(name + "/" + p.name + ": weight <= 0");
+    if (p.mean_ops == 0) throw std::invalid_argument(name + "/" + p.name + ": mean_ops == 0");
+    if (p.working_set_bytes == 0 || p.stream_bytes == 0)
+      throw std::invalid_argument(name + "/" + p.name + ": zero memory region");
+    if (p.branch_sites == 0)
+      throw std::invalid_argument(name + "/" + p.name + ": zero branch sites");
+  }
+}
+
+Workload::Workload(WorkloadSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  spec_.validate();
+  phase_states_.resize(spec_.phases.size());
+  phase_weights_.reserve(spec_.phases.size());
+  for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+    const PhaseSpec& p = spec_.phases[i];
+    phase_weights_.push_back(p.weight);
+    auto& st = phase_states_[i];
+    st.site_taken_prob.resize(p.branch_sites);
+    for (auto& prob : st.site_taken_prob) {
+      if (rng_.bernoulli(p.branch_entropy)) {
+        // High-entropy site: outcome close to a coin flip.
+        prob = rng_.uniform(0.35, 0.65);
+      } else {
+        // Predictable site: strongly biased toward the phase's direction,
+        // with per-site jitter so sites are not identical.
+        const double strong = p.taken_bias >= 0.5 ? rng_.uniform(0.9, 1.0)
+                                                  : rng_.uniform(0.0, 0.1);
+        prob = strong;
+      }
+    }
+    st.chase_cursor = kHeapBase + rng_.next_below(std::max<std::uint64_t>(p.working_set_bytes, 8));
+  }
+  enter_phase(rng_.categorical(phase_weights_));
+}
+
+void Workload::enter_phase(std::size_t index) {
+  phase_index_ = index;
+  const auto mean = static_cast<double>(spec_.phases[index].mean_ops);
+  // Geometric length with the requested mean, floor of 1.
+  ops_left_in_phase_ = 1 + rng_.geometric(std::min(1.0, 1.0 / mean));
+}
+
+std::uint64_t Workload::gen_data_address(const PhaseSpec& phase, PhaseState& st,
+                                         bool sequential) {
+  if (sequential) {
+    st.stream_cursor = (st.stream_cursor + phase.stride_bytes) % phase.stream_bytes;
+    return kStreamBase + st.stream_cursor;
+  }
+  if (phase.hot_frac > 0.0 && rng_.bernoulli(phase.hot_frac)) {
+    return kHotBase + rng_.next_below(std::max<std::uint64_t>(phase.hot_bytes, 8));
+  }
+  if (phase.pointer_chase) {
+    // Dependent chain: next address derived from the current one, random
+    // within the working set (models linked-structure traversal).
+    const std::uint64_t ws = std::max<std::uint64_t>(phase.working_set_bytes, 64);
+    const std::uint64_t mix = st.chase_cursor * 0x9E3779B97F4A7C15ull + rng_.next();
+    st.chase_cursor = kHeapBase + (mix % ws);
+    return st.chase_cursor & ~0x7ull;
+  }
+  return kHeapBase + rng_.next_below(std::max<std::uint64_t>(phase.working_set_bytes, 8));
+}
+
+MicroOp Workload::next() {
+  if (ops_left_in_phase_ == 0) {
+    enter_phase(rng_.categorical(phase_weights_));
+  }
+  --ops_left_in_phase_;
+
+  const PhaseSpec& phase = spec_.phases[phase_index_];
+  PhaseState& st = phase_states_[phase_index_];
+
+  MicroOp op;
+  const double roll = rng_.uniform();
+  if (roll < phase.load_frac) {
+    op.kind = OpKind::kLoad;
+    op.addr = gen_data_address(phase, st, rng_.bernoulli(phase.sequential_frac));
+  } else if (roll < phase.load_frac + phase.store_frac) {
+    op.kind = OpKind::kStore;
+    op.addr = gen_data_address(phase, st, rng_.bernoulli(phase.sequential_frac));
+  } else if (roll < phase.load_frac + phase.store_frac + phase.branch_frac) {
+    op.kind = OpKind::kBranch;
+    op.branch_site = static_cast<std::uint32_t>(rng_.next_below(phase.branch_sites));
+    op.taken = rng_.bernoulli(st.site_taken_prob[op.branch_site]);
+    const std::int64_t span = std::max<std::int32_t>(phase.jump_span_bytes, 8);
+    op.jump_bytes = static_cast<std::int32_t>(rng_.uniform_int(-span, span));
+  } else {
+    op.kind = OpKind::kAlu;
+  }
+  return op;
+}
+
+}  // namespace drlhmd::sim

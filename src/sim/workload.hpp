@@ -1,0 +1,112 @@
+// Synthetic application models.
+//
+// The paper's corpus is >3,000 real benign programs plus VirusShare/
+// VirusTotal malware executed under Linux `perf`.  We cannot ship malware;
+// instead each application is a stochastic micro-op generator whose
+// parameters (working-set size, stride mix, branch entropy, phase structure)
+// encode the published microarchitectural signatures of each program family.
+// The timing core executes these micro-ops against the cache/branch/TLB
+// models, so HPC features emerge from simulated microarchitecture rather
+// than from sampled distributions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+
+enum class OpKind : std::uint8_t { kAlu, kLoad, kStore, kBranch };
+
+/// One dynamic micro-operation produced by a workload.
+struct MicroOp {
+  OpKind kind = OpKind::kAlu;
+  std::uint64_t addr = 0;        // effective address for kLoad/kStore
+  std::uint32_t branch_site = 0; // stable branch identity for kBranch
+  bool taken = false;            // branch outcome for kBranch
+  std::int32_t jump_bytes = 0;   // fetch-stream displacement when taken
+};
+
+/// One execution phase of a program (e.g. ransomware: sweep-read ->
+/// encrypt -> write-back).  All fractions are of total micro-ops; the
+/// remainder is ALU work.
+struct PhaseSpec {
+  std::string name = "phase";
+  double weight = 1.0;             // relative likelihood of entering the phase
+  std::uint64_t mean_ops = 20000;  // geometric mean phase length in micro-ops
+
+  double load_frac = 0.25;
+  double store_frac = 0.10;
+  double branch_frac = 0.15;
+
+  // Memory-pattern parameters.
+  double sequential_frac = 0.5;    // of memory ops: streaming vs random
+  std::uint32_t stride_bytes = 64; // streaming stride
+  std::uint64_t stream_bytes = 8ull << 20;  // streaming region extent (wraps)
+  std::uint64_t working_set_bytes = 1ull << 20;  // random-access region
+  double hot_frac = 0.0;           // of random ops: hit the hot subset
+  std::uint64_t hot_bytes = 64ull << 10;
+  bool pointer_chase = false;      // random ops become dependent chains
+
+  // Control-flow parameters.
+  std::uint32_t branch_sites = 256;
+  double taken_bias = 0.6;         // average P(taken)
+  double branch_entropy = 0.2;     // fraction of sites with ~coin-flip outcome
+  std::int32_t jump_span_bytes = 4096;  // taken-branch fetch displacement span
+};
+
+/// A complete synthetic application.
+struct WorkloadSpec {
+  std::string name = "app";
+  std::string family = "unknown";
+  bool malware = false;
+  std::uint64_t code_footprint_bytes = 128ull << 10;
+  std::vector<PhaseSpec> phases;
+
+  /// Throws std::invalid_argument on inconsistent fractions or empty phases.
+  void validate() const;
+};
+
+/// Stateful generator executing a WorkloadSpec: tracks the current phase,
+/// stream cursor, pointer-chase cursor, and per-site branch biases.
+class Workload {
+ public:
+  Workload(WorkloadSpec spec, std::uint64_t seed);
+
+  /// Produce the next dynamic micro-op.
+  MicroOp next();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  bool is_malware() const { return spec_.malware; }
+  const std::string& family() const { return spec_.family; }
+  std::size_t current_phase_index() const { return phase_index_; }
+
+ private:
+  struct PhaseState {
+    std::vector<double> site_taken_prob;
+    std::uint64_t stream_cursor = 0;
+    std::uint64_t chase_cursor = 0;
+  };
+
+  void enter_phase(std::size_t index);
+  std::uint64_t gen_data_address(const PhaseSpec& phase, PhaseState& st, bool sequential);
+
+  WorkloadSpec spec_;
+  util::Rng rng_;
+  std::vector<PhaseState> phase_states_;
+  std::vector<double> phase_weights_;
+  std::size_t phase_index_ = 0;
+  std::uint64_t ops_left_in_phase_ = 0;
+
+  // Region bases: disjoint so streaming/random/hot traffic maps to different
+  // cache sets and pages, as it would for distinct allocations.
+  static constexpr std::uint64_t kStreamBase = 0x1000'0000ull;
+  static constexpr std::uint64_t kHeapBase = 0x4000'0000ull;
+  static constexpr std::uint64_t kHotBase = 0x7000'0000ull;
+};
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,320 @@
+#include "sim/workload_profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drlhmd::sim {
+namespace {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+PhaseSpec phase(std::string name, double weight, std::uint64_t mean_ops) {
+  PhaseSpec p;
+  p.name = std::move(name);
+  p.weight = weight;
+  p.mean_ops = mean_ops;
+  return p;
+}
+
+}  // namespace
+
+std::string family_name(ProgramFamily family) {
+  switch (family) {
+    case ProgramFamily::kWebServer: return "web-server";
+    case ProgramFamily::kDatabase: return "database";
+    case ProgramFamily::kCompression: return "compression";
+    case ProgramFamily::kMediaCodec: return "media-codec";
+    case ProgramFamily::kScientific: return "scientific";
+    case ProgramFamily::kInteractive: return "interactive";
+    case ProgramFamily::kRansomware: return "ransomware";
+    case ProgramFamily::kWorm: return "worm";
+    case ProgramFamily::kBotnet: return "botnet";
+    case ProgramFamily::kVirus: return "virus";
+    case ProgramFamily::kSpyware: return "spyware";
+    case ProgramFamily::kRootkit: return "rootkit";
+    case ProgramFamily::kCryptominer: return "cryptominer";
+    case ProgramFamily::kCount: break;
+  }
+  throw std::out_of_range("family_name: bad family");
+}
+
+bool family_is_malware(ProgramFamily family) {
+  return static_cast<std::size_t>(family) >= kNumBenignFamilies &&
+         static_cast<std::size_t>(family) < kNumProgramFamilies;
+}
+
+std::vector<ProgramFamily> benign_families() {
+  std::vector<ProgramFamily> v;
+  for (std::size_t i = 0; i < kNumBenignFamilies; ++i)
+    v.push_back(static_cast<ProgramFamily>(i));
+  return v;
+}
+
+std::vector<ProgramFamily> malware_families() {
+  std::vector<ProgramFamily> v;
+  for (std::size_t i = kNumBenignFamilies; i < kNumProgramFamilies; ++i)
+    v.push_back(static_cast<ProgramFamily>(i));
+  return v;
+}
+
+// Working-set placement relative to the (scaled) hierarchy bands:
+//   fits-L2      < 128 KiB   -> little LLC traffic
+//   LLC-resident 128K..1 MiB -> LLC loads that mostly HIT
+//   beyond LLC   > 1 MiB     -> LLC loads that mostly MISS
+// Malware families are skewed toward extreme LLC behaviour (sweeping
+// streams, giant sparse probes, LLC-resident scratchpads), which is exactly
+// the published HMD signal; benign families cover the middle ground so the
+// classes overlap realistically.
+WorkloadSpec family_template(ProgramFamily family) {
+  WorkloadSpec spec;
+  spec.family = family_name(family);
+  spec.malware = family_is_malware(family);
+  spec.name = spec.family;
+
+  switch (family) {
+    case ProgramFamily::kWebServer: {
+      spec.code_footprint_bytes = 128 * KiB;
+      PhaseSpec serve = phase("serve", 3.0, 30000);
+      serve.load_frac = 0.30; serve.store_frac = 0.08; serve.branch_frac = 0.15;
+      serve.sequential_frac = 0.25; serve.stream_bytes = 96 * KiB;
+      serve.working_set_bytes = 96 * KiB; serve.hot_frac = 0.35; serve.hot_bytes = 24 * KiB;
+      serve.branch_sites = 1024; serve.taken_bias = 0.62; serve.branch_entropy = 0.30;
+      serve.jump_span_bytes = 16384;
+      PhaseSpec parse = phase("parse", 1.0, 12000);
+      parse.load_frac = 0.33; parse.store_frac = 0.12; parse.branch_frac = 0.20;
+      parse.sequential_frac = 0.7; parse.stride_bytes = 16; parse.stream_bytes = 48 * KiB;
+      parse.working_set_bytes = 64 * KiB;
+      parse.branch_sites = 512; parse.taken_bias = 0.55; parse.branch_entropy = 0.40;
+      spec.phases = {serve, parse};
+      break;
+    }
+    case ProgramFamily::kDatabase: {
+      spec.code_footprint_bytes = 256 * KiB;
+      PhaseSpec lookup = phase("lookup", 3.0, 25000);
+      lookup.load_frac = 0.34; lookup.store_frac = 0.06; lookup.branch_frac = 0.15;
+      lookup.sequential_frac = 0.10; lookup.working_set_bytes = 2304 * KiB;
+      lookup.hot_frac = 0.58; lookup.hot_bytes = 48 * KiB; lookup.pointer_chase = true;
+      lookup.branch_sites = 768; lookup.taken_bias = 0.58; lookup.branch_entropy = 0.35;
+      PhaseSpec scan = phase("scan", 0.6, 40000);
+      scan.load_frac = 0.40; scan.store_frac = 0.04; scan.branch_frac = 0.13;
+      scan.sequential_frac = 0.92; scan.stride_bytes = 64; scan.stream_bytes = 4 * MiB;
+      scan.working_set_bytes = 1 * MiB;
+      scan.branch_sites = 128; scan.taken_bias = 0.90; scan.branch_entropy = 0.05;
+      spec.phases = {lookup, scan};
+      break;
+    }
+    case ProgramFamily::kCompression: {
+      spec.code_footprint_bytes = 32 * KiB;
+      PhaseSpec pack = phase("pack", 1.0, 50000);
+      pack.load_frac = 0.32; pack.store_frac = 0.14; pack.branch_frac = 0.15;
+      pack.sequential_frac = 0.80; pack.stride_bytes = 16; pack.stream_bytes = 96 * KiB;
+      pack.working_set_bytes = 80 * KiB; pack.hot_frac = 0.45; pack.hot_bytes = 32 * KiB;
+      pack.branch_sites = 256; pack.taken_bias = 0.70; pack.branch_entropy = 0.25;
+      spec.phases = {pack};
+      break;
+    }
+    case ProgramFamily::kMediaCodec: {
+      spec.code_footprint_bytes = 64 * KiB;
+      PhaseSpec decode = phase("decode", 3.0, 35000);
+      decode.load_frac = 0.30; decode.store_frac = 0.12; decode.branch_frac = 0.12;
+      decode.sequential_frac = 0.88; decode.stride_bytes = 16;
+      decode.stream_bytes = 112 * KiB; decode.working_set_bytes = 64 * KiB;
+      decode.branch_sites = 128; decode.taken_bias = 0.85; decode.branch_entropy = 0.08;
+      PhaseSpec filter = phase("filter", 1.0, 20000);
+      filter.load_frac = 0.27; filter.store_frac = 0.10; filter.branch_frac = 0.08;
+      filter.sequential_frac = 0.95; filter.stride_bytes = 8; filter.stream_bytes = 96 * KiB;
+      filter.working_set_bytes = 48 * KiB;
+      filter.branch_sites = 64; filter.taken_bias = 0.92; filter.branch_entropy = 0.03;
+      spec.phases = {decode, filter};
+      break;
+    }
+    case ProgramFamily::kScientific: {
+      spec.code_footprint_bytes = 24 * KiB;
+      PhaseSpec stencil = phase("stencil", 1.0, 60000);
+      stencil.load_frac = 0.33; stencil.store_frac = 0.12; stencil.branch_frac = 0.12;
+      stencil.sequential_frac = 0.75; stencil.stride_bytes = 8;
+      stencil.stream_bytes = 512 * KiB; stencil.working_set_bytes = 256 * KiB;
+      stencil.branch_sites = 64; stencil.taken_bias = 0.95; stencil.branch_entropy = 0.02;
+      spec.phases = {stencil};
+      break;
+    }
+    case ProgramFamily::kInteractive: {
+      spec.code_footprint_bytes = 192 * KiB;
+      PhaseSpec idle = phase("idle", 2.0, 15000);
+      idle.load_frac = 0.24; idle.store_frac = 0.06; idle.branch_frac = 0.15;
+      idle.sequential_frac = 0.30; idle.stream_bytes = 64 * KiB;
+      idle.working_set_bytes = 64 * KiB; idle.hot_frac = 0.5; idle.hot_bytes = 16 * KiB;
+      idle.branch_sites = 2048; idle.taken_bias = 0.55; idle.branch_entropy = 0.45;
+      idle.jump_span_bytes = 32768;
+      PhaseSpec burst = phase("event-burst", 1.0, 8000);
+      burst.load_frac = 0.30; burst.store_frac = 0.12; burst.branch_frac = 0.18;
+      burst.sequential_frac = 0.40; burst.stream_bytes = 96 * KiB;
+      burst.working_set_bytes = 112 * KiB;
+      burst.branch_sites = 1024; burst.taken_bias = 0.60; burst.branch_entropy = 0.35;
+      spec.phases = {idle, burst};
+      break;
+    }
+
+    case ProgramFamily::kRansomware: {
+      spec.code_footprint_bytes = 48 * KiB;
+      PhaseSpec sweep = phase("sweep-read", 1.2, 30000);
+      sweep.load_frac = 0.45; sweep.store_frac = 0.05; sweep.branch_frac = 0.13;
+      sweep.sequential_frac = 0.95; sweep.stride_bytes = 64; sweep.stream_bytes = 24 * MiB;
+      sweep.working_set_bytes = 256 * KiB;
+      sweep.branch_sites = 96; sweep.taken_bias = 0.9; sweep.branch_entropy = 0.05;
+      PhaseSpec encrypt = phase("encrypt", 1.0, 20000);
+      encrypt.load_frac = 0.24; encrypt.store_frac = 0.10; encrypt.branch_frac = 0.13;
+      encrypt.sequential_frac = 0.35; encrypt.stream_bytes = 384 * KiB;
+      encrypt.working_set_bytes = 320 * KiB; encrypt.hot_frac = 0.6; encrypt.hot_bytes = 16 * KiB;
+      encrypt.branch_sites = 64; encrypt.taken_bias = 0.93; encrypt.branch_entropy = 0.03;
+      PhaseSpec writeback = phase("write-back", 1.0, 25000);
+      writeback.load_frac = 0.12; writeback.store_frac = 0.45; writeback.branch_frac = 0.12;
+      writeback.sequential_frac = 0.95; writeback.stride_bytes = 64;
+      writeback.stream_bytes = 24 * MiB; writeback.working_set_bytes = 128 * KiB;
+      writeback.branch_sites = 96; writeback.taken_bias = 0.9; writeback.branch_entropy = 0.05;
+      spec.phases = {sweep, encrypt, writeback};
+      break;
+    }
+    case ProgramFamily::kWorm: {
+      spec.code_footprint_bytes = 64 * KiB;
+      PhaseSpec probe = phase("probe", 2.0, 18000);
+      probe.load_frac = 0.32; probe.store_frac = 0.10; probe.branch_frac = 0.15;
+      probe.sequential_frac = 0.08; probe.working_set_bytes = 12 * MiB;
+      probe.branch_sites = 1536; probe.taken_bias = 0.52; probe.branch_entropy = 0.55;
+      probe.jump_span_bytes = 24576;
+      PhaseSpec replicate = phase("replicate", 1.0, 14000);
+      replicate.load_frac = 0.30; replicate.store_frac = 0.26; replicate.branch_frac = 0.12;
+      replicate.sequential_frac = 0.85; replicate.stride_bytes = 64;
+      replicate.stream_bytes = 4 * MiB; replicate.working_set_bytes = 512 * KiB;
+      replicate.branch_sites = 256; replicate.taken_bias = 0.8; replicate.branch_entropy = 0.15;
+      spec.phases = {probe, replicate};
+      break;
+    }
+    case ProgramFamily::kBotnet: {
+      spec.code_footprint_bytes = 96 * KiB;
+      PhaseSpec dormant = phase("dormant", 2.2, 18000);
+      dormant.load_frac = 0.26; dormant.store_frac = 0.06; dormant.branch_frac = 0.14;
+      dormant.sequential_frac = 0.2; dormant.stream_bytes = 192 * KiB;
+      dormant.working_set_bytes = 512 * KiB; dormant.hot_frac = 0.35; dormant.hot_bytes = 16 * KiB;
+      dormant.branch_sites = 1024; dormant.taken_bias = 0.6; dormant.branch_entropy = 0.40;
+      PhaseSpec beacon = phase("beacon", 1.8, 11000);
+      beacon.load_frac = 0.32; beacon.store_frac = 0.15; beacon.branch_frac = 0.15;
+      beacon.sequential_frac = 0.30; beacon.stream_bytes = 512 * KiB;
+      beacon.working_set_bytes = 6 * MiB;
+      beacon.branch_sites = 512; beacon.taken_bias = 0.55; beacon.branch_entropy = 0.45;
+      spec.phases = {dormant, beacon};
+      break;
+    }
+    case ProgramFamily::kVirus: {
+      spec.code_footprint_bytes = 128 * KiB;
+      PhaseSpec hunt = phase("hunt", 1.5, 16000);
+      hunt.load_frac = 0.34; hunt.store_frac = 0.06; hunt.branch_frac = 0.14;
+      hunt.sequential_frac = 0.55; hunt.stride_bytes = 64; hunt.stream_bytes = 5 * MiB;
+      hunt.working_set_bytes = 3 * MiB;
+      hunt.branch_sites = 768; hunt.taken_bias = 0.6; hunt.branch_entropy = 0.35;
+      PhaseSpec infect = phase("infect", 1.0, 12000);
+      infect.load_frac = 0.26; infect.store_frac = 0.22; infect.branch_frac = 0.13;
+      infect.sequential_frac = 0.65; infect.stride_bytes = 32; infect.stream_bytes = 2 * MiB;
+      infect.working_set_bytes = 768 * KiB;
+      infect.branch_sites = 384; infect.taken_bias = 0.7; infect.branch_entropy = 0.25;
+      spec.phases = {hunt, infect};
+      break;
+    }
+    case ProgramFamily::kSpyware: {
+      spec.code_footprint_bytes = 112 * KiB;
+      PhaseSpec poll = phase("poll", 3.0, 22000);
+      poll.load_frac = 0.28; poll.store_frac = 0.06; poll.branch_frac = 0.15;
+      poll.sequential_frac = 0.25; poll.stream_bytes = 256 * KiB;
+      poll.working_set_bytes = 640 * KiB; poll.hot_frac = 0.30; poll.hot_bytes = 24 * KiB;
+      poll.branch_sites = 1280; poll.taken_bias = 0.58; poll.branch_entropy = 0.38;
+      PhaseSpec exfil = phase("exfiltrate", 1.6, 12000);
+      exfil.load_frac = 0.30; exfil.store_frac = 0.20; exfil.branch_frac = 0.11;
+      exfil.sequential_frac = 0.88; exfil.stride_bytes = 64; exfil.stream_bytes = 8 * MiB;
+      exfil.working_set_bytes = 256 * KiB;
+      exfil.branch_sites = 192; exfil.taken_bias = 0.82; exfil.branch_entropy = 0.12;
+      spec.phases = {poll, exfil};
+      break;
+    }
+    case ProgramFamily::kRootkit: {
+      spec.code_footprint_bytes = 384 * KiB;
+      PhaseSpec hook = phase("hook-walk", 1.0, 20000);
+      hook.load_frac = 0.34; hook.store_frac = 0.08; hook.branch_frac = 0.16;
+      hook.sequential_frac = 0.12; hook.working_set_bytes = 1792 * KiB;
+      hook.pointer_chase = true;
+      hook.branch_sites = 1024; hook.taken_bias = 0.56; hook.branch_entropy = 0.40;
+      hook.jump_span_bytes = 65536;
+      PhaseSpec conceal = phase("conceal", 1.0, 15000);
+      conceal.load_frac = 0.30; conceal.store_frac = 0.12; conceal.branch_frac = 0.15;
+      conceal.sequential_frac = 0.35; conceal.stream_bytes = 256 * KiB;
+      conceal.working_set_bytes = 1280 * KiB;
+      conceal.branch_sites = 640; conceal.taken_bias = 0.6; conceal.branch_entropy = 0.30;
+      spec.phases = {hook, conceal};
+      break;
+    }
+    case ProgramFamily::kCryptominer: {
+      spec.code_footprint_bytes = 16 * KiB;
+      PhaseSpec hash = phase("hash", 1.0, 80000);
+      hash.load_frac = 0.42; hash.store_frac = 0.14; hash.branch_frac = 0.11;
+      hash.sequential_frac = 0.10; hash.working_set_bytes = 1280 * KiB;
+      hash.branch_sites = 48; hash.taken_bias = 0.96; hash.branch_entropy = 0.02;
+      spec.phases = {hash};
+      break;
+    }
+    case ProgramFamily::kCount:
+      throw std::out_of_range("family_template: bad family");
+  }
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+double jitter_frac(double value, util::Rng& rng, double rel = 0.18) {
+  return std::clamp(value * rng.uniform(1.0 - rel, 1.0 + rel), 0.0, 0.95);
+}
+
+std::uint64_t jitter_size(std::uint64_t value, util::Rng& rng, double sigma = 0.18) {
+  const double scaled = static_cast<double>(value) * rng.lognormal(0.0, sigma);
+  return std::max<std::uint64_t>(64, static_cast<std::uint64_t>(scaled));
+}
+
+}  // namespace
+
+WorkloadSpec make_application(ProgramFamily family, std::uint32_t app_id,
+                              util::Rng& rng) {
+  WorkloadSpec spec = family_template(family);
+  spec.name = spec.family + "-" + std::to_string(app_id);
+  spec.code_footprint_bytes = jitter_size(spec.code_footprint_bytes, rng, 0.25);
+
+  for (auto& p : spec.phases) {
+    p.weight *= rng.uniform(0.7, 1.4);
+    p.mean_ops = std::max<std::uint64_t>(
+        500, static_cast<std::uint64_t>(static_cast<double>(p.mean_ops) *
+                                        rng.uniform(0.7, 1.4)));
+    // Keep the op-mix sum below 1 after jitter.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const double lf = jitter_frac(p.load_frac, rng, 0.25);
+      const double sf = jitter_frac(p.store_frac, rng, 0.25);
+      const double bf = jitter_frac(p.branch_frac, rng, 0.35);
+      if (lf + sf + bf < 0.97) {
+        p.load_frac = lf;
+        p.store_frac = sf;
+        p.branch_frac = bf;
+        break;
+      }
+    }
+    p.sequential_frac = jitter_frac(p.sequential_frac, rng, 0.12);
+    p.hot_frac = jitter_frac(p.hot_frac, rng, 0.15);
+    p.taken_bias = std::clamp(jitter_frac(p.taken_bias, rng, 0.08), 0.0, 1.0);
+    p.branch_entropy = std::clamp(jitter_frac(p.branch_entropy, rng, 0.20), 0.0, 1.0);
+    p.working_set_bytes = jitter_size(p.working_set_bytes, rng);
+    p.stream_bytes = jitter_size(p.stream_bytes, rng);
+    p.hot_bytes = jitter_size(p.hot_bytes, rng, 0.20);
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace drlhmd::sim

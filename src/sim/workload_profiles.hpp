@@ -1,0 +1,54 @@
+// Program-family catalogue: six benign archetypes and seven malware
+// families, each a parameterized WorkloadSpec template with per-application
+// jitter so the corpus has intra-class diversity (the paper executes >3,000
+// distinct applications).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+
+enum class ProgramFamily : std::uint8_t {
+  // Benign archetypes.
+  kWebServer = 0,
+  kDatabase,
+  kCompression,
+  kMediaCodec,
+  kScientific,
+  kInteractive,
+  // Malware families (paper: "Worms, Viruses, Botnets, Ransomware, and more").
+  kRansomware,
+  kWorm,
+  kBotnet,
+  kVirus,
+  kSpyware,
+  kRootkit,
+  kCryptominer,
+
+  kCount
+};
+
+inline constexpr std::size_t kNumProgramFamilies =
+    static_cast<std::size_t>(ProgramFamily::kCount);
+inline constexpr std::size_t kNumBenignFamilies = 6;
+inline constexpr std::size_t kNumMalwareFamilies = 7;
+
+std::string family_name(ProgramFamily family);
+bool family_is_malware(ProgramFamily family);
+std::vector<ProgramFamily> benign_families();
+std::vector<ProgramFamily> malware_families();
+
+/// Build the canonical spec for a family (no jitter) — the family template.
+WorkloadSpec family_template(ProgramFamily family);
+
+/// Instantiate one concrete application of the family: the template with
+/// multiplicative jitter on sizes/fractions so every app is distinct.
+/// `app_id` only names the instance; randomness comes from `rng`.
+WorkloadSpec make_application(ProgramFamily family, std::uint32_t app_id,
+                              util::Rng& rng);
+
+}  // namespace drlhmd::sim

@@ -1,0 +1,132 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drlhmd::util {
+
+std::size_t CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw std::out_of_range("CsvDocument: no column named '" + name + "'");
+}
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvDocument parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // the record continues
+        break;
+      case '\r':
+        break;  // swallow; \n terminates the record
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::invalid_argument("parse_csv: unterminated quote");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  CsvDocument doc;
+  if (records.empty()) return doc;
+  doc.header = std::move(records.front());
+  const std::size_t width = doc.header.size();
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      std::ostringstream msg;
+      msg << "parse_csv: row " << r << " has " << records[r].size()
+          << " fields, expected " << width;
+      throw std::invalid_argument(msg.str());
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+std::string write_csv(const CsvDocument& doc) {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& rec) {
+    for (std::size_t i = 0; i < rec.size(); ++i) {
+      out << (needs_quoting(rec[i]) ? quote(rec[i]) : rec[i]);
+      out << (i + 1 == rec.size() ? "\n" : ",");
+    }
+  };
+  emit(doc.header);
+  for (const auto& row : doc.rows) emit(row);
+  return out.str();
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+void write_csv_file(const CsvDocument& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  out << write_csv(doc);
+}
+
+}  // namespace drlhmd::util

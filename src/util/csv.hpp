@@ -1,0 +1,31 @@
+// Minimal CSV reader/writer for dataset import/export.
+//
+// The dataset builder can dump collected HPC samples to CSV (one row per
+// sampling window) so experiments can be inspected or re-used outside the
+// library, mirroring the paper's perf-script data collection flow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace drlhmd::util {
+
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  // throws if absent
+};
+
+/// Parse CSV text. Supports quoted fields with embedded commas/quotes and
+/// both \n and \r\n line endings. The first record is the header.
+CsvDocument parse_csv(const std::string& text);
+
+/// Serialize, quoting any field that needs it.
+std::string write_csv(const CsvDocument& doc);
+
+CsvDocument read_csv_file(const std::string& path);
+void write_csv_file(const CsvDocument& doc, const std::string& path);
+
+}  // namespace drlhmd::util

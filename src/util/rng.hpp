@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for simulation, ML and RL.
+//
+// All stochastic components of the library draw from Rng so that every
+// experiment is reproducible from a single 64-bit seed.  The generator is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64 so that even
+// low-entropy seeds (0, 1, 2, ...) produce well-mixed state.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> facilities, although the built-in distributions below are
+/// preferred: they are identical across platforms, unlike libstdc++/libc++
+/// distribution implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the full 256-bit state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64 bits.
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Pareto distribution with scale x_m > 0 and shape alpha > 0.
+  double pareto(double x_m, double alpha);
+
+  /// Sample an index proportionally to the (non-negative) weights.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Geometric number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (rejection sampler).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n) (partial Fisher-Yates).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator (for parallel streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace drlhmd::util

@@ -1,0 +1,111 @@
+// Portable byte-oriented serialization used to persist trained models.
+//
+// Model bytes serve two purposes in the framework: (1) measuring the memory
+// footprint that the constraint-aware controller trades off against accuracy,
+// and (2) feeding the SHA-256 integrity vault (Section 2.7 of the paper).
+// The encoding is little-endian and versioned per model type.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// Append-only binary writer.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  void write_f64_vec(std::span<const double> v) {
+    write_u64(v.size());
+    for (double x : v) write_f64(x);
+  }
+
+  void write_u64_vec(std::span<const std::uint64_t> v) {
+    write_u64(v.size());
+    for (std::uint64_t x : v) write_u64(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void write_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential binary reader with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t read_u8() { return read_pod<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<double> read_f64_vec() {
+    const std::uint64_t n = read_u64();
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = read_f64();
+    return v;
+  }
+
+  std::vector<std::uint64_t> read_u64_vec() {
+    const std::uint64_t n = read_u64();
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = read_u64();
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::uint64_t n) {
+    if (n > bytes_.size() - pos_)
+      throw std::out_of_range("ByteReader: truncated input");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace drlhmd::util

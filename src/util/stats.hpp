@@ -1,0 +1,52 @@
+// Small numerically careful statistics toolkit used across the simulator,
+// the feature-engineering stage (mutual information) and the metric monitor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (n denominator); 0 for fewer than 1 sample.
+  double variance() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population
+double stddev(std::span<const double> xs);     // population
+double median(std::vector<double> xs);         // by-value: sorts a copy
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Shannon entropy (nats) of a discrete distribution given by counts.
+double entropy_from_counts(std::span<const std::size_t> counts);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo, double hi,
+                                   std::size_t bins);
+
+}  // namespace drlhmd::util

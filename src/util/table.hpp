@@ -1,0 +1,39 @@
+// Plain-text table rendering for the benchmark harness: every reproduced
+// paper table/figure prints through this so the output format is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering pads every column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);  // 0.961 -> "96.1%"
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a separator line under the header.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (for piping into plotting scripts).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner, used by bench binaries to label paper artifacts
+/// ("Table 2", "Figure 3(b)", ...).
+std::string banner(const std::string& title);
+
+}  // namespace drlhmd::util

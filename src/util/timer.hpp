@@ -1,0 +1,27 @@
+// Wall-clock timing helper for latency measurement (Metric Monitor inputs).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace drlhmd::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace drlhmd::util

@@ -1,0 +1,148 @@
+#include "adversarial/attack_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::adversarial {
+namespace {
+
+struct BaselineFixture {
+  ml::Dataset train;
+  ml::LogisticRegression surrogate;
+  ml::FeatureBounds bounds;
+
+  BaselineFixture() {
+    util::Rng rng(21);
+    for (int i = 0; i < 400; ++i) {
+      std::vector<double> benign(4), malware(4);
+      for (int c = 0; c < 4; ++c) {
+        benign[c] = rng.normal(0.0, 1.0);
+        malware[c] = rng.normal(3.0, 1.0);
+      }
+      train.push(std::move(benign), 0);
+      train.push(std::move(malware), 1);
+    }
+    surrogate.fit(train);
+    bounds = ml::feature_bounds(train);
+  }
+
+  ml::Dataset malware_rows() const {
+    ml::Dataset out;
+    for (std::size_t i = 0; i < train.size(); ++i)
+      if (train.y[i] == 1) out.push(train.X[i], 1);
+    return out;
+  }
+};
+
+TEST(FgsmTest, Validation) {
+  const BaselineFixture fx;
+  FgsmConfig bad;
+  bad.epsilon = 0.0;
+  EXPECT_THROW(FgsmAttack(fx.surrogate, fx.bounds, bad), std::invalid_argument);
+  bad = {};
+  bad.target_label = 7;
+  EXPECT_THROW(FgsmAttack(fx.surrogate, fx.bounds, bad), std::invalid_argument);
+  ml::LogisticRegression untrained;
+  EXPECT_THROW(FgsmAttack(untrained, fx.bounds), std::logic_error);
+}
+
+TEST(FgsmTest, LargeEpsilonEvadesSurrogate) {
+  const BaselineFixture fx;
+  FgsmConfig cfg;
+  cfg.epsilon = 4.0;
+  FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
+  const auto report = attack.evaluate_campaign(fx.malware_rows());
+  EXPECT_GT(report.success_rate, 0.9);
+}
+
+TEST(FgsmTest, TinyEpsilonFails) {
+  const BaselineFixture fx;
+  FgsmConfig cfg;
+  cfg.epsilon = 0.05;
+  FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
+  const auto report = attack.evaluate_campaign(fx.malware_rows());
+  EXPECT_LT(report.success_rate, 0.2);
+}
+
+TEST(FgsmTest, PerturbationIsSignedUniform) {
+  const BaselineFixture fx;
+  FgsmConfig cfg;
+  cfg.epsilon = 1.0;
+  FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
+  const auto result = attack.attack(fx.malware_rows().X[0]);
+  // Without clipping, every component would be exactly +-epsilon; with
+  // clipping it can only shrink.
+  for (double r : result.perturbation) EXPECT_LE(std::abs(r), 1.0 + 1e-12);
+  EXPECT_EQ(result.steps_used, 1u);
+}
+
+TEST(FgsmTest, RespectsClipBounds) {
+  const BaselineFixture fx;
+  FgsmConfig cfg;
+  cfg.epsilon = 50.0;  // would fly far out of range without clipping
+  FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
+  const auto result = attack.attack(fx.malware_rows().X[0]);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GE(result.adversarial[c], fx.bounds.lo[c] - 1e-9);
+    EXPECT_LE(result.adversarial[c], fx.bounds.hi[c] + 1e-9);
+  }
+}
+
+TEST(RandomNoiseTest, RarelyEvades) {
+  const BaselineFixture fx;
+  RandomNoiseConfig cfg;
+  cfg.epsilon = 1.0;
+  RandomNoiseAttack attack(fx.surrogate, fx.bounds, cfg);
+  const auto report = attack.evaluate_campaign(fx.malware_rows());
+  // Undirected noise of the same magnitude as a successful FGSM step must
+  // be far less effective — the null hypothesis the gradient refutes.
+  EXPECT_LT(report.success_rate, 0.1);
+}
+
+TEST(RandomNoiseTest, Validation) {
+  const BaselineFixture fx;
+  RandomNoiseConfig bad;
+  bad.epsilon = -1.0;
+  EXPECT_THROW(RandomNoiseAttack(fx.surrogate, fx.bounds, bad),
+               std::invalid_argument);
+}
+
+TEST(RandomNoiseTest, PerturbationBounded) {
+  const BaselineFixture fx;
+  RandomNoiseConfig cfg;
+  cfg.epsilon = 0.5;
+  RandomNoiseAttack attack(fx.surrogate, fx.bounds, cfg);
+  for (int i = 0; i < 10; ++i) {
+    const auto result = attack.attack(fx.malware_rows().X[i]);
+    for (double r : result.perturbation) EXPECT_LE(std::abs(r), 0.5 + 1e-12);
+  }
+}
+
+TEST(AttackComparisonTest, GradientBeatsNoiseAtEqualBudget) {
+  const BaselineFixture fx;
+  const double eps = 2.0;
+  FgsmConfig fcfg;
+  fcfg.epsilon = eps;
+  RandomNoiseConfig ncfg;
+  ncfg.epsilon = eps;
+  FgsmAttack fgsm(fx.surrogate, fx.bounds, fcfg);
+  RandomNoiseAttack noise(fx.surrogate, fx.bounds, ncfg);
+  const auto malware = fx.malware_rows();
+  EXPECT_GT(fgsm.evaluate_campaign(malware).success_rate,
+            noise.evaluate_campaign(malware).success_rate + 0.3);
+}
+
+TEST(AttackBaselinesTest, DatasetHelpersPreserveLabels) {
+  const BaselineFixture fx;
+  FgsmConfig cfg;
+  cfg.epsilon = 4.0;
+  FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
+  const ml::Dataset attacked = attack.attack_dataset(fx.train);
+  ASSERT_EQ(attacked.size(), fx.train.size());
+  EXPECT_EQ(attacked.y, fx.train.y);
+}
+
+}  // namespace
+}  // namespace drlhmd::adversarial

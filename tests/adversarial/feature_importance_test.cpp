@@ -1,0 +1,69 @@
+#include "adversarial/feature_importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::adversarial {
+namespace {
+
+TEST(NormalizeImportanceTest, UnitL2Norm) {
+  const auto v = normalize_importance({3.0, 4.0});
+  EXPECT_NEAR(v[0], 0.6, 1e-12);
+  EXPECT_NEAR(v[1], 0.8, 1e-12);
+}
+
+TEST(NormalizeImportanceTest, AllZeroBecomesUniform) {
+  const auto v = normalize_importance({0.0, 0.0, 0.0, 0.0});
+  for (double x : v) EXPECT_NEAR(x, 0.5, 1e-12);
+}
+
+TEST(NormalizeImportanceTest, Errors) {
+  EXPECT_THROW(normalize_importance({}), std::invalid_argument);
+  EXPECT_THROW(normalize_importance({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ImportanceFromLrTest, ReflectsCoefficientMagnitudes) {
+  // Feature 0 drives the label; feature 1 is noise.
+  util::Rng rng(3);
+  ml::Dataset d;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    d.push({label == 1 ? rng.normal(2, 0.5) : rng.normal(-2, 0.5),
+            rng.normal(0, 1)},
+           label);
+  }
+  ml::LogisticRegression lr;
+  lr.fit(d);
+  const auto v = importance_from_lr(lr);
+  EXPECT_GT(v[0], 5.0 * v[1]);
+  const double norm = std::sqrt(v[0] * v[0] + v[1] * v[1]);
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(ImportanceFromLrTest, UntrainedThrows) {
+  ml::LogisticRegression lr;
+  EXPECT_THROW(importance_from_lr(lr), std::logic_error);
+}
+
+TEST(ImportancePearsonTest, CorrelatedFeatureDominates) {
+  util::Rng rng(5);
+  ml::Dataset d;
+  for (int i = 0; i < 1000; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    d.push({static_cast<double>(label) + rng.normal(0, 0.1), rng.normal(0, 1)},
+           label);
+  }
+  const auto v = importance_pearson(d);
+  EXPECT_GT(v[0], 0.9);
+  EXPECT_LT(v[1], 0.3);
+}
+
+TEST(ImportancePearsonTest, EmptyThrows) {
+  EXPECT_THROW(importance_pearson(ml::Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drlhmd::adversarial

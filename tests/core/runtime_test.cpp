@@ -1,0 +1,121 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::core {
+namespace {
+
+FrameworkConfig runtime_config() {
+  FrameworkConfig cfg;
+  cfg.corpus.benign_apps = 80;
+  cfg.corpus.malware_apps = 80;
+  cfg.corpus.windows_per_app = 4;
+  return cfg;
+}
+
+/// Expensive pipeline shared across the suite.
+class RuntimeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    framework_ = new Framework(runtime_config());
+    framework_->run_all();
+  }
+  static void TearDownTestSuite() {
+    delete framework_;
+    framework_ = nullptr;
+  }
+  static Framework* framework_;
+};
+
+Framework* RuntimeFixture::framework_ = nullptr;
+
+TEST(RuntimeConstructionTest, RequiresTrainedPipeline) {
+  Framework fresh(runtime_config());
+  EXPECT_THROW(DetectionRuntime{fresh}, std::logic_error);
+}
+
+TEST(VerdictNameTest, AllNamed) {
+  EXPECT_EQ(verdict_name(TrafficVerdict::kBenign), "benign");
+  EXPECT_EQ(verdict_name(TrafficVerdict::kMalware), "malware");
+  EXPECT_EQ(verdict_name(TrafficVerdict::kAdversarialMalware),
+            "adversarial-malware");
+}
+
+TEST_F(RuntimeFixture, FlagsAdversarialTraffic) {
+  DetectionRuntime runtime(*framework_);
+  std::size_t flagged = 0;
+  const auto& adv = framework_->adversarial_test();
+  for (const auto& row : adv.X)
+    flagged += runtime.process(row) == TrafficVerdict::kAdversarialMalware ? 1 : 0;
+  EXPECT_GT(static_cast<double>(flagged) / static_cast<double>(adv.size()), 0.9);
+  EXPECT_EQ(runtime.stats().adversarial, flagged);
+  EXPECT_EQ(runtime.quarantine_size(), flagged);
+}
+
+TEST_F(RuntimeFixture, RoutesLegitimateTrafficToDetectors) {
+  DetectionRuntime runtime(*framework_);
+  const auto& test = framework_->test_set();
+  std::size_t correct = 0, routed = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const TrafficVerdict v = runtime.process(test.X[i]);
+    if (v == TrafficVerdict::kAdversarialMalware) continue;  // predictor FP
+    ++routed;
+    const int pred = v == TrafficVerdict::kMalware ? 1 : 0;
+    correct += pred == test.y[i] ? 1 : 0;
+  }
+  ASSERT_GT(routed, test.size() / 2);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(routed), 0.8);
+}
+
+TEST_F(RuntimeFixture, ProcessStreamReportsMetrics) {
+  DetectionRuntime runtime(*framework_);
+  const auto m = runtime.process_stream(framework_->attacked_test_mix());
+  // Adversarial verdicts count as malware: detection on the attacked mix
+  // should be strong (predictor + defended models).
+  EXPECT_GT(m.f1, 0.85);
+  EXPECT_EQ(runtime.stats().processed, framework_->attacked_test_mix().size());
+}
+
+TEST_F(RuntimeFixture, IntegrityValidationPasses) {
+  DetectionRuntime runtime(*framework_);
+  EXPECT_TRUE(runtime.validate_integrity());
+  EXPECT_EQ(runtime.stats().integrity_checks, 1u);
+  EXPECT_EQ(runtime.stats().integrity_alarms, 0u);
+}
+
+TEST_F(RuntimeFixture, PeriodicIntegrityChecksFire) {
+  RuntimeConfig cfg;
+  cfg.integrity_check_period = 10;
+  cfg.retrain_threshold = 0;
+  DetectionRuntime runtime(*framework_, cfg);
+  const auto& test = framework_->test_set();
+  for (std::size_t i = 0; i < 35 && i < test.size(); ++i)
+    runtime.process(test.X[i]);
+  EXPECT_GE(runtime.stats().integrity_checks, 3u);
+}
+
+TEST_F(RuntimeFixture, AdaptiveRetrainingTriggersAndResetsQuarantine) {
+  RuntimeConfig cfg;
+  cfg.retrain_threshold = 25;
+  cfg.integrity_check_period = 0;
+  DetectionRuntime runtime(*framework_, cfg);
+  const auto& adv = framework_->adversarial_test();
+  for (std::size_t i = 0; i < 30 && i < adv.size(); ++i)
+    runtime.process(adv.X[i]);
+  EXPECT_GE(runtime.stats().retrains, 1u);
+  EXPECT_LT(runtime.quarantine_size(), 25u);
+  // After the retrain the defended models stay functional and vaulted.
+  EXPECT_TRUE(runtime.validate_integrity());
+}
+
+TEST_F(RuntimeFixture, IncrementalUpdateRejectsBenignLabels) {
+  ml::Dataset bogus;
+  bogus.push({0.0, 0.0, 0.0, 0.0}, 0);
+  EXPECT_THROW(framework_->incremental_defense_update(bogus),
+               std::invalid_argument);
+  // Empty update is a no-op.
+  EXPECT_NO_THROW(framework_->incremental_defense_update(ml::Dataset{}));
+}
+
+}  // namespace
+}  // namespace drlhmd::core

@@ -1,0 +1,94 @@
+#include "integrity/metric_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/logistic_regression.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::integrity {
+namespace {
+
+ml::Dataset blobs(std::size_t n, double gap, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.push({rng.normal(0, 1), rng.normal(0, 1)}, 0);
+    d.push({rng.normal(gap, 1), rng.normal(gap, 1)}, 1);
+  }
+  return d;
+}
+
+TEST(MetricMonitorTest, ToleranceValidation) {
+  EXPECT_THROW(MetricMonitor(0.0), std::invalid_argument);
+  EXPECT_THROW(MetricMonitor(-1.0), std::invalid_argument);
+}
+
+TEST(MetricMonitorTest, UnchangedModelShowsNoDeviation) {
+  const ml::Dataset train = blobs(200, 3.0, 1);
+  const ml::Dataset reserved = blobs(100, 3.0, 2);
+  ml::LogisticRegression lr;
+  lr.fit(train);
+
+  MetricMonitor monitor(0.02);
+  monitor.record_baseline(lr, reserved);
+  const DeviationReport report = monitor.assess(lr, reserved);
+  EXPECT_FALSE(report.deviated);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_EQ(monitor.tracked_models(), 1u);
+}
+
+TEST(MetricMonitorTest, SwappedModelTriggersDeviation) {
+  const ml::Dataset train = blobs(200, 3.0, 1);
+  const ml::Dataset reserved = blobs(100, 3.0, 2);
+  ml::LogisticRegression good;
+  good.fit(train);
+
+  // An "attacker-replaced" model: trained on inverted labels.
+  ml::Dataset poisoned = train;
+  for (auto& y : poisoned.y) y = 1 - y;
+  ml::LogisticRegression bad;
+  bad.fit(poisoned);
+
+  MetricMonitor monitor(0.05);
+  monitor.record_baseline(good, reserved);
+  // Same name, different behaviour -> the monitor flags it.
+  const DeviationReport report = monitor.assess(bad, reserved);
+  EXPECT_TRUE(report.deviated);
+  EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(MetricMonitorTest, AssessWithoutBaselineThrows) {
+  const ml::Dataset reserved = blobs(50, 3.0, 3);
+  ml::LogisticRegression lr;
+  lr.fit(reserved);
+  MetricMonitor monitor;
+  EXPECT_THROW(monitor.assess(lr, reserved), std::logic_error);
+}
+
+TEST(MetricMonitorTest, BaselineAccessor) {
+  const ml::Dataset train = blobs(100, 3.0, 4);
+  ml::LogisticRegression lr;
+  lr.fit(train);
+  MetricMonitor monitor;
+  EXPECT_FALSE(monitor.baseline("LR").has_value());
+  monitor.record_baseline(lr, train);
+  const auto baseline = monitor.baseline("LR");
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_EQ(baseline->model_name, "LR");
+  EXPECT_GT(baseline->metrics.accuracy, 0.9);
+}
+
+TEST(MetricMonitorTest, LooseToleranceSuppressesSmallDrift) {
+  const ml::Dataset train = blobs(200, 2.0, 5);
+  const ml::Dataset reserved_a = blobs(100, 2.0, 6);
+  const ml::Dataset reserved_b = blobs(100, 2.0, 7);  // different draw
+  ml::DecisionTree tree;
+  tree.fit(train);
+  MetricMonitor loose(0.25);
+  loose.record_baseline(tree, reserved_a);
+  EXPECT_FALSE(loose.assess(tree, reserved_b).deviated);
+}
+
+}  // namespace
+}  // namespace drlhmd::integrity

@@ -1,0 +1,96 @@
+#include "integrity/model_vault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/logistic_regression.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::integrity {
+namespace {
+
+std::vector<std::uint8_t> trained_lr_bytes(std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.push({rng.normal(0, 1), rng.normal(0, 1)}, 0);
+    d.push({rng.normal(3, 1), rng.normal(3, 1)}, 1);
+  }
+  ml::LogisticRegression lr;
+  lr.fit(d);
+  return lr.serialize();
+}
+
+TEST(ModelVaultTest, DeployAndVerifyIntact) {
+  ModelVault vault;
+  const auto bytes = trained_lr_bytes();
+  const std::string digest = vault.deploy("LR", bytes, 20240623);
+  EXPECT_EQ(digest.size(), 64u);
+  EXPECT_EQ(vault.verify("LR", bytes), VerificationStatus::kIntact);
+  EXPECT_EQ(vault.size(), 1u);
+}
+
+TEST(ModelVaultTest, DetectsTampering) {
+  ModelVault vault;
+  auto bytes = trained_lr_bytes();
+  vault.deploy("LR", bytes, 20240623);
+  bytes[bytes.size() / 2] ^= 0x01;  // single-bit flip
+  EXPECT_EQ(vault.verify("LR", bytes), VerificationStatus::kTampered);
+}
+
+TEST(ModelVaultTest, UnknownModel) {
+  ModelVault vault;
+  const auto bytes = trained_lr_bytes();
+  EXPECT_EQ(vault.verify("ghost", bytes), VerificationStatus::kUnknownModel);
+  EXPECT_FALSE(vault.restore("ghost").has_value());
+  EXPECT_FALSE(vault.record("ghost").has_value());
+}
+
+TEST(ModelVaultTest, RestoreReturnsGoldenCopy) {
+  ModelVault vault;
+  const auto bytes = trained_lr_bytes();
+  vault.deploy("LR", bytes, 1);
+  const auto restored = vault.restore("LR");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, bytes);
+  // The restored bytes must deserialize into a working model.
+  EXPECT_NO_THROW(ml::LogisticRegression::deserialize(*restored));
+}
+
+TEST(ModelVaultTest, DigestBindsNameAndTimestamp) {
+  const auto bytes = trained_lr_bytes();
+  const std::string d1 = ModelVault::compute_digest("A", 1, bytes);
+  const std::string d2 = ModelVault::compute_digest("B", 1, bytes);
+  const std::string d3 = ModelVault::compute_digest("A", 2, bytes);
+  EXPECT_NE(d1, d2);
+  EXPECT_NE(d1, d3);
+  EXPECT_EQ(d1, ModelVault::compute_digest("A", 1, bytes));
+}
+
+TEST(ModelVaultTest, RedeployReplacesRecord) {
+  ModelVault vault;
+  const auto v1 = trained_lr_bytes(1);
+  const auto v2 = trained_lr_bytes(2);
+  vault.deploy("LR", v1, 1);
+  vault.deploy("LR", v2, 2);
+  EXPECT_EQ(vault.size(), 1u);
+  EXPECT_EQ(vault.verify("LR", v2), VerificationStatus::kIntact);
+  EXPECT_EQ(vault.verify("LR", v1), VerificationStatus::kTampered);
+}
+
+TEST(ModelVaultTest, EmptyNameRejected) {
+  ModelVault vault;
+  EXPECT_THROW(vault.deploy("", {1, 2, 3}, 0), std::invalid_argument);
+}
+
+TEST(ModelVaultTest, RecordExposesMetadata) {
+  ModelVault vault;
+  vault.deploy("LR", {1, 2, 3}, 42);
+  const auto rec = vault.record("LR");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->model_name, "LR");
+  EXPECT_EQ(rec->deployed_at, 42u);
+  EXPECT_EQ(rec->digest_hex.size(), 64u);
+}
+
+}  // namespace
+}  // namespace drlhmd::integrity

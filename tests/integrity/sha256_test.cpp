@@ -1,0 +1,92 @@
+#include "integrity/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace drlhmd::integrity {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, LongerTwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(sha256("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                    "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: exactly one block before padding.
+  const std::string block(64, 'x');
+  // Reference computed with coreutils sha256sum.
+  EXPECT_EQ(to_hex(sha256(block)),
+            "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  const std::string message = "The quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (char c : message)
+    hasher.update(std::string_view(&c, 1));
+  EXPECT_EQ(to_hex(hasher.finish()), to_hex(sha256(message)));
+}
+
+TEST(Sha256Test, SplitAtArbitraryBoundaries) {
+  const std::string message(300, 'z');
+  for (std::size_t split : {1u, 37u, 63u, 64u, 65u, 128u, 299u}) {
+    Sha256 hasher;
+    hasher.update(std::string_view(message).substr(0, split));
+    hasher.update(std::string_view(message).substr(split));
+    EXPECT_EQ(to_hex(hasher.finish()), to_hex(sha256(message))) << split;
+  }
+}
+
+TEST(Sha256Test, BinaryInput) {
+  std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x10, 0x80};
+  const auto d1 = sha256(bytes);
+  bytes[0] = 0x01;
+  const auto d2 = sha256(bytes);
+  EXPECT_NE(to_hex(d1), to_hex(d2));
+}
+
+TEST(Sha256Test, UseAfterFinishThrows) {
+  Sha256 hasher;
+  hasher.update("abc");
+  hasher.finish();
+  EXPECT_THROW(hasher.update("more"), std::logic_error);
+  EXPECT_THROW(hasher.finish(), std::logic_error);
+}
+
+TEST(Sha256Test, HexIs64LowercaseChars) {
+  const auto hex = to_hex(sha256("x"));
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+}  // namespace
+}  // namespace drlhmd::integrity

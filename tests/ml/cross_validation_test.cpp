@@ -1,0 +1,87 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic_regression.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+Dataset blobs(std::size_t n_per_class, double gap, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    d.push({rng.normal(0, 1), rng.normal(0, 1)}, 0);
+    d.push({rng.normal(gap, 1), rng.normal(gap, 1)}, 1);
+  }
+  return d;
+}
+
+TEST(StratifiedFoldsTest, EveryFoldBalanced) {
+  const Dataset d = blobs(50, 3.0, 1);
+  util::Rng rng(2);
+  const auto folds = stratified_folds(d, 5, rng);
+  ASSERT_EQ(folds.size(), d.size());
+  std::vector<std::size_t> pos_per_fold(5, 0), neg_per_fold(5, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    ASSERT_LT(folds[i], 5u);
+    (d.y[i] == 1 ? pos_per_fold : neg_per_fold)[folds[i]] += 1;
+  }
+  for (std::size_t f = 0; f < 5; ++f) {
+    EXPECT_EQ(pos_per_fold[f], 10u);
+    EXPECT_EQ(neg_per_fold[f], 10u);
+  }
+}
+
+TEST(StratifiedFoldsTest, KBelowTwoThrows) {
+  const Dataset d = blobs(10, 3.0, 1);
+  util::Rng rng(3);
+  EXPECT_THROW(stratified_folds(d, 1, rng), std::invalid_argument);
+}
+
+TEST(CrossValidateTest, HighScoresOnSeparableData) {
+  LogisticRegression prototype;
+  const auto result = cross_validate(prototype, blobs(100, 4.0, 4), 5);
+  ASSERT_EQ(result.folds.size(), 5u);
+  EXPECT_GT(result.mean_accuracy(), 0.95);
+  EXPECT_GT(result.mean_f1(), 0.95);
+  EXPECT_GT(result.mean_auc(), 0.99);
+  EXPECT_LT(result.stddev_f1(), 0.06);
+}
+
+TEST(CrossValidateTest, HardDataShowsVariance) {
+  DecisionTree prototype;
+  const auto result = cross_validate(prototype, blobs(60, 0.8, 5), 4);
+  EXPECT_LT(result.mean_accuracy(), 0.9);  // overlapping classes
+  EXPECT_GT(result.mean_accuracy(), 0.5);
+}
+
+TEST(CrossValidateTest, DeterministicInSeed) {
+  LogisticRegression prototype;
+  const Dataset d = blobs(60, 2.0, 6);
+  const auto a = cross_validate(prototype, d, 3, 42);
+  const auto b = cross_validate(prototype, d, 3, 42);
+  ASSERT_EQ(a.folds.size(), b.folds.size());
+  for (std::size_t f = 0; f < a.folds.size(); ++f)
+    EXPECT_DOUBLE_EQ(a.folds[f].f1, b.folds[f].f1);
+}
+
+TEST(CrossValidateTest, Errors) {
+  LogisticRegression prototype;
+  EXPECT_THROW(cross_validate(prototype, blobs(30, 2.0, 7), 1),
+               std::invalid_argument);
+  EXPECT_THROW(cross_validate(prototype, blobs(3, 2.0, 8), 10),
+               std::invalid_argument);
+}
+
+TEST(CrossValidationResultTest, EmptyIsZero) {
+  const CrossValidationResult empty;
+  EXPECT_EQ(empty.mean_accuracy(), 0.0);
+  EXPECT_EQ(empty.mean_f1(), 0.0);
+  EXPECT_EQ(empty.stddev_f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -1,0 +1,120 @@
+#include "ml/curves.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+TEST(RocCurveTest, PerfectSeparation) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const auto curve = roc_curve(truth, scores);
+  // First point (0,0), last point (1,1).
+  EXPECT_EQ(curve.front().fpr, 0.0);
+  EXPECT_EQ(curve.front().tpr, 0.0);
+  EXPECT_EQ(curve.back().fpr, 1.0);
+  EXPECT_EQ(curve.back().tpr, 1.0);
+  EXPECT_NEAR(auc_from_curve(curve), 1.0, 1e-12);
+}
+
+TEST(RocCurveTest, AreaMatchesRankAuc) {
+  util::Rng rng(3);
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 500; ++i) {
+    const int label = rng.bernoulli(0.4) ? 1 : 0;
+    truth.push_back(label);
+    scores.push_back(rng.normal(label == 1 ? 1.0 : 0.0, 1.0));
+  }
+  const double rank_auc = roc_auc(truth, scores);
+  const double curve_auc = auc_from_curve(roc_curve(truth, scores));
+  EXPECT_NEAR(rank_auc, curve_auc, 1e-9);
+}
+
+TEST(RocCurveTest, TiesCollapseToOnePoint) {
+  const std::vector<int> truth = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const auto curve = roc_curve(truth, scores);
+  ASSERT_EQ(curve.size(), 2u);  // origin + single tied point
+  EXPECT_NEAR(auc_from_curve(curve), 0.5, 1e-12);
+}
+
+TEST(RocCurveTest, MonotoneNondecreasing) {
+  util::Rng rng(5);
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 200; ++i) {
+    truth.push_back(rng.bernoulli(0.5) ? 1 : 0);
+    scores.push_back(rng.uniform());
+  }
+  const auto curve = roc_curve(truth, scores);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr + 1e-12, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr + 1e-12, curve[i - 1].tpr);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(RocCurveTest, Errors) {
+  const std::vector<int> truth = {0, 1};
+  const std::vector<double> short_scores = {0.5};
+  EXPECT_THROW(roc_curve(truth, short_scores), std::invalid_argument);
+  const std::vector<int> bad = {0, 2};
+  const std::vector<double> scores = {0.5, 0.6};
+  EXPECT_THROW(roc_curve(bad, scores), std::invalid_argument);
+  EXPECT_THROW(roc_curve({}, {}), std::invalid_argument);
+}
+
+TEST(PrCurveTest, PerfectSeparation) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const auto curve = pr_curve(truth, scores);
+  // At the highest threshold precision is 1; at the end recall is 1.
+  EXPECT_EQ(curve.front().precision, 1.0);
+  EXPECT_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, RecallNondecreasing) {
+  util::Rng rng(7);
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 300; ++i) {
+    truth.push_back(rng.bernoulli(0.3) ? 1 : 0);
+    scores.push_back(rng.uniform());
+  }
+  const auto curve = pr_curve(truth, scores);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].recall + 1e-12, curve[i - 1].recall);
+}
+
+TEST(ThresholdForFprTest, RespectsBudget) {
+  util::Rng rng(9);
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 1000; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    truth.push_back(label);
+    scores.push_back(rng.normal(label == 1 ? 1.5 : 0.0, 1.0));
+  }
+  for (const double budget : {0.01, 0.05, 0.2}) {
+    const double threshold = threshold_for_fpr(truth, scores, budget);
+    const MetricReport m = evaluate_scores(truth, scores, threshold);
+    EXPECT_LE(m.fpr, budget + 1e-9) << budget;
+  }
+  EXPECT_THROW(threshold_for_fpr(truth, scores, 1.5), std::invalid_argument);
+}
+
+TEST(ThresholdForFprTest, ZeroBudgetMeansNoFalsePositives) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.6, 0.7, 0.9};
+  const double threshold = threshold_for_fpr(truth, scores, 0.0);
+  const MetricReport m = evaluate_scores(truth, scores, threshold);
+  EXPECT_EQ(m.fpr, 0.0);
+  EXPECT_GT(m.tpr, 0.0);
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

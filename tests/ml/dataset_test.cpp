@@ -1,0 +1,127 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace drlhmd::ml {
+namespace {
+
+Dataset make_data(std::size_t n_benign, std::size_t n_malware) {
+  Dataset d;
+  d.feature_names = {"f0", "f1"};
+  for (std::size_t i = 0; i < n_benign; ++i)
+    d.push({static_cast<double>(i), 0.0}, 0);
+  for (std::size_t i = 0; i < n_malware; ++i)
+    d.push({static_cast<double>(i), 1.0}, 1);
+  return d;
+}
+
+TEST(DatasetTest, BasicAccounting) {
+  const Dataset d = make_data(3, 5);
+  EXPECT_EQ(d.size(), 8u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.count_label(0), 3u);
+  EXPECT_EQ(d.count_label(1), 5u);
+}
+
+TEST(DatasetTest, ValidateCatchesProblems) {
+  Dataset d = make_data(2, 2);
+  EXPECT_NO_THROW(d.validate());
+
+  Dataset ragged = d;
+  ragged.X[1].push_back(7.0);
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+
+  Dataset bad_label = d;
+  bad_label.y[0] = 2;
+  EXPECT_THROW(bad_label.validate(), std::invalid_argument);
+
+  Dataset mismatch = d;
+  mismatch.y.pop_back();
+  EXPECT_THROW(mismatch.validate(), std::invalid_argument);
+
+  Dataset bad_names = d;
+  bad_names.feature_names.push_back("extra");
+  EXPECT_THROW(bad_names.validate(), std::invalid_argument);
+}
+
+TEST(DatasetTest, AppendMergesRows) {
+  Dataset a = make_data(2, 1);
+  const Dataset b = make_data(1, 2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_EQ(a.count_label(1), 3u);
+}
+
+TEST(DatasetTest, AppendRejectsWidthMismatch) {
+  Dataset a = make_data(1, 1);
+  Dataset b;
+  b.push({1.0}, 0);
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+TEST(DatasetTest, ShuffleKeepsPairsAligned) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i)
+    d.push({static_cast<double>(i)}, i % 2);
+  util::Rng rng(3);
+  d.shuffle(rng);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    // Feature value parity must still match the label.
+    EXPECT_EQ(static_cast<int>(d.X[i][0]) % 2, d.y[i]);
+  }
+}
+
+TEST(DatasetTest, SelectFeaturesReordersColumns) {
+  Dataset d = make_data(1, 1);
+  const std::vector<std::size_t> idx = {1, 0};
+  const Dataset sel = d.select_features(idx);
+  EXPECT_EQ(sel.num_features(), 2u);
+  EXPECT_EQ(sel.feature_names[0], "f1");
+  EXPECT_EQ(sel.X[0][0], d.X[0][1]);
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(d.select_features(bad), std::out_of_range);
+}
+
+TEST(StratifiedSplitTest, PreservesClassBalance) {
+  const Dataset d = make_data(100, 60);
+  util::Rng rng(5);
+  const TrainTestSplit split = stratified_split(d, 0.25, rng);
+  EXPECT_EQ(split.test.count_label(0), 25u);
+  EXPECT_EQ(split.test.count_label(1), 15u);
+  EXPECT_EQ(split.train.count_label(0), 75u);
+  EXPECT_EQ(split.train.count_label(1), 45u);
+}
+
+TEST(StratifiedSplitTest, NoRowLostOrDuplicated) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.push({static_cast<double>(i)}, i % 2);
+  util::Rng rng(7);
+  const TrainTestSplit split = stratified_split(d, 0.3, rng);
+  std::set<double> seen;
+  for (const auto& row : split.train.X) seen.insert(row[0]);
+  for (const auto& row : split.test.X) seen.insert(row[0]);
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(split.train.size() + split.test.size(), 50u);
+}
+
+TEST(StratifiedSplitTest, BadFractionThrows) {
+  const Dataset d = make_data(4, 4);
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(PaperProtocolSplitTest, ProportionsMatch80_20_Twice) {
+  const Dataset d = make_data(500, 500);
+  util::Rng rng(11);
+  const TrainValTest split = paper_protocol_split(d, rng);
+  // 80:20 outer, then 80:20 of the 800 -> 640 / 160 / 200.
+  EXPECT_EQ(split.test.size(), 200u);
+  EXPECT_EQ(split.val.size(), 160u);
+  EXPECT_EQ(split.train.size(), 640u);
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -1,0 +1,115 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::ml {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsCells) {
+  ConfusionMatrix cm;
+  cm.add(1, 1);  // tp
+  cm.add(1, 0);  // fn
+  cm.add(0, 1);  // fp
+  cm.add(0, 0);  // tn
+  cm.add(1, 1);  // tp
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_THROW(cm.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(cm.add(0, -1), std::invalid_argument);
+}
+
+TEST(MetricsTest, KnownValues) {
+  // tp=4, fp=1, tn=3, fn=2
+  const std::vector<int> truth = {1, 1, 1, 1, 1, 1, 0, 0, 0, 0};
+  const std::vector<int> pred = {1, 1, 1, 1, 0, 0, 1, 0, 0, 0};
+  const MetricReport m = evaluate_predictions(truth, pred);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(m.precision, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(m.recall, 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(m.tpr, m.recall);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.25);
+  EXPECT_DOUBLE_EQ(m.tnr, 0.75);
+  EXPECT_DOUBLE_EQ(m.fnr, 2.0 / 6.0);
+  const double f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  EXPECT_DOUBLE_EQ(m.f1, f1);
+}
+
+TEST(MetricsTest, ComplementaryIdentities) {
+  const std::vector<int> truth = {1, 0, 1, 0, 1, 1, 0};
+  const std::vector<int> pred = {1, 1, 0, 0, 1, 0, 1};
+  const MetricReport m = evaluate_predictions(truth, pred);
+  EXPECT_NEAR(m.tpr + m.fnr, 1.0, 1e-12);
+  EXPECT_NEAR(m.fpr + m.tnr, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateAllNegativePredictions) {
+  const std::vector<int> truth = {1, 1, 0};
+  const std::vector<int> pred = {0, 0, 0};
+  const MetricReport m = evaluate_predictions(truth, pred);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+  EXPECT_EQ(m.fpr, 0.0);
+}
+
+TEST(MetricsTest, SizeMismatchThrows) {
+  const std::vector<int> truth = {1};
+  const std::vector<int> pred = {1, 0};
+  EXPECT_THROW(evaluate_predictions(truth, pred), std::invalid_argument);
+  const std::vector<double> scores = {0.5, 0.6};
+  EXPECT_THROW(evaluate_scores(truth, scores), std::invalid_argument);
+}
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, scores), 1.0);
+}
+
+TEST(AucTest, InvertedSeparationIsZero) {
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, scores), 0.0);
+}
+
+TEST(AucTest, AllTiedScoresIsHalf) {
+  const std::vector<int> truth = {0, 1, 0, 1};
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, scores), 0.5);
+}
+
+TEST(AucTest, KnownPartialOverlap) {
+  // positives: 0.4, 0.8; negatives: 0.2, 0.6
+  // pairs: (0.4>0.2)=1, (0.4<0.6)=0, (0.8>0.2)=1, (0.8>0.6)=1 -> 3/4
+  const std::vector<int> truth = {1, 1, 0, 0};
+  const std::vector<double> scores = {0.4, 0.8, 0.2, 0.6};
+  EXPECT_DOUBLE_EQ(roc_auc(truth, scores), 0.75);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  const std::vector<int> truth = {1, 1};
+  const std::vector<double> scores = {0.3, 0.7};
+  EXPECT_EQ(roc_auc(truth, scores), 0.5);
+}
+
+TEST(MetricsTest, EvaluateScoresThresholds) {
+  const std::vector<int> truth = {0, 1};
+  const std::vector<double> scores = {0.4, 0.6};
+  const MetricReport at_half = evaluate_scores(truth, scores, 0.5);
+  EXPECT_DOUBLE_EQ(at_half.accuracy, 1.0);
+  const MetricReport at_low = evaluate_scores(truth, scores, 0.3);
+  EXPECT_DOUBLE_EQ(at_low.fpr, 1.0);
+}
+
+TEST(MetricsTest, RowFormattingMatchesHeader) {
+  const MetricReport m;
+  EXPECT_EQ(metric_row(m).size(), metric_header().size());
+  EXPECT_EQ(metric_header()[0], "ACC");
+  EXPECT_EQ(metric_header()[2], "AUC");
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/conv_net.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/mlp.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs in 4-D (the engineered feature width).
+Dataset blobs(std::size_t n_per_class, double gap = 3.0, std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(gap, 1.0);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+/// XOR in two dimensions: linearly inseparable.
+Dataset xor_data(std::size_t n, std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool a = rng.bernoulli(0.5), b = rng.bernoulli(0.5);
+    d.push({a ? 1.0 + rng.normal(0, 0.1) : rng.normal(0, 0.1),
+            b ? 1.0 + rng.normal(0, 0.1) : rng.normal(0, 0.1)},
+           (a != b) ? 1 : 0);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------- Sweep --
+
+class ModelSweep : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelSweep, LearnsSeparableBlobs) {
+  auto model = make_model(GetParam());
+  const Dataset train = blobs(200);
+  const Dataset test = blobs(100, 3.0, 99);
+  model->fit(train);
+  EXPECT_TRUE(model->trained());
+  const MetricReport m = model->evaluate(test);
+  EXPECT_GT(m.accuracy, 0.95) << model->name();
+  EXPECT_GT(m.auc, 0.97) << model->name();
+}
+
+TEST_P(ModelSweep, ProbabilitiesAreProbabilities) {
+  auto model = make_model(GetParam());
+  model->fit(blobs(100));
+  const Dataset test = blobs(50, 3.0, 123);
+  for (const auto& row : test.X) {
+    const double p = model->predict_proba(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(ModelSweep, DeterministicRetraining) {
+  auto a = make_model(GetParam());
+  auto b = make_model(GetParam());
+  const Dataset train = blobs(120);
+  a->fit(train);
+  b->fit(train);
+  const Dataset test = blobs(20, 3.0, 321);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(a->predict_proba(row), b->predict_proba(row)) << a->name();
+}
+
+TEST_P(ModelSweep, CloneUntrainedIsFreshAndEquivalent) {
+  auto model = make_model(GetParam());
+  const Dataset train = blobs(120);
+  model->fit(train);
+  auto clone = model->clone_untrained();
+  EXPECT_FALSE(clone->trained());
+  clone->fit(train);
+  const Dataset test = blobs(20, 3.0, 456);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(model->predict_proba(row), clone->predict_proba(row));
+}
+
+TEST_P(ModelSweep, PredictBeforeFitThrows) {
+  auto model = make_model(GetParam());
+  const std::vector<double> x = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_THROW(model->predict_proba(x), std::logic_error);
+}
+
+TEST_P(ModelSweep, FitEmptyDatasetThrows) {
+  auto model = make_model(GetParam());
+  EXPECT_THROW(model->fit(Dataset{}), std::invalid_argument);
+}
+
+TEST_P(ModelSweep, SerializedFormIsNonEmptyAndStable) {
+  auto model = make_model(GetParam());
+  model->fit(blobs(80));
+  const auto bytes1 = model->serialize();
+  const auto bytes2 = model->serialize();
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::Values(ModelKind::kRf, ModelKind::kDt,
+                                           ModelKind::kLr, ModelKind::kMlp,
+                                           ModelKind::kLightGbm, ModelKind::kNn),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ModelKind::kRf: return "RF";
+                             case ModelKind::kDt: return "DT";
+                             case ModelKind::kLr: return "LR";
+                             case ModelKind::kMlp: return "MLP";
+                             case ModelKind::kLightGbm: return "LightGBM";
+                             case ModelKind::kNn: return "NN";
+                           }
+                           return "unknown";
+                         });
+
+// -------------------------------------------------- Model-specific tests --
+
+TEST(LogisticRegressionTest, SerializeRoundTrip) {
+  LogisticRegression lr;
+  lr.fit(blobs(100));
+  const LogisticRegression restored = LogisticRegression::deserialize(lr.serialize());
+  const Dataset test = blobs(20, 3.0, 11);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(lr.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(LogisticRegressionTest, GradientsPointAlongWeights) {
+  LogisticRegression lr;
+  lr.fit(blobs(200));
+  const std::vector<double> x = {1.0, 1.0, 1.0, 1.0};
+  const auto grad = lr.probability_gradient(x);
+  const auto& w = lr.weights();
+  // dP/dx_i = p(1-p) w_i: same sign as w_i.
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > 1e-6) EXPECT_GT(grad[i], 0.0);
+    if (w[i] < -1e-6) EXPECT_LT(grad[i], 0.0);
+  }
+}
+
+TEST(LogisticRegressionTest, LossGradientNumericCheck) {
+  LogisticRegression lr;
+  lr.fit(blobs(200));
+  const std::vector<double> x = {0.5, -0.3, 1.2, 0.1};
+  const auto grad = lr.loss_gradient(x, 0);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> plus = x, minus = x;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double bce_plus = -std::log(1.0 - lr.predict_proba(plus));
+    const double bce_minus = -std::log(1.0 - lr.predict_proba(minus));
+    EXPECT_NEAR(grad[i], (bce_plus - bce_minus) / (2 * eps), 1e-5);
+  }
+  EXPECT_THROW(lr.loss_gradient(x, 2), std::invalid_argument);
+}
+
+TEST(LogisticRegressionTest, ConfigValidation) {
+  LogisticRegressionConfig bad;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(LogisticRegression{bad}, std::invalid_argument);
+  bad = {};
+  bad.epochs = 0;
+  EXPECT_THROW(LogisticRegression{bad}, std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, SolvesXor) {
+  DecisionTree tree;
+  tree.fit(xor_data(400));
+  const MetricReport m = tree.evaluate(xor_data(200, 99));
+  EXPECT_GT(m.accuracy, 0.95);
+}
+
+TEST(DecisionTreeTest, DepthRespectsLimit) {
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTree tree(cfg);
+  tree.fit(blobs(200, 0.5));  // hard data forces deep growth if allowed
+  EXPECT_LE(tree.depth(), 4u);  // max_depth internal splits -> depth+1 nodes
+}
+
+TEST(DecisionTreeTest, PureNodeStopsSplitting) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.push({1.0, 2.0}, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict_proba(std::vector<double>{1.0, 2.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, WeightedFitIgnoresZeroWeightRows) {
+  Dataset d;
+  d.push({0.0}, 0);
+  d.push({0.1}, 0);
+  d.push({0.9}, 1);
+  d.push({1.0}, 1);
+  d.push({0.4}, 1);  // will be masked out
+  const std::vector<std::uint32_t> weights = {1, 1, 1, 1, 0};
+  DecisionTreeConfig cfg;
+  cfg.min_samples_split = 2;
+  cfg.min_samples_leaf = 1;
+  DecisionTree tree(cfg);
+  tree.fit_weighted(d, weights);
+  // With the third row ignored, threshold sits at 0.5: 0.4 -> benign side.
+  EXPECT_LT(tree.predict_proba(std::vector<double>{0.2}), 0.5);
+  const std::vector<std::uint32_t> zeros = {0, 0, 0, 0, 0};
+  EXPECT_THROW(tree.fit_weighted(d, zeros), std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, SerializeRoundTrip) {
+  DecisionTree tree;
+  tree.fit(xor_data(200));
+  const DecisionTree restored = DecisionTree::deserialize(tree.serialize());
+  const Dataset test = xor_data(50, 3);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(tree.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(RandomForestTest, OutperformsSingleTreeOnNoisyData) {
+  const Dataset train = blobs(300, 1.2);
+  const Dataset test = blobs(300, 1.2, 1234);
+  DecisionTree tree;
+  tree.fit(train);
+  RandomForest forest;
+  forest.fit(train);
+  EXPECT_GE(forest.evaluate(test).auc, tree.evaluate(test).auc - 0.005);
+  EXPECT_EQ(forest.tree_count(), RandomForestConfig{}.n_trees);
+}
+
+TEST(RandomForestTest, SerializeRoundTrip) {
+  RandomForestConfig cfg;
+  cfg.n_trees = 5;
+  RandomForest forest(cfg);
+  forest.fit(blobs(100));
+  const RandomForest restored = RandomForest::deserialize(forest.serialize());
+  const Dataset test = blobs(20, 3.0, 77);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(forest.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(GbdtTest, SolvesXor) {
+  Gbdt model;
+  model.fit(xor_data(400));
+  EXPECT_GT(model.evaluate(xor_data(200, 99)).accuracy, 0.95);
+}
+
+TEST(GbdtTest, MoreRoundsFitTrainingDataBetter) {
+  GbdtConfig small;
+  small.n_rounds = 2;
+  GbdtConfig large;
+  large.n_rounds = 60;
+  const Dataset train = blobs(200, 1.0);
+  Gbdt a(small), b(large);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_GE(b.evaluate(train).accuracy, a.evaluate(train).accuracy);
+  EXPECT_EQ(b.tree_count(), 60u);
+}
+
+TEST(GbdtTest, RawScoreIsLogOdds) {
+  Gbdt model;
+  const Dataset train = blobs(150);
+  model.fit(train);
+  const std::vector<double> x = train.X[0];
+  const double raw = model.raw_score(x);
+  const double p = model.predict_proba(x);
+  EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-raw)), 1e-12);
+}
+
+TEST(GbdtTest, SerializeRoundTrip) {
+  GbdtConfig cfg;
+  cfg.n_rounds = 10;
+  Gbdt model(cfg);
+  model.fit(blobs(100));
+  const Gbdt restored = Gbdt::deserialize(model.serialize());
+  const Dataset test = blobs(20, 3.0, 88);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(model.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(GbdtTest, ConfigValidation) {
+  GbdtConfig bad;
+  bad.max_bins = 1;
+  EXPECT_THROW(Gbdt{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_leaves = 1;
+  EXPECT_THROW(Gbdt{bad}, std::invalid_argument);
+}
+
+TEST(MlpTest, SolvesXor) {
+  MlpConfig cfg;
+  cfg.epochs = 150;
+  MlpClassifier mlp(cfg);
+  mlp.fit(xor_data(400));
+  EXPECT_GT(mlp.evaluate(xor_data(200, 99)).accuracy, 0.95);
+}
+
+TEST(MlpTest, SerializeRoundTrip) {
+  MlpClassifier mlp;
+  mlp.fit(blobs(100));
+  const MlpClassifier restored = MlpClassifier::deserialize(mlp.serialize());
+  const Dataset test = blobs(20, 3.0, 55);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(mlp.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(ConvNetTest, ArchitectureIs2Conv3Fc) {
+  ConvNetClassifier nn;
+  nn.fit(blobs(100));
+  EXPECT_GT(nn.param_count(), 0u);
+  // 4 features, kernel 2: conv(1->8), conv(8->16), fc(32->32), fc(32->16),
+  // fc(16->2) — forward must work on 4-wide input.
+  EXPECT_NO_THROW(nn.predict_proba(std::vector<double>{0, 0, 0, 0}));
+}
+
+TEST(ConvNetTest, AdaptsKernelToNarrowInput) {
+  // 2 features cannot carry two valid kernel-2 convolutions; the net clamps
+  // the kernel to 1 instead of failing.
+  ConvNetClassifier nn;
+  nn.fit(xor_data(200));
+  EXPECT_GT(nn.evaluate(xor_data(100, 31)).accuracy, 0.8);
+}
+
+TEST(ConvNetTest, SerializeRoundTrip) {
+  ConvNetClassifier nn;
+  nn.fit(blobs(80));
+  const ConvNetClassifier restored = ConvNetClassifier::deserialize(nn.serialize());
+  const Dataset test = blobs(20, 3.0, 66);
+  for (const auto& row : test.X)
+    EXPECT_DOUBLE_EQ(nn.predict_proba(row), restored.predict_proba(row));
+}
+
+TEST(ModelZooTest, ClassicalExcludesNn) {
+  const auto classical = make_classical_models();
+  ASSERT_EQ(classical.size(), 5u);
+  for (const auto& m : classical) EXPECT_NE(m->name(), "NN");
+  const auto all = make_all_models();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.back()->name(), "NN");
+  EXPECT_EQ(all[0]->name(), "RF");
+  EXPECT_EQ(all[4]->name(), "LightGBM");
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

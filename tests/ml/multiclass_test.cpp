@@ -1,0 +1,110 @@
+#include "ml/multiclass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic_regression.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+/// Three well-separated 2-D clusters.
+MulticlassDataset clusters(std::size_t n_per_class, double gap, std::uint64_t seed) {
+  util::Rng rng(seed);
+  MulticlassDataset d;
+  d.class_names = {"alpha", "beta", "gamma"};
+  const double centers[3][2] = {{0, 0}, {gap, 0}, {0, gap}};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+      d.X.push_back({centers[c][0] + rng.normal(0, 0.7),
+                     centers[c][1] + rng.normal(0, 0.7)});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+TEST(MulticlassDatasetTest, Validation) {
+  MulticlassDataset d = clusters(5, 3.0, 1);
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.count_class(0), 5u);
+
+  MulticlassDataset bad_label = d;
+  bad_label.y[0] = 9;
+  EXPECT_THROW(bad_label.validate(), std::invalid_argument);
+
+  MulticlassDataset ragged = d;
+  ragged.X[0].push_back(1.0);
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+
+  MulticlassDataset no_classes = d;
+  no_classes.class_names.clear();
+  EXPECT_THROW(no_classes.validate(), std::invalid_argument);
+}
+
+TEST(OneVsRestTest, LearnsSeparableClusters) {
+  const LogisticRegression prototype;
+  OneVsRestClassifier model(prototype);
+  model.fit(clusters(150, 5.0, 2));
+  const auto report = model.evaluate(clusters(80, 5.0, 3));
+  EXPECT_GT(report.accuracy, 0.95);
+  EXPECT_GT(report.macro_recall, 0.95);
+  EXPECT_EQ(model.class_count(), 3u);
+}
+
+TEST(OneVsRestTest, ConfusionRowsSumToClassCounts) {
+  const DecisionTree prototype;
+  OneVsRestClassifier model(prototype);
+  model.fit(clusters(100, 3.0, 4));
+  const MulticlassDataset test = clusters(40, 3.0, 5);
+  const auto report = model.evaluate(test);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < 3; ++p) row_total += report.confusion[c][p];
+    EXPECT_EQ(row_total, test.count_class(c));
+  }
+}
+
+TEST(OneVsRestTest, ScoresOnePerClass) {
+  const LogisticRegression prototype;
+  OneVsRestClassifier model(prototype);
+  model.fit(clusters(50, 4.0, 6));
+  const std::vector<double> x = {4.0, 0.0};  // near class beta
+  const auto s = model.scores(x);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(model.predict(x), 1u);
+  for (double v : s) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(OneVsRestTest, Errors) {
+  const LogisticRegression prototype;
+  OneVsRestClassifier model(prototype);
+  const std::vector<double> x = {0.0, 0.0};
+  EXPECT_THROW(model.predict(x), std::logic_error);
+  EXPECT_THROW(model.fit(MulticlassDataset{}), std::invalid_argument);
+
+  MulticlassDataset missing_class = clusters(10, 3.0, 7);
+  missing_class.class_names.push_back("never-seen");
+  EXPECT_THROW(model.fit(missing_class), std::invalid_argument);
+
+  model.fit(clusters(30, 3.0, 8));
+  MulticlassDataset wrong_k = clusters(10, 3.0, 9);
+  wrong_k.class_names.push_back("extra");
+  EXPECT_THROW(model.evaluate(wrong_k), std::invalid_argument);
+}
+
+TEST(OneVsRestTest, OverlappingClustersDegrade) {
+  const LogisticRegression prototype;
+  OneVsRestClassifier model(prototype);
+  model.fit(clusters(150, 0.5, 10));
+  const auto report = model.evaluate(clusters(80, 0.5, 11));
+  EXPECT_LT(report.accuracy, 0.9);
+  EXPECT_GT(report.accuracy, 0.3);  // still better than chance
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

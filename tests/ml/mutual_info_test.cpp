@@ -1,0 +1,85 @@
+#include "ml/mutual_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+/// Three features: perfectly informative, noisy, independent.
+Dataset crafted_data(std::size_t n = 2000) {
+  util::Rng rng(7);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const double informative = label == 1 ? rng.normal(10.0, 1.0) : rng.normal(0.0, 1.0);
+    const double noisy = label == 1 ? rng.normal(1.0, 2.0) : rng.normal(0.0, 2.0);
+    const double independent = rng.normal(0.0, 1.0);
+    d.push({informative, noisy, independent}, label);
+  }
+  return d;
+}
+
+TEST(MutualInfoTest, RankingOrdersByInformativeness) {
+  const auto result = mutual_information(crafted_data());
+  EXPECT_EQ(result.ranking[0], 0u);  // informative first
+  EXPECT_EQ(result.ranking[2], 2u);  // independent last
+  EXPECT_GT(result.scores[0], result.scores[1]);
+  EXPECT_GT(result.scores[1], result.scores[2]);
+}
+
+TEST(MutualInfoTest, PerfectFeatureApproachesLabelEntropy) {
+  const auto result = mutual_information(crafted_data());
+  // I(informative; Y) should be close to H(Y) ~= ln 2 for a balanced split.
+  EXPECT_GT(result.scores[0], 0.6);
+  EXPECT_LE(result.scores[0], std::log(2.0) + 0.01);
+}
+
+TEST(MutualInfoTest, IndependentFeatureNearZero) {
+  const auto result = mutual_information(crafted_data());
+  EXPECT_LT(result.scores[2], 0.05);
+}
+
+TEST(MutualInfoTest, ScoresNonNegative) {
+  const auto result = mutual_information(crafted_data(500));
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(MutualInfoTest, ConstantFeatureHasZeroMi) {
+  Dataset d;
+  util::Rng rng(9);
+  for (int i = 0; i < 500; ++i) d.push({5.0}, rng.bernoulli(0.5) ? 1 : 0);
+  const auto result = mutual_information(d);
+  EXPECT_NEAR(result.scores[0], 0.0, 1e-9);
+}
+
+TEST(MutualInfoTest, SelectTopKClampsToWidth) {
+  const Dataset d = crafted_data(300);
+  const auto top2 = select_top_k_features(d, 2);
+  EXPECT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0u);
+  const auto top10 = select_top_k_features(d, 10);
+  EXPECT_EQ(top10.size(), 3u);
+}
+
+TEST(MutualInfoTest, Errors) {
+  EXPECT_THROW(mutual_information(Dataset{}), std::invalid_argument);
+  EXPECT_THROW(mutual_information(crafted_data(50), 1), std::invalid_argument);
+}
+
+/// Bin-count sweep: the qualitative ranking is robust to the bin choice.
+class MiBinSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MiBinSweep, InformativeFeatureAlwaysWins) {
+  const auto result = mutual_information(crafted_data(), GetParam());
+  EXPECT_EQ(result.ranking[0], 0u);
+  EXPECT_GT(result.scores[0], 2.0 * result.scores[2] + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, MiBinSweep, ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -1,0 +1,120 @@
+#include "ml/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace drlhmd::ml {
+namespace {
+
+Dataset simple_data() {
+  Dataset d;
+  d.push({1.0, 10.0}, 0);
+  d.push({2.0, 10.0}, 0);
+  d.push({3.0, 10.0}, 1);
+  return d;
+}
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVariance) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.push({static_cast<double>(i), 5.0 * i + 3.0}, 0);
+  StandardScaler scaler;
+  scaler.fit(d);
+  const Dataset scaled = scaler.transform(d);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& row : scaled.X) {
+      sum += row[c];
+      sum_sq += row[c] * row[c];
+    }
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-9);
+    EXPECT_NEAR(sum_sq / 100.0, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantFeatureScalesByOne) {
+  StandardScaler scaler;
+  scaler.fit(simple_data());
+  EXPECT_EQ(scaler.scale()[1], 1.0);
+  const auto out = scaler.transform(std::vector<double>{2.0, 10.0});
+  EXPECT_NEAR(out[1], 0.0, 1e-12);
+}
+
+TEST(StandardScalerTest, InverseTransformRoundTrips) {
+  StandardScaler scaler;
+  scaler.fit(simple_data());
+  const std::vector<double> original = {2.5, 10.0};
+  const auto scaled = scaler.transform(original);
+  const auto restored = scaler.inverse_transform(scaled);
+  EXPECT_NEAR(restored[0], original[0], 1e-12);
+  EXPECT_NEAR(restored[1], original[1], 1e-12);
+}
+
+TEST(StandardScalerTest, Errors) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(Dataset{}), std::invalid_argument);
+  scaler.fit(simple_data());
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(scaler.inverse_transform(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_TRUE(scaler.fitted());
+}
+
+TEST(CleanTest, DropsNonFiniteRows) {
+  Dataset d = simple_data();
+  d.push({std::numeric_limits<double>::quiet_NaN(), 1.0}, 1);
+  d.push({std::numeric_limits<double>::infinity(), 1.0}, 0);
+  const Dataset cleaned = clean(d);
+  EXPECT_EQ(cleaned.size(), 3u);
+  for (const auto& row : cleaned.X)
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CleanTest, WinsorizesOutliers) {
+  Dataset d;
+  for (int i = 0; i < 999; ++i) d.push({static_cast<double>(i % 10)}, 0);
+  d.push({1e9}, 0);  // counter glitch
+  const Dataset cleaned = clean(d, 0.001, 0.99);
+  double max_val = 0.0;
+  for (const auto& row : cleaned.X) max_val = std::max(max_val, row[0]);
+  EXPECT_LT(max_val, 100.0);
+  EXPECT_EQ(cleaned.size(), 1000u);
+}
+
+TEST(CleanTest, BadQuantilesThrow) {
+  EXPECT_THROW(clean(simple_data(), 0.9, 0.1), std::invalid_argument);
+}
+
+TEST(CleanTest, PreservesLabelsAndNames) {
+  Dataset d = simple_data();
+  d.feature_names = {"a", "b"};
+  const Dataset cleaned = clean(d);
+  EXPECT_EQ(cleaned.y, d.y);
+  EXPECT_EQ(cleaned.feature_names, d.feature_names);
+}
+
+TEST(FeatureBoundsTest, ComputesMinMax) {
+  const FeatureBounds b = feature_bounds(simple_data());
+  EXPECT_EQ(b.lo[0], 1.0);
+  EXPECT_EQ(b.hi[0], 3.0);
+  EXPECT_EQ(b.lo[1], 10.0);
+  EXPECT_EQ(b.hi[1], 10.0);
+}
+
+TEST(FeatureBoundsTest, ClipClampsIntoRange) {
+  const FeatureBounds b = feature_bounds(simple_data());
+  std::vector<double> row = {-5.0, 20.0};
+  b.clip(row);
+  EXPECT_EQ(row[0], 1.0);
+  EXPECT_EQ(row[1], 10.0);
+  std::vector<double> wrong = {1.0};
+  EXPECT_THROW(b.clip(wrong), std::invalid_argument);
+}
+
+TEST(FeatureBoundsTest, EmptyDataThrows) {
+  EXPECT_THROW(feature_bounds(Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -1,0 +1,136 @@
+// Randomized algebraic/metric property sweeps across seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/matrix.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/mutual_info.hpp"
+#include "ml/preprocess.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng{GetParam()};
+};
+
+TEST_P(SeedSweep, MatrixMultiplicationAssociative) {
+  const Matrix a = Matrix::randn(3, 4, 1.0, rng);
+  const Matrix b = Matrix::randn(4, 5, 1.0, rng);
+  const Matrix c = Matrix::randn(5, 2, 1.0, rng);
+  const Matrix left = a.matmul(b).matmul(c);
+  const Matrix right = a.matmul(b.matmul(c));
+  ASSERT_TRUE(left.same_shape(right));
+  for (std::size_t i = 0; i < left.size(); ++i)
+    EXPECT_NEAR(left.flat()[i], right.flat()[i], 1e-9);
+}
+
+TEST_P(SeedSweep, TransposeReversesProduct) {
+  const Matrix a = Matrix::randn(3, 4, 1.0, rng);
+  const Matrix b = Matrix::randn(4, 5, 1.0, rng);
+  const Matrix lhs = a.matmul(b).transposed();
+  const Matrix rhs = b.transposed().matmul(a.transposed());
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs.flat()[i], rhs.flat()[i], 1e-9);
+}
+
+TEST_P(SeedSweep, DistributiveLaw) {
+  const Matrix a = Matrix::randn(3, 4, 1.0, rng);
+  const Matrix b = Matrix::randn(4, 2, 1.0, rng);
+  const Matrix c = Matrix::randn(4, 2, 1.0, rng);
+  const Matrix lhs = a.matmul(b + c);
+  const Matrix rhs = a.matmul(b) + a.matmul(c);
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs.flat()[i], rhs.flat()[i], 1e-9);
+}
+
+TEST_P(SeedSweep, ThresholdMonotonicity) {
+  // Raising the decision threshold can only reduce TPR and FPR.
+  std::vector<int> truth;
+  std::vector<double> scores;
+  for (int i = 0; i < 300; ++i) {
+    truth.push_back(rng.bernoulli(0.4) ? 1 : 0);
+    scores.push_back(rng.uniform());
+  }
+  double last_tpr = 1.1, last_fpr = 1.1;
+  for (double threshold = 0.0; threshold <= 1.01; threshold += 0.1) {
+    const MetricReport m = evaluate_scores(truth, scores, threshold);
+    EXPECT_LE(m.tpr, last_tpr + 1e-12);
+    EXPECT_LE(m.fpr, last_fpr + 1e-12);
+    last_tpr = m.tpr;
+    last_fpr = m.fpr;
+  }
+}
+
+TEST_P(SeedSweep, AucInvariantUnderMonotoneTransform) {
+  std::vector<int> truth;
+  std::vector<double> scores, transformed;
+  for (int i = 0; i < 200; ++i) {
+    truth.push_back(rng.bernoulli(0.5) ? 1 : 0);
+    const double s = rng.uniform();
+    scores.push_back(s);
+    transformed.push_back(std::exp(3.0 * s) + 5.0);  // strictly increasing
+  }
+  EXPECT_NEAR(roc_auc(truth, scores), roc_auc(truth, transformed), 1e-12);
+}
+
+TEST_P(SeedSweep, ScalerRoundTrip) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i)
+    d.push({rng.normal(5, 2), rng.normal(-3, 0.5), rng.uniform(0, 100)}, i % 2);
+  StandardScaler scaler;
+  scaler.fit(d);
+  for (const auto& row : d.X) {
+    const auto restored = scaler.inverse_transform(scaler.transform(row));
+    for (std::size_t c = 0; c < row.size(); ++c)
+      EXPECT_NEAR(restored[c], row[c], 1e-9);
+  }
+}
+
+TEST_P(SeedSweep, MutualInfoInvariantUnderColumnPermutation) {
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    d.push({label + rng.normal(0, 0.5), rng.normal(0, 1)}, label);
+  }
+  const auto direct = mutual_information(d);
+  const std::vector<std::size_t> swap_idx = {1, 0};
+  const auto swapped = mutual_information(d.select_features(swap_idx));
+  EXPECT_NEAR(direct.scores[0], swapped.scores[1], 1e-12);
+  EXPECT_NEAR(direct.scores[1], swapped.scores[0], 1e-12);
+}
+
+TEST_P(SeedSweep, ModelsStayProbabilisticOnOutOfRangeInputs) {
+  Dataset train;
+  for (int i = 0; i < 120; ++i) {
+    train.push({rng.normal(0, 1), rng.normal(0, 1), rng.normal(0, 1),
+                rng.normal(0, 1)},
+               0);
+    train.push({rng.normal(3, 1), rng.normal(3, 1), rng.normal(3, 1),
+                rng.normal(3, 1)},
+               1);
+  }
+  for (const ModelKind kind : {ModelKind::kRf, ModelKind::kDt, ModelKind::kLr,
+                               ModelKind::kLightGbm}) {
+    auto model = make_model(kind);
+    model->fit(train);
+    // Far outside the training envelope.
+    for (const double magnitude : {-1e6, 1e6}) {
+      const std::vector<double> x(4, magnitude);
+      const double p = model->predict_proba(x);
+      EXPECT_GE(p, 0.0) << model->name();
+      EXPECT_LE(p, 1.0) << model->name();
+      EXPECT_TRUE(std::isfinite(p)) << model->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull, 99999ull));
+
+}  // namespace
+}  // namespace drlhmd::ml

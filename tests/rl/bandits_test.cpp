@@ -1,0 +1,114 @@
+#include "rl/bandits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::rl {
+namespace {
+
+/// Run a Bernoulli bandit problem and return the fraction of pulls spent on
+/// the best arm.
+double best_arm_share(Bandit& bandit, std::span<const double> means,
+                      std::size_t steps, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const std::size_t arm = bandit.select();
+    bandit.update(arm, rng.bernoulli(means[arm]) ? 1.0 : 0.0);
+  }
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < means.size(); ++a)
+    if (means[a] > means[best]) best = a;
+  std::uint64_t total = 0;
+  for (std::size_t a = 0; a < means.size(); ++a) total += bandit.pulls(a);
+  return static_cast<double>(bandit.pulls(best)) / static_cast<double>(total);
+}
+
+const std::vector<double> kMeans = {0.2, 0.45, 0.8};
+
+class BanditSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BanditSweep, ConvergesToBestArm) {
+  auto bandit = make_bandit(GetParam(), kMeans.size());
+  const double share = best_arm_share(*bandit, kMeans, 5000, 11);
+  EXPECT_GT(share, 0.6) << bandit->name();
+  EXPECT_EQ(bandit->best_arm(), 2u) << bandit->name();
+}
+
+TEST_P(BanditSweep, ExploresEveryArm) {
+  auto bandit = make_bandit(GetParam(), kMeans.size());
+  best_arm_share(*bandit, kMeans, 2000, 13);
+  for (std::size_t a = 0; a < kMeans.size(); ++a)
+    EXPECT_GT(bandit->pulls(a), 0u) << bandit->name();
+}
+
+TEST_P(BanditSweep, MeanRewardEstimatesConverge) {
+  auto bandit = make_bandit(GetParam(), kMeans.size());
+  best_arm_share(*bandit, kMeans, 20000, 17);
+  // The most-pulled arm's estimate must be accurate.
+  EXPECT_NEAR(bandit->mean_reward(bandit->best_arm()), 0.8, 0.05)
+      << bandit->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, BanditSweep,
+                         ::testing::Values("ucb", "epsilon-greedy", "thompson"));
+
+TEST(EpsilonGreedyTest, Validation) {
+  EXPECT_THROW(EpsilonGreedyBandit(0), std::invalid_argument);
+  EpsilonGreedyConfig bad;
+  bad.epsilon = 1.5;
+  EXPECT_THROW(EpsilonGreedyBandit(2, bad), std::invalid_argument);
+  EpsilonGreedyBandit ok(2);
+  EXPECT_THROW(ok.update(5, 1.0), std::out_of_range);
+  EXPECT_THROW(ok.pulls(5), std::out_of_range);
+}
+
+TEST(EpsilonGreedyTest, ZeroEpsilonIsPureGreedy) {
+  EpsilonGreedyConfig cfg;
+  cfg.epsilon = 0.0;
+  EpsilonGreedyBandit bandit(2, cfg);
+  bandit.update(0, 1.0);
+  bandit.update(1, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(bandit.select(), 0u);
+    bandit.update(0, 1.0);
+  }
+}
+
+TEST(ThompsonTest, Validation) {
+  EXPECT_THROW(ThompsonBandit(0), std::invalid_argument);
+  ThompsonConfig bad;
+  bad.prior_alpha = 0.0;
+  EXPECT_THROW(ThompsonBandit(2, bad), std::invalid_argument);
+  ThompsonBandit ok(2);
+  EXPECT_THROW(ok.update(9, 1.0), std::out_of_range);
+}
+
+TEST(ThompsonTest, FractionalRewardsUpdatePosterior) {
+  ThompsonBandit bandit(2);
+  for (int i = 0; i < 200; ++i) {
+    bandit.update(0, 0.9);
+    bandit.update(1, 0.1);
+  }
+  // Posterior concentrated: arm 0 must be selected nearly always.
+  std::size_t arm0 = 0;
+  for (int i = 0; i < 200; ++i) arm0 += bandit.select() == 0 ? 1 : 0;
+  EXPECT_GT(arm0, 180u);
+  EXPECT_NEAR(bandit.mean_reward(0), 0.9, 1e-9);
+}
+
+TEST(MakeBanditTest, UnknownKindThrows) {
+  EXPECT_THROW(make_bandit("sarsa", 3), std::invalid_argument);
+}
+
+TEST(UcbAdapterTest, DelegatesToUcb) {
+  UcbBanditAdapter bandit(3);
+  EXPECT_EQ(bandit.arm_count(), 3u);
+  EXPECT_EQ(bandit.name(), "UCB1");
+  bandit.update(1, 1.0);
+  EXPECT_EQ(bandit.pulls(1), 1u);
+  EXPECT_DOUBLE_EQ(bandit.mean_reward(1), 1.0);
+}
+
+}  // namespace
+}  // namespace drlhmd::rl

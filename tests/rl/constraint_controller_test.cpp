@@ -1,0 +1,190 @@
+#include "rl/constraint_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/model_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::rl {
+namespace {
+
+ml::Dataset blobs(std::size_t n_per_class, double gap, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (int c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(gap, 1.0);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+/// Fixture with a deliberately-shaped model set: DT is cheap but weak (it
+/// trains on very little data), MLP is expensive but strong.
+struct ControllerFixture {
+  ml::Dataset train = blobs(300, 2.0, 5);
+  ml::Dataset val = blobs(150, 2.0, 6);
+  std::unique_ptr<ml::Classifier> weak_cheap;
+  std::unique_ptr<ml::Classifier> strong_costly;
+  std::vector<ml::Classifier*> models;
+  std::vector<ModelProfile> profiles;
+
+  ControllerFixture() {
+    ml::DecisionTreeConfig weak_cfg;
+    weak_cfg.max_depth = 1;  // decision stump: fast, small, weak
+    weak_cheap = std::make_unique<ml::DecisionTree>(weak_cfg);
+    weak_cheap->fit(train);
+    strong_costly = ml::make_model(ml::ModelKind::kMlp);
+    strong_costly->fit(train);
+    models = {weak_cheap.get(), strong_costly.get()};
+    profiles = profile_models(models, val);
+  }
+};
+
+TEST(PolicyNameTest, AllPoliciesNamed) {
+  EXPECT_NE(policy_name(ConstraintPolicy::kFastInference).find("Agent 1"),
+            std::string::npos);
+  EXPECT_NE(policy_name(ConstraintPolicy::kSmallMemory).find("Agent 2"),
+            std::string::npos);
+  EXPECT_NE(policy_name(ConstraintPolicy::kBestDetection).find("Agent 3"),
+            std::string::npos);
+}
+
+TEST(ModelProfileTest, MeasuresAllDimensions) {
+  const ControllerFixture fx;
+  ASSERT_EQ(fx.profiles.size(), 2u);
+  for (const auto& p : fx.profiles) {
+    EXPECT_GT(p.latency_us, 0.0);
+    EXPECT_GT(p.memory_bytes, 0u);
+    EXPECT_GT(p.metrics.accuracy, 0.5);
+  }
+  // The stump must be smaller and faster than the MLP.
+  EXPECT_LT(fx.profiles[0].memory_bytes, fx.profiles[1].memory_bytes);
+  EXPECT_LT(fx.profiles[0].latency_us, fx.profiles[1].latency_us);
+  // And weaker.
+  EXPECT_LT(fx.profiles[0].metrics.f1, fx.profiles[1].metrics.f1);
+}
+
+TEST(ModelProfileTest, Validation) {
+  const ControllerFixture fx;
+  ml::LogisticRegression untrained;
+  EXPECT_THROW(profile_model(untrained, fx.val), std::logic_error);
+  EXPECT_THROW(profile_model(*fx.weak_cheap, ml::Dataset{}), std::invalid_argument);
+  EXPECT_THROW(profile_model(*fx.weak_cheap, fx.val, 0), std::invalid_argument);
+}
+
+TEST(ConstraintControllerTest, ConstructionValidation) {
+  const ControllerFixture fx;
+  EXPECT_THROW(ConstraintController({}, {}), std::invalid_argument);
+  EXPECT_THROW(ConstraintController(fx.models, {}), std::invalid_argument);
+  ml::LogisticRegression untrained;
+  std::vector<ml::Classifier*> with_untrained = {&untrained};
+  std::vector<ModelProfile> one_profile = {fx.profiles[0]};
+  EXPECT_THROW(ConstraintController(with_untrained, one_profile),
+               std::invalid_argument);
+}
+
+TEST(ConstraintControllerTest, DetectionAgentPicksStrongModel) {
+  const ControllerFixture fx;
+  ConstraintControllerConfig cfg;
+  cfg.policy = ConstraintPolicy::kBestDetection;
+  ConstraintController controller(fx.models, fx.profiles, cfg);
+  controller.train(fx.train);
+  EXPECT_EQ(controller.selected_model(), 1u);  // the MLP
+}
+
+TEST(ConstraintControllerTest, SpeedAgentPicksCheapModel) {
+  const ControllerFixture fx;
+  ConstraintControllerConfig cfg;
+  cfg.policy = ConstraintPolicy::kFastInference;
+  ConstraintController controller(fx.models, fx.profiles, cfg);
+  controller.train(fx.train);
+  EXPECT_EQ(controller.selected_model(), 0u);  // the stump
+}
+
+TEST(ConstraintControllerTest, MemoryAgentPicksSmallModel) {
+  const ControllerFixture fx;
+  ConstraintControllerConfig cfg;
+  cfg.policy = ConstraintPolicy::kSmallMemory;
+  ConstraintController controller(fx.models, fx.profiles, cfg);
+  controller.train(fx.train);
+  EXPECT_EQ(controller.selected_model(), 0u);
+}
+
+TEST(ConstraintControllerTest, ConstraintScoresNormalized) {
+  const ControllerFixture fx;
+  ConstraintController controller(fx.models, fx.profiles);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(controller.constraint_score(i), 0.0);
+    EXPECT_LE(controller.constraint_score(i), 1.0);
+  }
+  EXPECT_THROW(controller.constraint_score(9), std::out_of_range);
+}
+
+TEST(ConstraintControllerTest, StateIs14TupleWithFiveModels) {
+  // Paper state: 4 HPCs + 5 predictions + 5 constraint flags.
+  ml::Dataset train = blobs(100, 3.0, 7);
+  auto zoo = ml::make_classical_models();
+  std::vector<ml::Classifier*> models;
+  for (auto& m : zoo) {
+    m->fit(train);
+    models.push_back(m.get());
+  }
+  const auto profiles = profile_models(models, train);
+  ConstraintController controller(models, profiles);
+  const auto state = controller.build_state(train.X[0]);
+  EXPECT_EQ(state.size(), 14u);
+  // Predictions and flags are binary.
+  for (std::size_t i = 4; i < 14; ++i)
+    EXPECT_TRUE(state[i] == 0.0 || state[i] == 1.0);
+}
+
+TEST(ConstraintControllerTest, PredictRoutesThroughSelectedModel) {
+  const ControllerFixture fx;
+  ConstraintControllerConfig cfg;
+  cfg.policy = ConstraintPolicy::kBestDetection;
+  ConstraintController controller(fx.models, fx.profiles, cfg);
+  controller.train(fx.train);
+  const ml::Dataset test = blobs(50, 2.0, 9);
+  const std::size_t sel = controller.selected_model();
+  for (const auto& row : test.X) {
+    EXPECT_EQ(controller.predict(row), fx.models[sel]->predict(row));
+    EXPECT_DOUBLE_EQ(controller.predict_proba(row),
+                     fx.models[sel]->predict_proba(row));
+  }
+}
+
+TEST(ConstraintControllerTest, EvaluateUsesSelectedModel) {
+  const ControllerFixture fx;
+  ConstraintControllerConfig cfg;
+  cfg.policy = ConstraintPolicy::kBestDetection;
+  ConstraintController controller(fx.models, fx.profiles, cfg);
+  controller.train(fx.train);
+  const ml::Dataset test = blobs(100, 2.0, 11);
+  const ml::MetricReport m = controller.evaluate(test);
+  EXPECT_GT(m.f1, 0.85);
+}
+
+TEST(ConstraintControllerTest, ObserveUpdatesBandit) {
+  const ControllerFixture fx;
+  ConstraintController controller(fx.models, fx.profiles);
+  const auto pulls_before = controller.bandit().total_pulls();
+  controller.observe(fx.train.X[0], fx.train.y[0]);
+  EXPECT_EQ(controller.bandit().total_pulls(), pulls_before + 1);
+}
+
+TEST(ConstraintControllerTest, TrainRejectsEmptyStream) {
+  const ControllerFixture fx;
+  ConstraintController controller(fx.models, fx.profiles);
+  EXPECT_THROW(controller.train(ml::Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drlhmd::rl

@@ -1,0 +1,97 @@
+#include "rl/ucb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::rl {
+namespace {
+
+TEST(UcbTest, ConstructionValidation) {
+  EXPECT_THROW(UcbBandit(0), std::invalid_argument);
+  UcbConfig bad;
+  bad.exploration = -1.0;
+  EXPECT_THROW(UcbBandit(2, bad), std::invalid_argument);
+}
+
+TEST(UcbTest, ExploresEveryArmFirst) {
+  UcbBandit bandit(4);
+  std::set<std::size_t> first_picks;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t arm = bandit.select();
+    first_picks.insert(arm);
+    bandit.update(arm, 0.0);
+  }
+  EXPECT_EQ(first_picks.size(), 4u);
+}
+
+TEST(UcbTest, ConvergesToBestArm) {
+  UcbBandit bandit(3);
+  util::Rng rng(5);
+  const double means[] = {0.2, 0.5, 0.8};
+  for (int t = 0; t < 5000; ++t) {
+    const std::size_t arm = bandit.select();
+    bandit.update(arm, rng.bernoulli(means[arm]) ? 1.0 : 0.0);
+  }
+  EXPECT_GT(bandit.pulls(2), bandit.pulls(0));
+  EXPECT_GT(bandit.pulls(2), bandit.pulls(1));
+  EXPECT_GT(static_cast<double>(bandit.pulls(2)) /
+                static_cast<double>(bandit.total_pulls()),
+            0.7);
+  EXPECT_NEAR(bandit.mean_reward(2), 0.8, 0.05);
+}
+
+TEST(UcbTest, UcbIsInfinityForUnexploredArm) {
+  UcbBandit bandit(2);
+  bandit.update(0, 1.0);
+  EXPECT_TRUE(std::isinf(bandit.ucb(1)));
+  EXPECT_FALSE(std::isinf(bandit.ucb(0)));
+  // With a single pull the bonus is sqrt(ln(1)/1) = 0: UCB equals the mean.
+  EXPECT_GE(bandit.ucb(0), bandit.mean_reward(0));
+}
+
+TEST(UcbTest, ZeroExplorationIsGreedy) {
+  UcbConfig cfg;
+  cfg.exploration = 0.0;
+  UcbBandit bandit(2, cfg);
+  bandit.update(0, 1.0);
+  bandit.update(1, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t arm = bandit.select();
+    EXPECT_EQ(arm, 0u);
+    bandit.update(arm, 1.0);
+  }
+}
+
+TEST(UcbTest, BoundsChecking) {
+  UcbBandit bandit(2);
+  EXPECT_THROW(bandit.update(5, 1.0), std::out_of_range);
+  EXPECT_THROW(bandit.pulls(5), std::out_of_range);
+  EXPECT_THROW(bandit.mean_reward(5), std::out_of_range);
+  EXPECT_THROW(bandit.ucb(5), std::out_of_range);
+}
+
+TEST(UcbTest, ResetClearsState) {
+  UcbBandit bandit(2);
+  bandit.update(0, 1.0);
+  bandit.reset();
+  EXPECT_EQ(bandit.total_pulls(), 0u);
+  EXPECT_EQ(bandit.pulls(0), 0u);
+  EXPECT_EQ(bandit.mean_reward(0), 0.0);
+}
+
+TEST(UcbTest, TracksAccounting) {
+  UcbBandit bandit(2);
+  bandit.update(0, 0.5);
+  bandit.update(0, 1.0);
+  bandit.update(1, 0.0);
+  EXPECT_EQ(bandit.total_pulls(), 3u);
+  EXPECT_EQ(bandit.pulls(0), 2u);
+  EXPECT_DOUBLE_EQ(bandit.mean_reward(0), 0.75);
+}
+
+}  // namespace
+}  // namespace drlhmd::rl

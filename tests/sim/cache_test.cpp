@@ -1,0 +1,176 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::sim {
+namespace {
+
+CacheConfig tiny_cache(std::uint32_t ways = 2, std::uint64_t sets = 2) {
+  CacheConfig c;
+  c.name = "tiny";
+  c.line_bytes = 64;
+  c.associativity = ways;
+  c.size_bytes = 64ull * ways * sets;
+  return c;
+}
+
+TEST(CacheConfigTest, NumSets) {
+  CacheConfig c;
+  c.size_bytes = 32 * 1024;
+  c.line_bytes = 64;
+  c.associativity = 8;
+  EXPECT_EQ(c.num_sets(), 64u);
+}
+
+TEST(CacheConfigTest, ValidationRejectsBadGeometry) {
+  CacheConfig c = tiny_cache();
+  c.size_bytes = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = tiny_cache();
+  c.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = tiny_cache();
+  c.size_bytes = 64 * 3;  // 1.5 sets at 2 ways
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = tiny_cache(2, 3);  // 3 sets: not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(tiny_cache().validate());
+}
+
+TEST(CacheTest, FirstAccessMissesThenHits) {
+  Cache cache(tiny_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1010));  // same 64B line
+  EXPECT_EQ(cache.stats().accesses, 3u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  // 2-way, 2 sets; set index = bit 6. Same-set lines differ by 128.
+  Cache cache(tiny_cache());
+  cache.access(0);    // set 0, line A
+  cache.access(128);  // set 0, line B
+  cache.access(0);    // touch A -> B is LRU
+  cache.access(256);  // set 0, line C -> evicts B
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(128));
+  EXPECT_TRUE(cache.contains(256));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, FifoEvictsOldestInsertion) {
+  CacheConfig c = tiny_cache();
+  c.policy = ReplacementPolicy::kFifo;
+  Cache cache(c);
+  cache.access(0);
+  cache.access(128);
+  cache.access(0);    // hit; FIFO order unchanged
+  cache.access(256);  // evicts the oldest insertion: line 0
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(128));
+}
+
+TEST(CacheTest, DifferentSetsDoNotConflict) {
+  Cache cache(tiny_cache());
+  cache.access(0);    // set 0
+  cache.access(64);   // set 1
+  cache.access(128);  // set 0
+  cache.access(192);  // set 1
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(64));
+  EXPECT_TRUE(cache.contains(128));
+  EXPECT_TRUE(cache.contains(192));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheTest, ContainsDoesNotTouchState) {
+  Cache cache(tiny_cache());
+  cache.access(0);
+  cache.access(128);
+  // Probing A must not refresh its recency.
+  ASSERT_TRUE(cache.contains(0));
+  cache.access(256);  // LRU is line 0
+  EXPECT_FALSE(cache.contains(0));
+  // contains() also must not count as an access.
+  EXPECT_EQ(cache.stats().accesses, 3u);
+}
+
+TEST(CacheTest, InvalidateRemovesLine) {
+  Cache cache(tiny_cache());
+  cache.access(0x40);
+  EXPECT_TRUE(cache.invalidate(0x40));
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_FALSE(cache.invalidate(0x40));  // already gone
+}
+
+TEST(CacheTest, FlushEmptiesEverything) {
+  Cache cache(tiny_cache());
+  for (std::uint64_t a = 0; a < 4 * 64; a += 64) cache.access(a);
+  cache.flush();
+  for (std::uint64_t a = 0; a < 4 * 64; a += 64) EXPECT_FALSE(cache.contains(a));
+}
+
+TEST(CacheTest, ResetStatsKeepsContents) {
+  Cache cache(tiny_cache());
+  cache.access(0);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses, 0u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(CacheTest, MissRateComputation) {
+  Cache cache(tiny_cache());
+  EXPECT_EQ(cache.stats().miss_rate(), 0.0);
+  cache.access(0);
+  cache.access(0);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.5);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  Cache cache(tiny_cache(2, 2));  // 4 lines total
+  // Cycle through 8 distinct lines of the same set repeatedly -> ~all miss.
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t i = 0; i < 8; ++i) cache.access(i * 128);
+  EXPECT_GT(cache.stats().miss_rate(), 0.9);
+}
+
+TEST(CacheTest, WorkingSetFitsCacheConverges) {
+  Cache cache(tiny_cache(4, 4));  // 16 lines
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t i = 0; i < 8; ++i) cache.access(i * 64);
+  // 8 cold misses, everything else hits.
+  EXPECT_EQ(cache.stats().misses, 8u);
+}
+
+/// Property sweep over policies: counting invariants hold for random access
+/// streams under every replacement policy.
+class CachePolicySweep : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(CachePolicySweep, AccountingInvariants) {
+  CacheConfig c = tiny_cache(4, 8);
+  c.policy = GetParam();
+  Cache cache(c);
+  util::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) cache.access(rng.next_below(1 << 16));
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.accesses, 5000u);
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_LE(s.evictions, s.misses);
+  // The cache can never hold more lines than its capacity, so evictions are
+  // at least misses - capacity.
+  EXPECT_GE(s.evictions + 32, s.misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePolicySweep,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kFifo,
+                                           ReplacementPolicy::kRandom));
+
+}  // namespace
+}  // namespace drlhmd::sim

@@ -1,0 +1,160 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/perf_monitor.hpp"
+#include "sim/workload_profiles.hpp"
+
+namespace drlhmd::sim {
+namespace {
+
+Workload test_workload(std::uint64_t seed = 1) {
+  WorkloadSpec spec;
+  spec.name = "core-test";
+  spec.family = "test";
+  PhaseSpec p;
+  p.load_frac = 0.3;
+  p.store_frac = 0.1;
+  p.branch_frac = 0.15;
+  p.working_set_bytes = 256 * 1024;
+  p.stream_bytes = 256 * 1024;
+  p.branch_sites = 128;
+  spec.phases = {p};
+  return Workload(spec, seed);
+}
+
+Core make_core(std::uint64_t seed = 2) {
+  return Core(CoreConfig{}, HierarchyConfig{}, test_workload(seed), seed);
+}
+
+TEST(CoreTest, StepAdvancesCyclesAndInstructions) {
+  Core core = make_core();
+  core.step();
+  EXPECT_EQ(core.instructions(), 1u);
+  EXPECT_GE(core.cycles(), 1u);
+}
+
+TEST(CoreTest, RunInstructionsExact) {
+  Core core = make_core();
+  core.run_instructions(1000);
+  EXPECT_EQ(core.instructions(), 1000u);
+}
+
+TEST(CoreTest, RunCyclesReachesBudget) {
+  Core core = make_core();
+  core.run_cycles(50000);
+  EXPECT_GE(core.cycles(), 50000u);
+  // Overshoot bounded by one instruction's worst-case cost.
+  EXPECT_LT(core.cycles(), 60000u);
+}
+
+TEST(CoreTest, IpcWithinPhysicalBounds) {
+  Core core = make_core();
+  core.run_cycles(1000000);  // include warm-up; memory-bound IPC is low
+  EXPECT_GT(core.ipc(), 0.01);
+  EXPECT_LE(core.ipc(), 1.0);  // in-order, 1-wide
+}
+
+TEST(CoreTest, DeterministicGivenSeeds) {
+  Core a = make_core(7);
+  Core b = make_core(7);
+  a.run_instructions(5000);
+  b.run_instructions(5000);
+  EXPECT_EQ(a.cycles(), b.cycles());
+  for (std::size_t i = 0; i < kNumHpcEvents; ++i)
+    EXPECT_EQ(a.counts().raw()[i], b.counts().raw()[i]);
+}
+
+TEST(CoreTest, BranchCountsConsistent) {
+  Core core = make_core();
+  core.run_instructions(50000);
+  const auto& c = core.counts();
+  EXPECT_GT(c[HpcEvent::kBranches], 0u);
+  EXPECT_LE(c[HpcEvent::kBranchMisses], c[HpcEvent::kBranches]);
+  EXPECT_EQ(c[HpcEvent::kBranches], c[HpcEvent::kBranchLoads]);
+  EXPECT_EQ(c[HpcEvent::kBranchMisses], c[HpcEvent::kBranchLoadMisses]);
+  // ~15% of micro-ops are branches.
+  EXPECT_NEAR(static_cast<double>(c[HpcEvent::kBranches]) / 50000.0, 0.15, 0.02);
+}
+
+TEST(CoreTest, FetchCountsMatchInstructions) {
+  Core core = make_core();
+  core.run_instructions(10000);
+  const auto& c = core.counts();
+  EXPECT_EQ(c[HpcEvent::kL1IcacheLoads], 10000u);
+  EXPECT_EQ(c[HpcEvent::kItlbLoads], 10000u);
+  EXPECT_EQ(c[HpcEvent::kInstructions], 10000u);
+}
+
+TEST(CoreTest, MemoryOpsCounted) {
+  Core core = make_core();
+  core.run_instructions(50000);
+  const auto& c = core.counts();
+  const double mem_frac =
+      static_cast<double>(c[HpcEvent::kMemLoads] + c[HpcEvent::kMemStores]) / 50000.0;
+  EXPECT_NEAR(mem_frac, 0.4, 0.02);
+  EXPECT_GT(c[HpcEvent::kAluOps], 0u);
+}
+
+TEST(CoreTest, ContextSwitchesHappenOnSchedule) {
+  CoreConfig cfg;
+  cfg.context_switch_period = 100000;
+  Core core(cfg, HierarchyConfig{}, test_workload(), 3);
+  core.run_cycles(1000000);
+  const auto switches = core.counts()[HpcEvent::kContextSwitches];
+  EXPECT_GE(switches, 8u);
+  EXPECT_LE(switches, 11u);
+}
+
+TEST(CoreTest, MemoryParallelismReducesStalls) {
+  CoreConfig blocking;
+  blocking.memory_parallelism = 1.0;
+  CoreConfig overlapped;
+  overlapped.memory_parallelism = 8.0;
+  Core slow(blocking, HierarchyConfig{}, test_workload(5), 5);
+  Core fast(overlapped, HierarchyConfig{}, test_workload(5), 5);
+  slow.run_instructions(20000);
+  fast.run_instructions(20000);
+  EXPECT_GT(slow.cycles(), fast.cycles());
+  EXPECT_GT(slow.counts()[HpcEvent::kStalledCyclesBackend],
+            fast.counts()[HpcEvent::kStalledCyclesBackend]);
+}
+
+TEST(PerfMonitorTest, SampleHasAllEvents) {
+  Core core = make_core();
+  PerfMonitor mon(core, PerfMonitorConfig{.window_cycles = 10000, .warmup_cycles = 1000});
+  mon.warm_up();
+  const HpcSample s = mon.sample_window();
+  ASSERT_EQ(s.values.size(), kNumHpcEvents);
+  EXPECT_GT(s.values[static_cast<std::size_t>(HpcEvent::kInstructions)], 0.0);
+  EXPECT_GE(s.values[static_cast<std::size_t>(HpcEvent::kCycles)], 10000.0);
+}
+
+TEST(PerfMonitorTest, WindowsAreDeltasNotTotals) {
+  Core core = make_core();
+  PerfMonitor mon(core, PerfMonitorConfig{.window_cycles = 20000, .warmup_cycles = 0});
+  const HpcSample first = mon.sample_window();
+  const HpcSample second = mon.sample_window();
+  const auto cyc = static_cast<std::size_t>(HpcEvent::kCycles);
+  // Each window's cycle delta is ~window_cycles, not cumulative.
+  EXPECT_NEAR(first.values[cyc], 20000.0, 6000.0);
+  EXPECT_NEAR(second.values[cyc], 20000.0, 6000.0);
+}
+
+TEST(PerfMonitorTest, CollectReturnsRequestedWindows) {
+  Core core = make_core();
+  PerfMonitor mon(core, PerfMonitorConfig{.window_cycles = 5000, .warmup_cycles = 0});
+  const auto samples = mon.collect(7);
+  EXPECT_EQ(samples.size(), 7u);
+}
+
+TEST(PerfMonitorTest, FeatureNamesMatchEventCatalogue) {
+  const auto names = PerfMonitor::feature_names();
+  ASSERT_EQ(names.size(), kNumHpcEvents);
+  EXPECT_EQ(names[0], "cycles");
+  EXPECT_EQ(names[static_cast<std::size_t>(HpcEvent::kLlcLoadMisses)],
+            "LLC-load-misses");
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

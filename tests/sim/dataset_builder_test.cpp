@@ -1,0 +1,116 @@
+#include "sim/dataset_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace drlhmd::sim {
+namespace {
+
+CorpusConfig tiny_corpus() {
+  CorpusConfig cfg;
+  cfg.benign_apps = 8;
+  cfg.malware_apps = 8;
+  cfg.windows_per_app = 2;
+  cfg.monitor.window_cycles = 20000;
+  cfg.monitor.warmup_cycles = 5000;
+  return cfg;
+}
+
+TEST(DatasetBuilderTest, CorpusHasExpectedShape) {
+  const HpcCorpus corpus = build_corpus(tiny_corpus());
+  EXPECT_EQ(corpus.records.size(), 32u);
+  EXPECT_EQ(corpus.num_malware(), 16u);
+  EXPECT_EQ(corpus.num_benign(), 16u);
+  EXPECT_EQ(corpus.feature_names.size(), kNumHpcEvents);
+  for (const auto& rec : corpus.records)
+    EXPECT_EQ(rec.features.size(), kNumHpcEvents);
+}
+
+TEST(DatasetBuilderTest, FamiliesRoundRobin) {
+  const HpcCorpus corpus = build_corpus(tiny_corpus());
+  std::set<std::string> benign_names, malware_names;
+  for (const auto& rec : corpus.records)
+    (rec.malware ? malware_names : benign_names).insert(rec.family);
+  EXPECT_EQ(benign_names.size(), 6u);  // 8 apps cover all 6 benign families
+  EXPECT_EQ(malware_names.size(), 7u);
+}
+
+TEST(DatasetBuilderTest, DeterministicInSeed) {
+  const HpcCorpus a = build_corpus(tiny_corpus());
+  const HpcCorpus b = build_corpus(tiny_corpus());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].app, b.records[i].app);
+    EXPECT_EQ(a.records[i].features, b.records[i].features);
+  }
+}
+
+TEST(DatasetBuilderTest, DifferentSeedsDiffer) {
+  CorpusConfig cfg = tiny_corpus();
+  const HpcCorpus a = build_corpus(cfg);
+  cfg.seed = 777;
+  const HpcCorpus b = build_corpus(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.records.size() && !any_diff; ++i)
+    any_diff = a.records[i].features != b.records[i].features;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetBuilderTest, ZeroWindowsRejected) {
+  CorpusConfig cfg = tiny_corpus();
+  cfg.windows_per_app = 0;
+  EXPECT_THROW(build_corpus(cfg), std::invalid_argument);
+}
+
+TEST(DatasetBuilderTest, CsvRoundTrip) {
+  const HpcCorpus corpus = build_corpus(tiny_corpus());
+  const auto doc = corpus_to_csv(corpus);
+  EXPECT_EQ(doc.rows.size(), corpus.records.size());
+  EXPECT_EQ(doc.header.size(), 3 + kNumHpcEvents);
+
+  const HpcCorpus restored = corpus_from_csv(doc);
+  ASSERT_EQ(restored.records.size(), corpus.records.size());
+  EXPECT_EQ(restored.feature_names, corpus.feature_names);
+  for (std::size_t i = 0; i < corpus.records.size(); ++i) {
+    EXPECT_EQ(restored.records[i].app, corpus.records[i].app);
+    EXPECT_EQ(restored.records[i].malware, corpus.records[i].malware);
+    for (std::size_t f = 0; f < kNumHpcEvents; ++f)
+      EXPECT_NEAR(restored.records[i].features[f], corpus.records[i].features[f],
+                  1e-5);
+  }
+}
+
+TEST(DatasetBuilderTest, CsvRejectsBadLabel) {
+  util::CsvDocument doc;
+  doc.header = {"app", "family", "label", "cycles"};
+  doc.rows = {{"a", "f", "bogus", "1.0"}};
+  EXPECT_THROW(corpus_from_csv(doc), std::invalid_argument);
+}
+
+TEST(DatasetBuilderTest, MalwareHasElevatedLlcMisses) {
+  // The core HMD premise: malware families shift the LLC-miss distribution
+  // upward relative to benign (with overlap).
+  CorpusConfig cfg = tiny_corpus();
+  cfg.benign_apps = 24;
+  cfg.malware_apps = 24;
+  cfg.monitor = PerfMonitorConfig{};  // default production windows
+  const HpcCorpus corpus = build_corpus(cfg);
+  const auto miss_idx = static_cast<std::size_t>(HpcEvent::kCacheMisses);
+  double benign_sum = 0.0, malware_sum = 0.0;
+  std::size_t nb = 0, nm = 0;
+  for (const auto& rec : corpus.records) {
+    if (rec.malware) {
+      malware_sum += rec.features[miss_idx];
+      ++nm;
+    } else {
+      benign_sum += rec.features[miss_idx];
+      ++nb;
+    }
+  }
+  EXPECT_GT(malware_sum / static_cast<double>(nm),
+            1.2 * benign_sum / static_cast<double>(nb));
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

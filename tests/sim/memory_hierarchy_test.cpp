@@ -1,0 +1,174 @@
+#include "sim/memory_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+namespace {
+
+TEST(MemoryHierarchyTest, ColdLoadWalksAllLevels) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  const std::uint32_t latency = mh.access_data(0x100000, false, counts);
+  // Miss everywhere -> memory latency (no TLB hit possible on first touch).
+  EXPECT_GE(latency, mh.config().mem_latency);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoads], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoadMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL2Accesses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL2Misses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kCacheReferences], 1u);
+  EXPECT_EQ(counts[HpcEvent::kCacheMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kLlcLoads], 1u);
+  EXPECT_EQ(counts[HpcEvent::kLlcLoadMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kDtlbLoads], 1u);
+  EXPECT_EQ(counts[HpcEvent::kDtlbLoadMisses], 1u);
+}
+
+TEST(MemoryHierarchyTest, WarmLoadHitsL1) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  mh.access_data(0x100000, false, counts);
+  const std::uint32_t latency = mh.access_data(0x100000, false, counts);
+  EXPECT_EQ(latency, mh.config().l1_latency);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoads], 2u);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoadMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL2Accesses], 1u);  // unchanged
+}
+
+TEST(MemoryHierarchyTest, StoresCountSeparately) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  mh.access_data(0x200000, true, counts);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheStores], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheStoreMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kLlcStores], 1u);
+  EXPECT_EQ(counts[HpcEvent::kLlcStoreMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kMemStores], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoads], 0u);
+}
+
+TEST(MemoryHierarchyTest, InstructionFetchUsesSeparateL1) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  mh.access_instruction(0x400000, counts);
+  EXPECT_EQ(counts[HpcEvent::kL1IcacheLoads], 1u);
+  EXPECT_EQ(counts[HpcEvent::kL1IcacheLoadMisses], 1u);
+  EXPECT_EQ(counts[HpcEvent::kItlbLoads], 1u);
+  // Second fetch of the same line: cheap.
+  const std::uint32_t latency = mh.access_instruction(0x400000, counts);
+  EXPECT_EQ(latency, 0u);
+}
+
+TEST(MemoryHierarchyTest, L2IsSharedBetweenCodeAndData) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  mh.access_instruction(0x400000, counts);
+  // Data access to the same line: L1D misses but L2 already has the line.
+  const std::uint32_t latency = mh.access_data(0x400000, false, counts);
+  EXPECT_LE(latency, mh.config().l2_latency + mh.config().tlb_miss_penalty);
+  EXPECT_EQ(counts[HpcEvent::kL2Misses], 1u);  // only the fetch missed L2
+}
+
+TEST(MemoryHierarchyTest, LatencyOrderingAcrossLevels) {
+  const HierarchyConfig cfg;
+  EXPECT_LT(cfg.l1_latency, cfg.l2_latency);
+  EXPECT_LT(cfg.l2_latency, cfg.llc_latency);
+  EXPECT_LT(cfg.llc_latency, cfg.mem_latency);
+}
+
+TEST(MemoryHierarchyTest, CountingInvariantsUnderRandomTraffic) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  util::Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t addr = rng.next_below(8ull << 20);
+    mh.access_data(addr, rng.bernoulli(0.3), counts);
+  }
+  // Structural inequalities of an exclusive-path walk.
+  EXPECT_EQ(counts[HpcEvent::kL1DcacheLoads] + counts[HpcEvent::kL1DcacheStores],
+            20000u);
+  EXPECT_EQ(counts[HpcEvent::kL2Accesses],
+            counts[HpcEvent::kL1DcacheLoadMisses] +
+                counts[HpcEvent::kL1DcacheStoreMisses]);
+  EXPECT_EQ(counts[HpcEvent::kCacheReferences], counts[HpcEvent::kL2Misses]);
+  EXPECT_LE(counts[HpcEvent::kCacheMisses], counts[HpcEvent::kCacheReferences]);
+  EXPECT_EQ(counts[HpcEvent::kLlcLoads] + counts[HpcEvent::kLlcStores],
+            counts[HpcEvent::kCacheReferences]);
+  EXPECT_EQ(counts[HpcEvent::kLlcLoadMisses] + counts[HpcEvent::kLlcStoreMisses],
+            counts[HpcEvent::kCacheMisses]);
+  EXPECT_LE(counts[HpcEvent::kDtlbLoadMisses], counts[HpcEvent::kDtlbLoads]);
+}
+
+TEST(MemoryHierarchyTest, SmallWorkingSetBecomesL1Resident) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  util::Rng rng(5);
+  // 8 KiB working set << 16 KiB L1D.
+  for (int i = 0; i < 50000; ++i)
+    mh.access_data(rng.next_below(8 * 1024), false, counts);
+  const double l1_miss_rate =
+      static_cast<double>(counts[HpcEvent::kL1DcacheLoadMisses]) / 50000.0;
+  EXPECT_LT(l1_miss_rate, 0.02);
+}
+
+TEST(MemoryHierarchyTest, HugeWorkingSetMissesLlc) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  util::Rng rng(6);
+  // 64 MiB >> 1 MiB LLC.
+  for (int i = 0; i < 50000; ++i)
+    mh.access_data(rng.next_below(64ull << 20), false, counts);
+  const double llc_miss_rate =
+      static_cast<double>(counts[HpcEvent::kCacheMisses]) /
+      static_cast<double>(counts[HpcEvent::kCacheReferences]);
+  EXPECT_GT(llc_miss_rate, 0.9);
+}
+
+TEST(MemoryHierarchyTest, LlcResidentSetHitsLlc) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  util::Rng rng(7);
+  // 512 KiB: misses L2 (128 KiB) but fits LLC (1 MiB). Warm up first.
+  for (int i = 0; i < 30000; ++i)
+    mh.access_data(rng.next_below(512 * 1024), false, counts);
+  EventCounts warm;
+  for (int i = 0; i < 30000; ++i)
+    mh.access_data(rng.next_below(512 * 1024), false, warm);
+  const double llc_miss_rate =
+      static_cast<double>(warm[HpcEvent::kCacheMisses]) /
+      static_cast<double>(warm[HpcEvent::kCacheReferences]);
+  EXPECT_LT(llc_miss_rate, 0.1);
+  EXPECT_GT(warm[HpcEvent::kCacheReferences], 10000u);
+}
+
+TEST(MemoryHierarchyTest, FlushAllResetsResidency) {
+  MemoryHierarchy mh(HierarchyConfig{});
+  EventCounts counts;
+  mh.access_data(0x1234, false, counts);
+  mh.flush_all();
+  const std::uint32_t latency = mh.access_data(0x1234, false, counts);
+  EXPECT_GE(latency, mh.config().mem_latency);
+}
+
+TEST(EventCountsTest, DeltaSince) {
+  EventCounts a, b;
+  b.increment(HpcEvent::kCycles, 100);
+  b.increment(HpcEvent::kInstructions, 40);
+  a.increment(HpcEvent::kCycles, 30);
+  const EventCounts d = b.delta_since(a);
+  EXPECT_EQ(d[HpcEvent::kCycles], 70u);
+  EXPECT_EQ(d[HpcEvent::kInstructions], 40u);
+}
+
+TEST(EventNamesTest, RoundTripAllEvents) {
+  for (std::size_t i = 0; i < kNumHpcEvents; ++i) {
+    const auto e = static_cast<HpcEvent>(i);
+    EXPECT_EQ(event_from_name(event_name(e)), e);
+  }
+  EXPECT_THROW(event_from_name("not-an-event"), std::out_of_range);
+  EXPECT_GE(kNumHpcEvents, 30u);  // paper: "+30 events"
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sim/core.hpp"
+#include "sim/perf_monitor.hpp"
+
+namespace drlhmd::sim {
+namespace {
+
+Workload simple_workload(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "mux-test";
+  spec.family = "test";
+  PhaseSpec p;
+  p.load_frac = 0.3;
+  p.store_frac = 0.1;
+  p.branch_frac = 0.1;
+  p.working_set_bytes = 64 * 1024;
+  p.stream_bytes = 64 * 1024;
+  p.branch_sites = 32;
+  spec.phases = {p};
+  return Workload(spec, seed);
+}
+
+TEST(MultiplexingTest, DisabledByDefault) {
+  const PerfMonitorConfig cfg;
+  EXPECT_EQ(cfg.pmu_counters, 0u);
+}
+
+TEST(MultiplexingTest, NoiseIsMultiplicativeAndBounded) {
+  Core core_a(CoreConfig{}, HierarchyConfig{}, simple_workload(5), 5);
+  Core core_b(CoreConfig{}, HierarchyConfig{}, simple_workload(5), 5);
+
+  PerfMonitorConfig clean_cfg{.window_cycles = 50000, .warmup_cycles = 5000};
+  PerfMonitorConfig mux_cfg = clean_cfg;
+  mux_cfg.pmu_counters = 8;
+
+  PerfMonitor clean(core_a, clean_cfg);
+  PerfMonitor noisy(core_b, mux_cfg);
+  clean.warm_up();
+  noisy.warm_up();
+
+  const HpcSample s_clean = clean.sample_window();
+  const HpcSample s_noisy = noisy.sample_window();
+  bool any_different = false;
+  for (std::size_t e = 0; e < kNumHpcEvents; ++e) {
+    if (s_clean.values[e] <= 0.0) continue;
+    const double ratio = s_noisy.values[e] / s_clean.values[e];
+    EXPECT_GT(ratio, 0.5) << event_name(static_cast<HpcEvent>(e));
+    EXPECT_LT(ratio, 1.5) << event_name(static_cast<HpcEvent>(e));
+    any_different |= ratio != 1.0;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(MultiplexingTest, NoiseIsUnbiasedOnAverage) {
+  Core core(CoreConfig{}, HierarchyConfig{}, simple_workload(9), 9);
+  PerfMonitorConfig cfg{.window_cycles = 20000, .warmup_cycles = 2000};
+  cfg.pmu_counters = 8;
+  PerfMonitor monitor(core, cfg);
+  monitor.warm_up();
+
+  // Instructions-per-window is roughly stationary for this workload; the
+  // multiplex noise should average out over many windows.
+  const auto samples = monitor.collect(200);
+  const auto instr = static_cast<std::size_t>(HpcEvent::kInstructions);
+  const auto cyc = static_cast<std::size_t>(HpcEvent::kCycles);
+  double ratio_sum = 0.0;
+  for (const auto& s : samples) ratio_sum += s.values[instr] / s.values[cyc];
+  const double mean_ratio = ratio_sum / static_cast<double>(samples.size());
+  // Compare to a clean monitor on an identical core.
+  Core clean_core(CoreConfig{}, HierarchyConfig{}, simple_workload(9), 9);
+  PerfMonitorConfig clean_cfg = cfg;
+  clean_cfg.pmu_counters = 0;
+  PerfMonitor clean(clean_core, clean_cfg);
+  clean.warm_up();
+  const auto clean_samples = clean.collect(200);
+  double clean_sum = 0.0;
+  for (const auto& s : clean_samples)
+    clean_sum += s.values[instr] / s.values[cyc];
+  EXPECT_NEAR(mean_ratio, clean_sum / 200.0, 0.02);
+}
+
+TEST(MultiplexingTest, MoreGroupsMoreNoise) {
+  auto variance_for = [](std::uint32_t pmu) {
+    Core core(CoreConfig{}, HierarchyConfig{}, simple_workload(13), 13);
+    PerfMonitorConfig cfg{.window_cycles = 20000, .warmup_cycles = 2000};
+    cfg.pmu_counters = pmu;
+    PerfMonitor monitor(core, cfg);
+    monitor.warm_up();
+    const auto samples = monitor.collect(150);
+    const auto idx = static_cast<std::size_t>(HpcEvent::kInstructions);
+    double mean = 0.0;
+    for (const auto& s : samples) mean += s.values[idx];
+    mean /= static_cast<double>(samples.size());
+    double var = 0.0;
+    for (const auto& s : samples)
+      var += (s.values[idx] - mean) * (s.values[idx] - mean);
+    return var / (mean * mean * static_cast<double>(samples.size()));
+  };
+  // Fewer hardware counters -> more multiplex groups -> larger relative
+  // variance.
+  EXPECT_GT(variance_for(2), variance_for(16));
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

@@ -1,0 +1,122 @@
+#include "sim/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::sim {
+namespace {
+
+TEST(NextLinePrefetcherTest, PrefetchesFollowingLines) {
+  NextLinePrefetcher pf(64, 2);
+  const auto out = pf.observe(0x1010);  // line base 0x1000
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x1040u);
+  EXPECT_EQ(out[1], 0x1080u);
+  EXPECT_EQ(pf.stats().triggers, 1u);
+  EXPECT_EQ(pf.stats().issued, 2u);
+}
+
+TEST(NextLinePrefetcherTest, Validation) {
+  EXPECT_THROW(NextLinePrefetcher(48, 2), std::invalid_argument);
+  EXPECT_THROW(NextLinePrefetcher(64, 0), std::invalid_argument);
+  EXPECT_THROW(NextLinePrefetcher(64, 17), std::invalid_argument);
+}
+
+TEST(StridePrefetcherTest, LearnsConstantStride) {
+  StridePrefetcher pf(16, 2, 64);
+  // Train: three accesses at stride 128 confirm the stride.
+  EXPECT_TRUE(pf.observe(0x10000).empty());   // allocate entry
+  EXPECT_TRUE(pf.observe(0x10080).empty());   // stride seen once
+  const auto out = pf.observe(0x10100);       // stride confirmed
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x10180u);
+  EXPECT_EQ(out[1], 0x10200u);
+}
+
+TEST(StridePrefetcherTest, NegativeStride) {
+  StridePrefetcher pf(16, 1, 64);
+  pf.observe(0x20000);
+  pf.observe(0x20000 - 64);
+  const auto out = pf.observe(0x20000 - 128);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0x20000u - 192u);
+}
+
+TEST(StridePrefetcherTest, RandomAccessesStayQuiet) {
+  StridePrefetcher pf(16, 4, 64);
+  util::Rng rng(3);
+  std::size_t issued = 0;
+  for (int i = 0; i < 2000; ++i)
+    issued += pf.observe(0x100000 + rng.next_below(1 << 19)).size();
+  // Random addresses in one region almost never confirm a stride.
+  EXPECT_LT(issued, 200u);
+}
+
+TEST(StridePrefetcherTest, DistinctRegionsTrackedSeparately) {
+  StridePrefetcher pf(64, 1, 64);
+  // Interleave two streams in different 1 MiB regions.
+  std::uint64_t a = 0x10000000, b = 0x40000000;
+  std::size_t issued = 0;
+  for (int i = 0; i < 8; ++i) {
+    issued += pf.observe(a).size();
+    issued += pf.observe(b).size();
+    a += 64;
+    b += 256;
+  }
+  EXPECT_GT(issued, 8u);  // both streams locked on
+}
+
+TEST(StridePrefetcherTest, Validation) {
+  EXPECT_THROW(StridePrefetcher(0, 2, 64), std::invalid_argument);
+  EXPECT_THROW(StridePrefetcher(8, 0, 64), std::invalid_argument);
+  EXPECT_THROW(StridePrefetcher(8, 2, 48), std::invalid_argument);
+}
+
+TEST(HierarchyPrefetchTest, StreamingMissesDropWithStridePrefetch) {
+  HierarchyConfig off;
+  off.prefetch = HierarchyConfig::Prefetch::kNone;
+  HierarchyConfig on;
+  on.prefetch = HierarchyConfig::Prefetch::kStride;
+
+  auto run_stream = [](const HierarchyConfig& cfg) {
+    MemoryHierarchy mh(cfg);
+    EventCounts counts;
+    // Stream 8 MiB at 64B stride (every access a new line).
+    for (std::uint64_t addr = 0; addr < (8ull << 20); addr += 64)
+      mh.access_data(0x10000000 + addr, false, counts);
+    return counts;
+  };
+
+  const EventCounts miss_off = run_stream(off);
+  const EventCounts miss_on = run_stream(on);
+  EXPECT_EQ(miss_on[HpcEvent::kLlcPrefetches] > 0, true);
+  // With the stride prefetcher, demand LLC misses collapse.
+  EXPECT_LT(miss_on[HpcEvent::kCacheMisses],
+            miss_off[HpcEvent::kCacheMisses] / 4);
+  // Prefetch traffic is accounted on its own counters, not demand events.
+  EXPECT_EQ(miss_off[HpcEvent::kLlcPrefetches], 0u);
+}
+
+TEST(HierarchyPrefetchTest, NextLineHelpsSequentialFetch) {
+  HierarchyConfig cfg;
+  cfg.prefetch = HierarchyConfig::Prefetch::kNextLine;
+  MemoryHierarchy mh(cfg);
+  EventCounts counts;
+  for (std::uint64_t addr = 0; addr < (2ull << 20); addr += 64)
+    mh.access_data(0x20000000 + addr, false, counts);
+  EXPECT_GT(counts[HpcEvent::kLlcPrefetches], 0u);
+  // The second access of every pair should find its line prefetched in L2.
+  EXPECT_LT(counts[HpcEvent::kCacheMisses], counts[HpcEvent::kL1DcacheLoadMisses]);
+}
+
+TEST(HierarchyPrefetchTest, DefaultPlatformHasNoPrefetcher) {
+  const HierarchyConfig cfg;
+  EXPECT_EQ(cfg.prefetch, HierarchyConfig::Prefetch::kNone);
+  MemoryHierarchy mh(cfg);
+  EXPECT_EQ(mh.prefetcher(), nullptr);
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

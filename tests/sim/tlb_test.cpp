@@ -1,0 +1,53 @@
+#include "sim/tlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::sim {
+namespace {
+
+TEST(TlbTest, SamePageHitsAfterFirstAccess) {
+  Tlb tlb(TlbConfig{});
+  EXPECT_FALSE(tlb.access(0x1000));
+  EXPECT_TRUE(tlb.access(0x1FFF));  // same 4K page
+  EXPECT_FALSE(tlb.access(0x2000)); // next page
+}
+
+TEST(TlbTest, CapacityEviction) {
+  TlbConfig cfg;
+  cfg.entries = 4;
+  cfg.associativity = 4;  // fully associative with 4 entries
+  Tlb tlb(cfg);
+  for (std::uint64_t p = 0; p < 5; ++p) tlb.access(p * 4096);
+  // Page 0 is the LRU entry and must have been evicted.
+  EXPECT_FALSE(tlb.access(0));
+  EXPECT_EQ(tlb.stats().misses, 6u);
+}
+
+TEST(TlbTest, FlushForgetsTranslations) {
+  Tlb tlb(TlbConfig{});
+  tlb.access(0x5000);
+  tlb.flush();
+  EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(TlbTest, ConfigValidation) {
+  TlbConfig bad;
+  bad.entries = 0;
+  EXPECT_THROW(Tlb{bad}, std::invalid_argument);
+  bad = TlbConfig{};
+  bad.entries = 10;
+  bad.associativity = 4;  // 10 not divisible by 4
+  EXPECT_THROW(Tlb{bad}, std::invalid_argument);
+}
+
+TEST(TlbTest, StatsAccumulate) {
+  Tlb tlb(TlbConfig{});
+  for (int i = 0; i < 10; ++i) tlb.access(0x1000);
+  EXPECT_EQ(tlb.stats().accesses, 10u);
+  EXPECT_EQ(tlb.stats().hits, 9u);
+  tlb.reset_stats();
+  EXPECT_EQ(tlb.stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace drlhmd::sim

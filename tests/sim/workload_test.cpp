@@ -1,0 +1,194 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/workload_profiles.hpp"
+
+namespace drlhmd::sim {
+namespace {
+
+WorkloadSpec single_phase_spec() {
+  WorkloadSpec spec;
+  spec.name = "test-app";
+  spec.family = "test";
+  PhaseSpec p;
+  p.name = "only";
+  p.load_frac = 0.3;
+  p.store_frac = 0.1;
+  p.branch_frac = 0.2;
+  p.sequential_frac = 0.5;
+  p.working_set_bytes = 1 << 20;
+  p.stream_bytes = 1 << 20;
+  p.branch_sites = 64;
+  spec.phases = {p};
+  return spec;
+}
+
+TEST(WorkloadSpecTest, ValidationCatchesBadFractions) {
+  WorkloadSpec spec = single_phase_spec();
+  spec.phases[0].load_frac = 0.8;
+  spec.phases[0].store_frac = 0.3;  // sum > 1
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = single_phase_spec();
+  spec.phases[0].sequential_frac = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = single_phase_spec();
+  spec.phases[0].taken_bias = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = single_phase_spec();
+  spec.phases.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = single_phase_spec();
+  spec.code_footprint_bytes = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = single_phase_spec();
+  spec.phases[0].branch_sites = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(single_phase_spec().validate());
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  Workload a(single_phase_spec(), 42);
+  Workload b(single_phase_spec(), 42);
+  for (int i = 0; i < 1000; ++i) {
+    const MicroOp x = a.next();
+    const MicroOp y = b.next();
+    EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    EXPECT_EQ(x.addr, y.addr);
+    EXPECT_EQ(x.taken, y.taken);
+  }
+}
+
+TEST(WorkloadTest, OpMixMatchesSpec) {
+  Workload w(single_phase_spec(), 7);
+  int loads = 0, stores = 0, branches = 0, alu = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    switch (w.next().kind) {
+      case OpKind::kLoad: ++loads; break;
+      case OpKind::kStore: ++stores; break;
+      case OpKind::kBranch: ++branches; break;
+      case OpKind::kAlu: ++alu; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(loads) / kN, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(stores) / kN, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(branches) / kN, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(alu) / kN, 0.4, 0.02);
+}
+
+TEST(WorkloadTest, BranchSitesWithinRange) {
+  Workload w(single_phase_spec(), 11);
+  for (int i = 0; i < 20000; ++i) {
+    const MicroOp op = w.next();
+    if (op.kind == OpKind::kBranch) EXPECT_LT(op.branch_site, 64u);
+  }
+}
+
+TEST(WorkloadTest, BiasedSitesProduceBiasedOutcomes) {
+  WorkloadSpec spec = single_phase_spec();
+  spec.phases[0].taken_bias = 0.9;
+  spec.phases[0].branch_entropy = 0.0;  // every site strongly biased
+  Workload w(spec, 13);
+  int taken = 0, total = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const MicroOp op = w.next();
+    if (op.kind == OpKind::kBranch) {
+      taken += op.taken ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(taken) / total, 0.85);
+}
+
+TEST(WorkloadTest, MultiPhaseVisitsAllPhases) {
+  WorkloadSpec spec = single_phase_spec();
+  PhaseSpec second = spec.phases[0];
+  second.name = "second";
+  second.mean_ops = 50;
+  spec.phases[0].mean_ops = 50;
+  spec.phases.push_back(second);
+  Workload w(spec, 17);
+  std::set<std::size_t> visited;
+  for (int i = 0; i < 5000; ++i) {
+    w.next();
+    visited.insert(w.current_phase_index());
+  }
+  EXPECT_EQ(visited.size(), 2u);
+}
+
+TEST(WorkloadProfilesTest, FamilyNamesUnique) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumProgramFamilies; ++i)
+    names.insert(family_name(static_cast<ProgramFamily>(i)));
+  EXPECT_EQ(names.size(), kNumProgramFamilies);
+}
+
+TEST(WorkloadProfilesTest, BenignMalwareSplit) {
+  EXPECT_EQ(benign_families().size(), kNumBenignFamilies);
+  EXPECT_EQ(malware_families().size(), kNumMalwareFamilies);
+  for (ProgramFamily f : benign_families()) EXPECT_FALSE(family_is_malware(f));
+  for (ProgramFamily f : malware_families()) EXPECT_TRUE(family_is_malware(f));
+}
+
+TEST(WorkloadProfilesTest, AllTemplatesValidate) {
+  for (std::size_t i = 0; i < kNumProgramFamilies; ++i) {
+    const auto spec = family_template(static_cast<ProgramFamily>(i));
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_FALSE(spec.phases.empty());
+  }
+}
+
+TEST(WorkloadProfilesTest, RansomwareHasThreePhases) {
+  const auto spec = family_template(ProgramFamily::kRansomware);
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_EQ(spec.phases[0].name, "sweep-read");
+  EXPECT_EQ(spec.phases[2].name, "write-back");
+  // Write-back is store-dominated.
+  EXPECT_GT(spec.phases[2].store_frac, spec.phases[2].load_frac);
+}
+
+TEST(WorkloadProfilesTest, ApplicationsAreJitteredButValid) {
+  util::Rng rng(23);
+  const auto base = family_template(ProgramFamily::kDatabase);
+  const auto app1 = make_application(ProgramFamily::kDatabase, 1, rng);
+  const auto app2 = make_application(ProgramFamily::kDatabase, 2, rng);
+  EXPECT_NO_THROW(app1.validate());
+  EXPECT_NO_THROW(app2.validate());
+  EXPECT_NE(app1.name, app2.name);
+  // Jitter must actually change parameters between instances.
+  EXPECT_NE(app1.phases[0].working_set_bytes, app2.phases[0].working_set_bytes);
+  EXPECT_EQ(app1.family, base.family);
+  EXPECT_EQ(app1.malware, base.malware);
+}
+
+/// Every family template yields runnable applications for many app ids.
+class FamilySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FamilySweep, ApplicationsRunAndStayInFamilyCharacter) {
+  util::Rng rng(GetParam() * 100 + 1);
+  const auto family = static_cast<ProgramFamily>(GetParam());
+  const auto spec = make_application(family, 0, rng);
+  Workload w(spec, 99);
+  for (int i = 0; i < 10000; ++i) {
+    const MicroOp op = w.next();
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore)
+      EXPECT_GT(op.addr, 0u);
+  }
+  EXPECT_EQ(w.is_malware(), family_is_malware(family));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Range<std::size_t>(0, kNumProgramFamilies));
+
+}  // namespace
+}  // namespace drlhmd::sim

@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::util {
+namespace {
+
+TEST(CsvTest, ParsesSimpleDocument) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  const auto doc = parse_csv("x,y\r\n1,2\r\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  const auto doc = parse_csv("x,y\n1,2");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  const auto doc = parse_csv("name,val\n\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlineInsideField) {
+  const auto doc = parse_csv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto doc = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "");
+  EXPECT_EQ(doc.rows[0][2], "");
+}
+
+TEST(CsvTest, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::invalid_argument);
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyDocument) {
+  const auto doc = parse_csv("");
+  EXPECT_TRUE(doc.header.empty());
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvDocument doc;
+  doc.header = {"id", "payload"};
+  doc.rows = {{"1", "plain"}, {"2", "with,comma"}, {"3", "with\"quote"}};
+  const auto parsed = parse_csv(write_csv(doc));
+  EXPECT_EQ(parsed.header, doc.header);
+  EXPECT_EQ(parsed.rows, doc.rows);
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  CsvDocument doc;
+  doc.header = {"alpha", "beta"};
+  EXPECT_EQ(doc.column_index("beta"), 1u);
+  EXPECT_THROW(doc.column_index("gamma"), std::out_of_range);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"x", "1"}};
+  const std::string path = ::testing::TempDir() + "/drlhmd_csv_test.csv";
+  write_csv_file(doc, path);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.rows, doc.rows);
+  EXPECT_THROW(read_csv_file(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -1,0 +1,260 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace drlhmd::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, NextBelowAlwaysBelowBound) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntBadRangeThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScaled) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(41);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialBadRateThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 3.0), 2.0);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(RngTest, LognormalPositive) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(53);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(neg), std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), std::invalid_argument);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(59);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  const double p = 0.2;
+  for (int i = 0; i < kN; ++i) total += static_cast<double>(rng.geometric(p));
+  EXPECT_NEAR(total / kN, (1.0 - p) / p, 0.1);
+}
+
+TEST(RngTest, GeometricEdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+  EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+}
+
+TEST(RngTest, ZipfWithinRangeAndSkewed) {
+  Rng rng(61);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.zipf(10, 1.5);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(RngTest, ZipfErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.zipf(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rng.zipf(10, 1.0), std::invalid_argument);
+  EXPECT_EQ(rng.zipf(1, 2.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(67);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(71);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(73);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(79);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent2(79);
+  parent2.split();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (child.next() == parent.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+/// Property sweep: every seed produces valid uniform output.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndIsDeterministic) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double u = a.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, b.uniform());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 2ull, 42ull, 1234567ull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -1,0 +1,95 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::util {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFull);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, RoundTripStringsAndVectors) {
+  ByteWriter w;
+  w.write_string("hello world");
+  w.write_string("");
+  const std::vector<double> doubles = {1.5, -2.5, 0.0};
+  w.write_f64_vec(doubles);
+  const std::vector<std::uint64_t> ints = {7, 8, 9};
+  w.write_u64_vec(ints);
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_f64_vec(), doubles);
+  EXPECT_EQ(r.read_u64_vec(), ints);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, TruncatedInputThrows) {
+  ByteWriter w;
+  w.write_u64(1);
+  auto bytes = w.take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_u64(), std::out_of_range);
+}
+
+TEST(SerializeTest, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_string("abcdef");
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 3);
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_string(), std::out_of_range);
+}
+
+TEST(SerializeTest, HugeLengthPrefixRejected) {
+  // A corrupt length prefix must not cause a huge allocation or overflow.
+  ByteWriter w;
+  w.write_u64(~0ull);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_string(), std::out_of_range);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.exhausted());
+  r.read_u32();
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, WriterSizeMatchesContent) {
+  ByteWriter w;
+  EXPECT_EQ(w.size(), 0u);
+  w.write_u8(1);
+  EXPECT_EQ(w.size(), 1u);
+  w.write_f64(1.0);
+  EXPECT_EQ(w.size(), 9u);
+}
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace drlhmd::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.sample_variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 5.0);
+  EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(rs.variance(), var / 5.0, 1e-12);
+  EXPECT_NEAR(rs.sample_variance(), var / 4.0, 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.mean(), mean_before);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.mean(), mean_before);
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_NEAR(variance(xs), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileErrors) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = ys;
+  for (auto& v : neg) v = -v;
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(StatsTest, PearsonNearZeroForIndependent) {
+  Rng rng(9);
+  std::vector<double> xs(5000), ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(StatsTest, EntropyUniformIsLogN) {
+  const std::vector<std::size_t> counts = {10, 10, 10, 10};
+  EXPECT_NEAR(entropy_from_counts(counts), std::log(4.0), 1e-12);
+}
+
+TEST(StatsTest, EntropyDegenerateIsZero) {
+  const std::vector<std::size_t> counts = {42, 0, 0};
+  EXPECT_EQ(entropy_from_counts(counts), 0.0);
+  EXPECT_EQ(entropy_from_counts(std::vector<std::size_t>{}), 0.0);
+}
+
+TEST(StatsTest, HistogramBinsAndClamping) {
+  const std::vector<double> xs = {-5.0, 0.1, 0.9, 1.5, 100.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -5 clamped into first bin, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.9, 1.5 clamped, 100 clamped
+}
+
+TEST(StatsTest, HistogramErrors) {
+  EXPECT_THROW(histogram({}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram({}, 1.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drlhmd::util

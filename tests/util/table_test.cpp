@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::util {
+namespace {
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, MismatchedRowThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"model", "f1"});
+  t.add_row({"RF", "0.92"});
+  t.add_row({"LightGBM", "0.95"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("LightGBM"), std::string::npos);
+  // Header line and separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(0.12345, 2), "0.12");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::pct(0.961, 1), "96.1%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, BannerContainsTitle) {
+  const std::string b = banner("Table 2");
+  EXPECT_NE(b.find("Table 2"), std::string::npos);
+  EXPECT_NE(b.find("=="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drlhmd::util

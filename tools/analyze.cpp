@@ -1,0 +1,45 @@
+// Developer tuning tool: prints the corpus MI ranking and per-family
+// mean counters. Used while calibrating the workload catalogue
+// (DESIGN.md section 5); kept for future re-tuning.
+#include <cstdio>
+#include <map>
+#include "sim/dataset_builder.hpp"
+#include "ml/mutual_info.hpp"
+#include "ml/preprocess.hpp"
+#include "util/stats.hpp"
+using namespace drlhmd;
+
+int main() {
+  sim::CorpusConfig cc;
+  cc.benign_apps = 120; cc.malware_apps = 120; cc.windows_per_app = 4;
+  auto corpus = sim::build_corpus(cc);
+  ml::Dataset raw;
+  raw.feature_names = corpus.feature_names;
+  for (const auto& r : corpus.records) raw.push(r.features, r.malware ? 1 : 0);
+  raw = ml::clean(raw);
+  auto mi = ml::mutual_information(raw, 16);
+  std::printf("MI ranking:\n");
+  for (size_t k = 0; k < 12; ++k) {
+    size_t f = mi.ranking[k];
+    std::printf("  %2zu %-24s %.4f\n", k, raw.feature_names[f].c_str(), mi.scores[f]);
+  }
+  // per-family means of key features
+  std::map<std::string, std::map<std::string, util::RunningStats>> fam;
+  std::vector<std::string> keys = {"LLC-loads","LLC-load-misses","cache-references","cache-misses","branches","instructions","L1-dcache-loads","dTLB-load-misses"};
+  for (const auto& r : corpus.records) {
+    for (const auto& k : keys) {
+      size_t idx = 0;
+      for (size_t i = 0; i < corpus.feature_names.size(); ++i) if (corpus.feature_names[i]==k) idx=i;
+      fam[r.family][k].add(r.features[idx]);
+    }
+  }
+  std::printf("\n%-14s", "family");
+  for (const auto& k : keys) std::printf(" %12s", k.substr(0,12).c_str());
+  std::printf("\n");
+  for (const auto& [f, m] : fam) {
+    std::printf("%-14s", f.c_str());
+    for (const auto& k : keys) std::printf(" %12.0f", m.at(k).mean());
+    std::printf("\n");
+  }
+  return 0;
+}

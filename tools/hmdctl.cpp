@@ -1,0 +1,242 @@
+// hmdctl — command-line front end for the DRL-HMD library.
+//
+//   hmdctl corpus   --benign 300 --malware 300 --windows 5 --out corpus.csv
+//   hmdctl features --in corpus.csv [--bins 16] [--top 10]
+//   hmdctl simulate --family ransomware [--windows 4] [--seed 7]
+//   hmdctl pipeline [--benign 150 --malware 150] [--seed 2024] [--mi]
+//   hmdctl attack   [--benign 150 --malware 150] [--margin 0.9] [--steps 150]
+//
+// Every subcommand prints plain tables; exit code 0 on success, 2 on usage
+// errors.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "ml/mutual_info.hpp"
+#include "sim/dataset_builder.hpp"
+#include "util/table.hpp"
+
+using namespace drlhmd;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";  // boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+sim::CorpusConfig corpus_config(const Args& args) {
+  sim::CorpusConfig cfg;
+  cfg.benign_apps = static_cast<std::size_t>(args.get_int("benign", 150));
+  cfg.malware_apps = static_cast<std::size_t>(args.get_int("malware", 150));
+  cfg.windows_per_app = static_cast<std::size_t>(args.get_int("windows", 5));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return cfg;
+}
+
+int cmd_corpus(const Args& args) {
+  const sim::CorpusConfig cfg = corpus_config(args);
+  const std::string out = args.get("out", "corpus.csv");
+  std::fprintf(stderr, "building corpus: %zu benign + %zu malware apps x %zu windows...\n",
+               cfg.benign_apps, cfg.malware_apps, cfg.windows_per_app);
+  const sim::HpcCorpus corpus = sim::build_corpus(cfg);
+  util::write_csv_file(sim::corpus_to_csv(corpus), out);
+  std::printf("wrote %zu labeled HPC samples (%zu features) to %s\n",
+              corpus.records.size(), corpus.feature_names.size(), out.c_str());
+  return 0;
+}
+
+int cmd_features(const Args& args) {
+  const std::string in = args.get("in", "corpus.csv");
+  const auto bins = static_cast<std::size_t>(args.get_int("bins", 16));
+  const auto top = static_cast<std::size_t>(args.get_int("top", 10));
+  const sim::HpcCorpus corpus = sim::corpus_from_csv(util::read_csv_file(in));
+  ml::Dataset data;
+  data.feature_names = corpus.feature_names;
+  for (const auto& rec : corpus.records)
+    data.push(rec.features, rec.malware ? 1 : 0);
+  const auto mi = ml::mutual_information(data, bins);
+  util::Table table({"rank", "event", "MI (nats)"});
+  for (std::size_t k = 0; k < std::min(top, mi.ranking.size()); ++k) {
+    const std::size_t f = mi.ranking[k];
+    table.add_row({std::to_string(k + 1), data.feature_names[f],
+                   util::Table::fmt(mi.scores[f], 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string family_name = args.get("family", "ransomware");
+  const auto windows = static_cast<std::size_t>(args.get_int("windows", 4));
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  sim::ProgramFamily family = sim::ProgramFamily::kCount;
+  for (std::size_t f = 0; f < sim::kNumProgramFamilies; ++f) {
+    if (sim::family_name(static_cast<sim::ProgramFamily>(f)) == family_name)
+      family = static_cast<sim::ProgramFamily>(f);
+  }
+  if (family == sim::ProgramFamily::kCount) {
+    std::fprintf(stderr, "unknown family '%s'; choose one of:", family_name.c_str());
+    for (std::size_t f = 0; f < sim::kNumProgramFamilies; ++f)
+      std::fprintf(stderr, " %s",
+                   sim::family_name(static_cast<sim::ProgramFamily>(f)).c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  const sim::WorkloadSpec spec = sim::make_application(family, 0, rng);
+  sim::Core core(sim::CoreConfig{}, sim::HierarchyConfig{},
+                 sim::Workload(spec, rng.next()), rng.next());
+  sim::PerfMonitor monitor(core, sim::PerfMonitorConfig{});
+  monitor.warm_up();
+
+  std::vector<std::string> header = {"window"};
+  for (std::size_t e = 0; e < sim::kNumHpcEvents; ++e)
+    header.emplace_back(sim::event_name(static_cast<sim::HpcEvent>(e)));
+  util::Table table(std::move(header));
+  for (std::size_t w = 0; w < windows; ++w) {
+    const auto sample = monitor.sample_window();
+    std::vector<std::string> row = {std::to_string(w)};
+    for (double v : sample.values) row.push_back(util::Table::fmt(v, 0));
+    table.add_row(std::move(row));
+  }
+  std::printf("app %s (%s)\n%s", spec.name.c_str(),
+              spec.malware ? "malware" : "benign", table.to_csv().c_str());
+  return 0;
+}
+
+int cmd_pipeline(const Args& args) {
+  core::FrameworkConfig cfg;
+  cfg.corpus = corpus_config(args);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  if (args.has("mi")) cfg.feature_mode = core::FeatureSelectionMode::kMutualInfo;
+
+  core::Framework fw(cfg);
+  fw.run_all();
+
+  std::printf("features:");
+  for (const auto& n : fw.selected_feature_names()) std::printf(" %s", n.c_str());
+  std::printf("\nattack success: %s\n",
+              util::Table::pct(fw.attack_report().success_rate).c_str());
+  const auto pm = fw.evaluate_predictor();
+  std::printf("predictor: ACC=%s F1=%s\n", util::Table::fmt(pm.accuracy).c_str(),
+              util::Table::fmt(pm.f1).c_str());
+
+  util::Table table({"ML", "regular F1", "attacked F1", "defended F1"});
+  for (const auto& row : fw.evaluate_scenarios())
+    table.add_row({row.model, util::Table::fmt(row.regular.f1),
+                   util::Table::fmt(row.adversarial.f1),
+                   util::Table::fmt(row.defended.f1)});
+  std::printf("%s", table.to_string().c_str());
+
+  for (const auto policy :
+       {rl::ConstraintPolicy::kFastInference, rl::ConstraintPolicy::kSmallMemory,
+        rl::ConstraintPolicy::kBestDetection}) {
+    const auto& agent = fw.controller(policy);
+    std::printf("%s -> %s (F1 %s)\n", rl::policy_name(policy).c_str(),
+                agent.profile(agent.selected_model()).name.c_str(),
+                util::Table::fmt(agent.evaluate(fw.attacked_test_mix()).f1).c_str());
+  }
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  core::FrameworkConfig cfg;
+  cfg.corpus = corpus_config(args);
+  cfg.attack.max_steps = static_cast<std::size_t>(args.get_int("steps", 150));
+  cfg.attack.confidence_margin = args.get_double("margin", 0.9);
+  cfg.attack.lambda = args.get_double("lambda", 0.5);
+
+  core::Framework fw(cfg);
+  fw.acquire_data();
+  fw.engineer_features();
+  fw.train_baselines();
+  fw.generate_attacks();
+
+  const auto report = fw.attack_report();
+  std::printf("success rate: %s, mean weighted norm %.4f, mean l-inf %.4f\n",
+              util::Table::pct(report.success_rate).c_str(),
+              report.mean_weighted_norm, report.mean_linf);
+  util::Table table({"victim", "TPR regular", "TPR attacked"});
+  for (const auto& model : fw.baseline_models()) {
+    table.add_row({model->name(),
+                   util::Table::fmt(model->evaluate(fw.test_set()).tpr),
+                   util::Table::fmt(model->evaluate(fw.attacked_test_mix()).tpr)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: hmdctl <command> [--flag value ...]\n"
+               "commands:\n"
+               "  corpus    generate a labeled HPC corpus CSV\n"
+               "            --benign N --malware N --windows W --seed S --out F\n"
+               "  features  mutual-information report over a corpus CSV\n"
+               "            --in F --bins B --top K\n"
+               "  simulate  per-window counter trace for one application\n"
+               "            --family NAME --windows W --seed S\n"
+               "  pipeline  run the full adversarial-resilient pipeline\n"
+               "            --benign N --malware N --seed S [--mi]\n"
+               "  attack    attack-only study (baselines + LowProFool)\n"
+               "            --benign N --malware N --steps K --margin M\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "corpus") return cmd_corpus(args);
+    if (command == "features") return cmd_features(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "pipeline") return cmd_pipeline(args);
+    if (command == "attack") return cmd_attack(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hmdctl %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,44 @@
+// Developer smoke test: runs the full pipeline on a small corpus and
+// prints one line per phase output. Not part of the reproduction
+// harness; use bench_table2 for paper-scale numbers.
+#include <cstdio>
+#include "core/framework.hpp"
+#include "util/table.hpp"
+using namespace drlhmd;
+
+int main() {
+  core::FrameworkConfig cfg;
+  cfg.corpus.benign_apps = 120;
+  cfg.corpus.malware_apps = 120;
+  cfg.corpus.windows_per_app = 4;
+  core::Framework fw(cfg);
+  fw.acquire_data();
+  std::printf("corpus: %zu records (%zu malware)\n", fw.corpus().records.size(), fw.corpus().num_malware());
+  fw.engineer_features();
+  std::printf("selected features:");
+  for (const auto& n : fw.selected_feature_names()) std::printf(" %s", n.c_str());
+  std::printf("\ntrain=%zu val=%zu test=%zu\n", fw.train_set().size(), fw.val_set().size(), fw.test_set().size());
+  fw.train_baselines();
+  fw.generate_attacks();
+  auto rep = fw.attack_report();
+  std::printf("attack: attempted=%zu success=%.3f norm=%.3f\n", rep.attempted, rep.success_rate, rep.mean_weighted_norm);
+  fw.train_predictor();
+  auto pm = fw.evaluate_predictor();
+  std::printf("predictor: acc=%.3f f1=%.3f auc=%.3f\n", pm.accuracy, pm.f1, pm.auc);
+  fw.train_defenses();
+  fw.train_controllers();
+  fw.protect_models();
+  for (const auto& row : fw.evaluate_scenarios()) {
+    std::printf("%-9s reg(F1=%.2f TPR=%.2f FPR=%.2f) adv(F1=%.2f TPR=%.2f) def(F1=%.2f TPR=%.2f)\n",
+      row.model.c_str(), row.regular.f1, row.regular.tpr, row.regular.fpr,
+      row.adversarial.f1, row.adversarial.tpr, row.defended.f1, row.defended.tpr);
+  }
+  for (auto p : {rl::ConstraintPolicy::kFastInference, rl::ConstraintPolicy::kSmallMemory, rl::ConstraintPolicy::kBestDetection}) {
+    const auto& c = fw.controller(p);
+    auto sel = c.selected_model();
+    auto m = c.evaluate(fw.attacked_test_mix());
+    std::printf("%s -> %s F1=%.3f lat=%.3fus mem=%zuB\n", rl::policy_name(p).c_str(),
+      c.profile(sel).name.c_str(), m.f1, c.profile(sel).latency_us, c.profile(sel).memory_bytes);
+  }
+  return 0;
+}
