@@ -1,6 +1,10 @@
 // Shared setup for the reproduction harness: every bench binary builds the
 // same full-scale pipeline (or a reduced one when DRLHMD_BENCH_SCALE is set
 // between 0 and 1) and prints paper-style tables via util::Table.
+//
+// Setting DRLHMD_TELEMETRY=1 turns on the obs subsystem for the run: the
+// pipeline records phase spans + gauges, and a JSON snapshot (metrics +
+// trace) is emitted on stderr alongside the usual tables.
 #pragma once
 
 #include <cstdio>
@@ -8,6 +12,8 @@
 #include <string>
 
 #include "core/framework.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +27,28 @@ inline double bench_scale() {
   return 1.0;
 }
 
+inline bool telemetry_requested() {
+  const char* env = std::getenv("DRLHMD_TELEMETRY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// One JSON document combining the registry snapshot and the phase trace.
+inline std::string telemetry_json() {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("metrics").raw(obs::Telemetry::metrics().snapshot().to_json());
+  w.key("trace").raw(obs::Telemetry::tracer().to_json());
+  w.end_object();
+  return w.str();
+}
+
+/// If DRLHMD_TELEMETRY is set, dump the snapshot to stderr (prefixed so it
+/// is easy to grep out of the bench's table output).
+inline void maybe_dump_telemetry() {
+  if (!obs::Telemetry::enabled()) return;
+  std::fprintf(stderr, "[telemetry] %s\n", telemetry_json().c_str());
+}
+
 /// Full-scale configuration used by every reproduction binary.
 inline core::FrameworkConfig bench_config(std::uint64_t seed = 2024) {
   const double scale = bench_scale();
@@ -32,8 +60,11 @@ inline core::FrameworkConfig bench_config(std::uint64_t seed = 2024) {
   return cfg;
 }
 
-/// Run the full pipeline with progress lines on stderr.
+/// Run the full pipeline with progress lines on stderr.  When
+/// DRLHMD_TELEMETRY is set, telemetry is enabled for the whole process and
+/// the registry/trace snapshot is printed once the pipeline completes.
 inline core::Framework build_pipeline(const core::FrameworkConfig& cfg) {
+  if (telemetry_requested()) obs::Telemetry::set_enabled(true);
   core::Framework fw(cfg);
   util::Timer timer;
   auto step = [&](const char* what, auto&& fn) {
@@ -52,6 +83,7 @@ inline core::Framework build_pipeline(const core::FrameworkConfig& cfg) {
   step("train UCB controllers", [&] { fw.train_controllers(); });
   step("protect models", [&] { fw.protect_models(); });
   std::fprintf(stderr, "[pipeline] total %.2fs\n", timer.elapsed_seconds());
+  maybe_dump_telemetry();
   return fw;
 }
 

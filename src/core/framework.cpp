@@ -3,6 +3,9 @@
 #include <stdexcept>
 
 #include "ml/mutual_info.hpp"
+#include "obs/log.hpp"
+#include "obs/telemetry.hpp"
+#include "util/timer.hpp"
 
 namespace drlhmd::core {
 namespace {
@@ -14,6 +17,24 @@ ml::Dataset rows_with_label(const ml::Dataset& data, int label) {
   for (std::size_t i = 0; i < data.size(); ++i)
     if (data.y[i] == label) out.push(data.X[i], label);
   return out;
+}
+
+/// Publish the completed phase's duration as a gauge; spans carry the same
+/// timing hierarchically in the trace.
+void finish_phase(const char* phase, const util::Timer& timer) {
+  if (!obs::Telemetry::enabled()) return;
+  obs::Telemetry::metrics()
+      .gauge("drlhmd.pipeline.phase_seconds", {{"phase", phase}})
+      .set(timer.elapsed_seconds());
+  DRLHMD_LOG(Debug) << "pipeline phase '" << phase << "' finished in "
+                    << timer.elapsed_ms() << " ms";
+}
+
+void set_size_gauge(const char* split, std::size_t size) {
+  if (!obs::Telemetry::enabled()) return;
+  obs::Telemetry::metrics()
+      .gauge("drlhmd.pipeline.dataset_size", {{"split", split}})
+      .set(static_cast<double>(size));
 }
 
 }  // namespace
@@ -28,10 +49,18 @@ void Framework::require(bool condition, const char* message) const {
   if (!condition) throw std::logic_error(std::string("Framework: ") + message);
 }
 
-void Framework::acquire_data() { corpus_ = sim::build_corpus(config_.corpus); }
+void Framework::acquire_data() {
+  const obs::Span span = obs::phase_span("pipeline.acquire");
+  const util::Timer timer;
+  corpus_ = sim::build_corpus(config_.corpus);
+  set_size_gauge("corpus", corpus_->records.size());
+  finish_phase("acquire", timer);
+}
 
 void Framework::engineer_features() {
   require(corpus_.has_value(), "acquire_data must run before engineer_features");
+  const obs::Span span = obs::phase_span("pipeline.engineer");
+  const util::Timer timer;
 
   // Raw dataset over all HPC events.
   ml::Dataset raw;
@@ -78,16 +107,26 @@ void Framework::engineer_features() {
 
   // Clipping bounds for the attack (Algorithm 1 line 1), in scaled space.
   bounds_ = ml::feature_bounds(train_);
+
+  set_size_gauge("train", train_.size());
+  set_size_gauge("val", val_.size());
+  set_size_gauge("test", test_.size());
+  finish_phase("engineer", timer);
 }
 
 void Framework::train_baselines() {
   require(train_.size() > 0, "engineer_features must run before train_baselines");
+  const obs::Span span = obs::phase_span("pipeline.baseline");
+  const util::Timer timer;
   baseline_models_ = ml::make_all_models(config_.seed);
   for (auto& model : baseline_models_) model->fit(train_);
+  finish_phase("baseline", timer);
 }
 
 void Framework::generate_attacks() {
   require(train_.size() > 0, "engineer_features must run before generate_attacks");
+  const obs::Span span = obs::phase_span("pipeline.attack");
+  const util::Timer timer;
 
   // Attacker's surrogate: an LR trained the same way the defenders train
   // (threat model: attacker gathers its own HPC data with the same process).
@@ -110,22 +149,47 @@ void Framework::generate_attacks() {
   // malware + adversarial malware from the validation split.
   defense_val_mix_ = val_;
   defense_val_mix_.append(adversarial_val_);
+
+  if (obs::Telemetry::enabled()) {
+    set_size_gauge("adversarial_train", adversarial_train_.size());
+    set_size_gauge("adversarial_test", adversarial_test_.size());
+    // Attack success against the surrogate evaluator: how many generated
+    // vectors the imperceptibility LR now calls benign.
+    obs::Counter& generated =
+        obs::Telemetry::metrics().counter("drlhmd.pipeline.attack.generated");
+    obs::Counter& success =
+        obs::Telemetry::metrics().counter("drlhmd.pipeline.attack.success");
+    for (const ml::Dataset* pool :
+         {&adversarial_train_, &adversarial_val_, &adversarial_test_}) {
+      for (const auto& row : pool->X) {
+        generated.inc();
+        if (surrogate_->predict(row) == config_.attack.target_label)
+          success.inc();
+      }
+    }
+  }
+  finish_phase("attack", timer);
 }
 
 void Framework::train_predictor() {
   require(adversarial_train_.size() > 0,
           "generate_attacks must run before train_predictor");
+  const obs::Span span = obs::phase_span("pipeline.predict");
+  const util::Timer timer;
   rl::AdversarialPredictorConfig cfg = config_.predictor;
   cfg.seed += config_.seed;
   predictor_ = std::make_unique<rl::AdversarialPredictor>(
       config_.top_k_features, cfg);
   // Labeled adversarial pool vs. unlabeled ("None") legitimate pool.
   predictor_->train(adversarial_train_, train_);
+  finish_phase("predict", timer);
 }
 
 void Framework::train_defenses() {
   require(adversarial_train_.size() > 0,
           "generate_attacks must run before train_defenses");
+  const obs::Span span = obs::phase_span("pipeline.defend");
+  const util::Timer timer;
 
   // Merged HPC database [malware, benign, adversarial]: adversarial samples
   // are labeled by the predictor's positive feedback in deployment; here the
@@ -141,11 +205,16 @@ void Framework::train_defenses() {
   for (std::size_t i = 0; i + 1 < defended_models_.size(); ++i)
     classical.push_back(defended_models_[i].get());
   defended_profiles_ = rl::profile_models(classical, defense_val_mix_);
+
+  set_size_gauge("merged_train", merged_train_.size());
+  finish_phase("defend", timer);
 }
 
 void Framework::train_controllers() {
   require(!defended_models_.empty(),
           "train_defenses must run before train_controllers");
+  const obs::Span span = obs::phase_span("pipeline.control");
+  const util::Timer timer;
 
   std::vector<ml::Classifier*> classical;
   for (std::size_t i = 0; i + 1 < defended_models_.size(); ++i)
@@ -166,14 +235,18 @@ void Framework::train_controllers() {
     controller->train(defense_val_mix_);
     controllers_[policy] = std::move(controller);
   }
+  finish_phase("control", timer);
 }
 
 void Framework::protect_models(std::uint64_t deploy_timestamp) {
   require(!defended_models_.empty(), "train_defenses must run before protect_models");
+  const obs::Span span = obs::phase_span("pipeline.protect");
+  const util::Timer timer;
   for (const auto& model : defended_models_) {
     vault_.deploy(model->name(), model->serialize(), deploy_timestamp);
     monitor_.record_baseline(*model, defense_val_mix_);
   }
+  finish_phase("protect", timer);
 }
 
 void Framework::incremental_defense_update(const ml::Dataset& new_adversarial) {
@@ -181,6 +254,10 @@ void Framework::incremental_defense_update(const ml::Dataset& new_adversarial) {
           "train_defenses must run before incremental_defense_update");
   new_adversarial.validate();
   if (new_adversarial.size() == 0) return;
+  const obs::Span span = obs::phase_span("pipeline.incremental_update");
+  DRLHMD_LOG(Info) << "incremental defense update: +" << new_adversarial.size()
+                   << " adversarial samples (merged DB -> "
+                   << merged_train_.size() + new_adversarial.size() << ")";
   for (int label : new_adversarial.y)
     if (label != 1)
       throw std::invalid_argument(
@@ -210,6 +287,7 @@ void Framework::incremental_defense_update(const ml::Dataset& new_adversarial) {
 }
 
 void Framework::run_all() {
+  const obs::Span span = obs::phase_span("pipeline");
   acquire_data();
   engineer_features();
   train_baselines();

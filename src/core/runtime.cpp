@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/telemetry.hpp"
+
 namespace drlhmd::core {
 
 std::string verdict_name(TrafficVerdict verdict) {
@@ -14,58 +17,114 @@ std::string verdict_name(TrafficVerdict verdict) {
 }
 
 DetectionRuntime::DetectionRuntime(Framework& framework, RuntimeConfig config)
-    : framework_(framework), config_(config) {
+    : framework_(framework),
+      config_(config),
+      registry_(config.registry != nullptr ? config.registry : &local_registry_) {
   // Deployment prerequisites: the pipeline must be fully trained.
   (void)framework_.predictor();
   (void)framework_.controller(config_.policy);
+
+  obs::MetricsRegistry& reg = *registry_;
+  processed_ = &reg.counter("drlhmd.runtime.processed");
+  benign_ = &reg.counter("drlhmd.runtime.verdicts", {{"verdict", "benign"}});
+  malware_ = &reg.counter("drlhmd.runtime.verdicts", {{"verdict", "malware"}});
+  adversarial_ =
+      &reg.counter("drlhmd.runtime.verdicts", {{"verdict", "adversarial"}});
+  retrains_ = &reg.counter("drlhmd.runtime.retrains");
+  integrity_checks_ = &reg.counter("drlhmd.runtime.integrity.checks");
+  integrity_alarms_ = &reg.counter("drlhmd.runtime.integrity.alarms");
+  quarantine_gauge_ = &reg.gauge("drlhmd.runtime.quarantine_size");
+  retrain_gauge_ = &reg.gauge("drlhmd.runtime.retrain_count");
+  latency_predictor_ =
+      &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "predictor"}});
+  latency_detector_ =
+      &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "detector"}});
+  latency_integrity_ =
+      &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "integrity"}});
+  latency_total_ =
+      &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "total"}});
+}
+
+RuntimeStats DetectionRuntime::stats() const {
+  RuntimeStats stats;
+  stats.processed = processed_->value();
+  stats.benign = benign_->value();
+  stats.malware = malware_->value();
+  stats.adversarial = adversarial_->value();
+  stats.retrains = retrains_->value();
+  stats.integrity_checks = integrity_checks_->value();
+  stats.integrity_alarms = integrity_alarms_->value();
+  return stats;
 }
 
 TrafficVerdict DetectionRuntime::process(std::span<const double> features) {
-  ++stats_.processed;
+  const bool timed = obs::Telemetry::enabled();
+  const obs::ScopedLatency total(timed ? latency_total_ : nullptr);
+  processed_->inc();
 
   // Line of defense 1: the DRL predictor's feedback reward.
-  if (framework_.predictor().is_adversarial(features)) {
-    ++stats_.adversarial;
+  bool flagged;
+  {
+    const obs::ScopedLatency t(timed ? latency_predictor_ : nullptr);
+    flagged = framework_.predictor().is_adversarial(features);
+  }
+  if (flagged) {
+    adversarial_->inc();
     // Adversarial vectors are malware masquerading as benign: label and
     // quarantine them for the next adversarial-training round.
     quarantine_.push(std::vector<double>(features.begin(), features.end()), 1);
+    quarantine_gauge_->set(static_cast<double>(quarantine_.size()));
     maybe_retrain();
-    if (config_.integrity_check_period > 0 &&
-        stats_.processed % config_.integrity_check_period == 0)
-      validate_integrity();
+    maybe_validate_integrity();
     return TrafficVerdict::kAdversarialMalware;
   }
 
   // Line of defense 2: the constraint-aware controller's scheduled model.
-  const int prediction = framework_.controller(config_.policy).predict(features);
-  if (prediction == 1) {
-    ++stats_.malware;
-  } else {
-    ++stats_.benign;
+  int prediction;
+  {
+    const obs::ScopedLatency t(timed ? latency_detector_ : nullptr);
+    prediction = framework_.controller(config_.policy).predict(features);
   }
-  if (config_.integrity_check_period > 0 &&
-      stats_.processed % config_.integrity_check_period == 0)
-    validate_integrity();
+  if (prediction == 1) {
+    malware_->inc();
+  } else {
+    benign_->inc();
+  }
+  maybe_validate_integrity();
   return prediction == 1 ? TrafficVerdict::kMalware : TrafficVerdict::kBenign;
 }
 
 void DetectionRuntime::maybe_retrain() {
   if (config_.retrain_threshold == 0) return;
   if (quarantine_.size() < config_.retrain_threshold) return;
+  DRLHMD_LOG(Info) << "adaptive retrain: folding " << quarantine_.size()
+                   << " quarantined adversarial samples into the merged DB";
   framework_.incremental_defense_update(quarantine_);
   quarantine_ = ml::Dataset{};
-  ++stats_.retrains;
+  quarantine_gauge_->set(0.0);
+  retrains_->inc();
+  retrain_gauge_->set(static_cast<double>(retrains_->value()));
+}
+
+void DetectionRuntime::maybe_validate_integrity() {
+  if (config_.integrity_check_period == 0) return;
+  if (processed_->value() % config_.integrity_check_period == 0)
+    validate_integrity();
 }
 
 bool DetectionRuntime::validate_integrity() {
-  ++stats_.integrity_checks;
+  const obs::ScopedLatency t(
+      obs::Telemetry::enabled() ? latency_integrity_ : nullptr);
+  integrity_checks_->inc();
   bool all_intact = true;
   for (const auto& model : framework_.defended_models()) {
     const auto status =
         framework_.vault().verify(model->name(), model->serialize());
     if (status != integrity::VerificationStatus::kIntact) {
       all_intact = false;
-      ++stats_.integrity_alarms;
+      integrity_alarms_->inc();
+      DRLHMD_LOG(Warn) << "integrity alarm: model '" << model->name()
+                       << "' bytes deviate from the vault record";
     }
   }
   return all_intact;

@@ -11,9 +11,15 @@
 //   4. periodically, deployed model bytes are re-hashed against the vault
 //      and the metric monitor re-assesses on the reserved validation set
 //      (Section 2.7); alarms are raised on deviation.
+//
+// Every counter lives in an obs::MetricsRegistry (`drlhmd.runtime.*`), so
+// hmdctl, the benches, and RuntimeStats all read one source of truth.
+// Per-stage latency histograms (predictor / detector / integrity / total)
+// are recorded only while obs::Telemetry is enabled.
 #pragma once
 
 #include "core/framework.hpp"
+#include "obs/metrics.hpp"
 
 namespace drlhmd::core {
 
@@ -33,8 +39,13 @@ struct RuntimeConfig {
   std::size_t integrity_check_period = 1000;
   /// Which constraint agent serves detection traffic.
   rl::ConstraintPolicy policy = rl::ConstraintPolicy::kBestDetection;
+  /// Registry receiving this runtime's metrics.  Null keeps a registry
+  /// private to the runtime; pass &obs::Telemetry::metrics() to publish
+  /// into the process-wide telemetry snapshot.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
+/// Cheap accessor view over the runtime's registry counters.
 struct RuntimeStats {
   std::uint64_t processed = 0;
   std::uint64_t benign = 0;
@@ -64,17 +75,37 @@ class DetectionRuntime {
   /// Force an integrity validation pass now.
   bool validate_integrity();
 
-  const RuntimeStats& stats() const { return stats_; }
+  /// Snapshot of the registry counters as the legacy flat struct.
+  RuntimeStats stats() const;
+  /// The registry backing this runtime's metrics (private or injected).
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
   std::size_t quarantine_size() const { return quarantine_.size(); }
   const RuntimeConfig& config() const { return config_; }
 
  private:
   void maybe_retrain();
+  void maybe_validate_integrity();
 
   Framework& framework_;
   RuntimeConfig config_;
-  RuntimeStats stats_;
   ml::Dataset quarantine_;  // predictor-labeled adversarial samples
+
+  obs::MetricsRegistry local_registry_;  // used when no registry is injected
+  obs::MetricsRegistry* registry_;
+  // Cached handles: one atomic op per update on the hot path.
+  obs::Counter* processed_;
+  obs::Counter* benign_;
+  obs::Counter* malware_;
+  obs::Counter* adversarial_;
+  obs::Counter* retrains_;
+  obs::Counter* integrity_checks_;
+  obs::Counter* integrity_alarms_;
+  obs::Gauge* quarantine_gauge_;
+  obs::Gauge* retrain_gauge_;
+  obs::Histogram* latency_predictor_;
+  obs::Histogram* latency_detector_;
+  obs::Histogram* latency_integrity_;
+  obs::Histogram* latency_total_;
 };
 
 }  // namespace drlhmd::core

@@ -1,0 +1,69 @@
+// Minimal JSON emission + validation for telemetry export.
+//
+// JsonWriter is a streaming writer with correct string escaping and
+// non-finite-number handling (NaN/Inf emit as null, which strict parsers
+// accept).  json_valid() is a recursive-descent syntax checker used by the
+// tests and the ctest smoke target to assert that everything we emit
+// actually parses.  This is deliberately not a DOM library: telemetry only
+// ever writes JSON and checks it round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace drlhmd::obs {
+
+/// Streaming JSON writer.  Callers drive begin/end + key/value in document
+/// order; the writer inserts commas and escapes strings.  Misuse (a value
+/// where a key is required) is a programming error and throws.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Inject a pre-rendered JSON value verbatim (e.g. a sub-document from
+  /// another writer).  The caller is responsible for its validity.
+  JsonWriter& raw(std::string_view json);
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// Finished document (all containers must be closed).
+  const std::string& str() const;
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  // Parallel stacks: container kind and whether it already holds an element.
+  std::string frames_;       // 'o' / 'a'
+  std::string has_elems_;    // '0' / '1'
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+/// True when `text` is a syntactically valid JSON document.
+bool json_valid(std::string_view text);
+
+}  // namespace drlhmd::obs

@@ -1,0 +1,92 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace drlhmd::obs {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+std::string LogRecord::to_jsonl() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("ts_ms", ts_ms)
+      .kv("level", std::string_view(level_name(level)))
+      .kv("file", std::string_view(file))
+      .kv("line", static_cast<std::int64_t>(line))
+      .kv("msg", std::string_view(message))
+      .end_object();
+  return w.str();
+}
+
+Logger::Logger()
+    : level_(static_cast<int>(LogLevel::kWarn)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+bool Logger::open_jsonl(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  jsonl_.close();
+  jsonl_.clear();
+  if (path.empty()) return true;
+  jsonl_.open(path, std::ios::out | std::ios::app);
+  return jsonl_.is_open();
+}
+
+void Logger::close_jsonl() { open_jsonl(""); }
+
+void Logger::set_callback(std::function<void(const LogRecord&)> callback) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  callback_ = std::move(callback);
+}
+
+void Logger::submit(LogRecord record) {
+  record.ts_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - epoch_)
+                     .count();
+  if (stderr_sink_.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(record.level),
+                 record.file, record.line, record.message.c_str());
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (jsonl_.is_open()) {
+    jsonl_ << record.to_jsonl() << '\n';
+    jsonl_.flush();
+  }
+  if (callback_) callback_(record);
+}
+
+void Logger::reset() {
+  set_level(LogLevel::kWarn);
+  set_stderr_sink(true);
+  const std::lock_guard<std::mutex> lock(mu_);
+  jsonl_.close();
+  jsonl_.clear();
+  callback_ = nullptr;
+}
+
+LogStream::~LogStream() {
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.message = stream_.str();
+  Logger::instance().submit(std::move(record));
+}
+
+}  // namespace drlhmd::obs

@@ -1,0 +1,121 @@
+// Leveled structured logging with pluggable sinks.
+//
+//   DRLHMD_LOG(Info) << "retrain #" << n << " quarantine=" << q;
+//
+// The macro evaluates its stream expression only when the level is enabled,
+// so disabled log statements cost one relaxed atomic load.  Records fan out
+// to any combination of: stderr text sink, a machine-readable JSONL file
+// sink ({"ts_ms":..,"level":..,"file":..,"line":..,"msg":..} per line), and
+// a user callback (for tests or custom shipping).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace drlhmd::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug,
+  kInfo,
+  kWarn,
+  kError,
+  kOff,
+};
+
+const char* level_name(LogLevel level);
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  double ts_ms = 0.0;  // milliseconds since logger construction
+  const char* file = "";
+  int line = 0;
+  std::string message;
+
+  /// One JSONL line (no trailing newline).
+  std::string to_jsonl() const;
+};
+
+/// Process-wide logger singleton.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed) &&
+           level != LogLevel::kOff;
+  }
+
+  /// Text sink on stderr ("[level] file:line message"); on by default.
+  void set_stderr_sink(bool on) { stderr_sink_.store(on, std::memory_order_relaxed); }
+
+  /// JSONL sink; empty path closes it.  Returns false if the file cannot
+  /// be opened.
+  bool open_jsonl(const std::string& path);
+  void close_jsonl();
+
+  /// Callback sink (invoked under the logger lock); nullptr clears.
+  void set_callback(std::function<void(const LogRecord&)> callback);
+
+  /// Dispatch a completed record to every active sink.
+  void submit(LogRecord record);
+
+  /// Restore defaults (level kWarn, stderr on, no jsonl, no callback).
+  void reset();
+
+ private:
+  Logger();
+
+  std::atomic<int> level_;
+  std::atomic<bool> stderr_sink_{true};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;  // guards the sinks below
+  std::ofstream jsonl_;
+  std::function<void(const LogRecord&)> callback_;
+};
+
+/// Temporary that accumulates one message and submits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(T&& v) {
+    stream_ << std::forward<T>(v);
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace drlhmd::obs
+
+// Dangling-else-safe: expands to an `if/else` whose else-branch builds the
+// LogStream, so the whole statement vanishes when the level is disabled.
+#define DRLHMD_LOG(severity)                                      \
+  if (!::drlhmd::obs::Logger::instance().enabled(                 \
+          ::drlhmd::obs::LogLevel::k##severity))                  \
+    ;                                                             \
+  else                                                            \
+    ::drlhmd::obs::LogStream(::drlhmd::obs::LogLevel::k##severity, \
+                             __FILE__, __LINE__)

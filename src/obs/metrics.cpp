@@ -1,0 +1,357 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace drlhmd::obs {
+
+std::string metric_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// P² quantile estimator.
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  rates_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const {
+  const double np = positions_[static_cast<std::size_t>(i + 1)];
+  const double nm = positions_[static_cast<std::size_t>(i - 1)];
+  const double n = positions_[static_cast<std::size_t>(i)];
+  const double hp = heights_[static_cast<std::size_t>(i + 1)];
+  const double hm = heights_[static_cast<std::size_t>(i - 1)];
+  const double h = heights_[static_cast<std::size_t>(i)];
+  return h + d / (np - nm) *
+                 ((n - nm + d) * (hp - h) / (np - n) +
+                  (np - n - d) * (h - hm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, double d) const {
+  const auto j = static_cast<std::size_t>(i + static_cast<int>(d));
+  const auto k = static_cast<std::size_t>(i);
+  return heights_[k] + d * (heights_[j] - heights_[k]) /
+                           (positions_[j] - positions_[k]);
+}
+
+void P2Quantile::observe(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i)
+        positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+
+  // 1. Locate the cell and update the extreme markers.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  // 2./3. Shift marker positions and the desired positions.
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rates_[i];
+  ++count_;
+
+  // 4. Nudge the three middle markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const double d = desired_[ui] - positions_[ui];
+    if ((d >= 1.0 && positions_[ui + 1] - positions_[ui] > 1.0) ||
+        (d <= -1.0 && positions_[ui - 1] - positions_[ui] < -1.0)) {
+      const double step = d >= 0.0 ? 1.0 : -1.0;
+      const double candidate = parabolic(i, step);
+      if (heights_[ui - 1] < candidate && candidate < heights_[ui + 1]) {
+        heights_[ui] = candidate;
+      } else {
+        heights_[ui] = linear(i, step);
+      }
+      positions_[ui] += step;
+    }
+  }
+}
+
+double P2Quantile::estimate() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (count_ < 5) {
+    // Exact small-sample quantile over the retained observations.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+    const auto rank = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[std::min(rank, count_ - 1)];
+  }
+  return heights_[2];
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+const std::vector<double>& default_latency_buckets_us() {
+  static const std::vector<double> kBuckets = {
+      1.0,    2.0,    5.0,    10.0,    20.0,    50.0,    100.0,   200.0,
+      500.0,  1e3,    2e3,    5e3,     1e4,     2e4,     5e4,     1e5,
+      2e5,    5e5,    1e6,    1e7};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);  // +1: the implicit +inf bucket
+}
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  p50_.observe(v);
+  p95_.observe(v);
+  p99_.observe(v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  if (count_ > 0) {
+    snap.min = min_;
+    snap.max = max_;
+    snap.p50 = p50_.estimate();
+    snap.p95 = p95_.estimate();
+    snap.p99 = p99_.estimate();
+  }
+  snap.bounds = bounds_;
+  snap.buckets = buckets_;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(key, Entry<Counter>{name, labels,
+                                               std::make_unique<Counter>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, Entry<Gauge>{name, labels, std::make_unique<Gauge>()})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bucket_bounds,
+                                      const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    if (bucket_bounds.empty()) bucket_bounds = default_latency_buckets_us();
+    it = histograms_
+             .emplace(key, Entry<Histogram>{name, labels,
+                                            std::make_unique<Histogram>(
+                                                std::move(bucket_bounds))})
+             .first;
+  }
+  return *it->second.metric;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_)
+    snap.counters.push_back({entry.name, entry.labels, entry.metric->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_)
+    snap.gauges.push_back({entry.name, entry.labels, entry.metric->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, entry] : histograms_)
+    snap.histograms.push_back({entry.name, entry.labels, entry.metric->snapshot()});
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot rendering.
+
+namespace {
+
+void write_labels(JsonWriter& w, const Labels& labels) {
+  w.key("labels").begin_object();
+  for (const auto& [k, v] : labels) w.kv(k, std::string_view(v));
+  w.end_object();
+}
+
+std::string labels_text(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+template <typename Sample>
+const Sample* find_sample(const std::vector<Sample>& samples,
+                          const std::string& name, const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  for (const auto& s : samples)
+    if (metric_key(s.name, s.labels) == key) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_array();
+  for (const auto& c : counters) {
+    w.begin_object().kv("name", std::string_view(c.name));
+    write_labels(w, c.labels);
+    w.kv("value", c.value).end_object();
+  }
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& g : gauges) {
+    w.begin_object().kv("name", std::string_view(g.name));
+    write_labels(w, g.labels);
+    w.kv("value", g.value).end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& h : histograms) {
+    w.begin_object().kv("name", std::string_view(h.name));
+    write_labels(w, h.labels);
+    w.kv("count", h.data.count)
+        .kv("sum", h.data.sum)
+        .kv("min", h.data.min)
+        .kv("max", h.data.max)
+        .kv("mean", h.data.mean())
+        .kv("p50", h.data.p50)
+        .kv("p95", h.data.p95)
+        .kv("p99", h.data.p99);
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < h.data.buckets.size(); ++b) {
+      w.begin_object();
+      w.key("le");
+      if (b < h.data.bounds.size()) {
+        w.value(h.data.bounds[b]);
+      } else {
+        w.value(std::string_view("+inf"));
+      }
+      w.kv("count", h.data.buckets[b]).end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsSnapshot::to_table() const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    util::Table table({"metric", "type", "value"});
+    for (const auto& c : counters)
+      table.add_row({c.name + labels_text(c.labels), "counter",
+                     std::to_string(c.value)});
+    for (const auto& g : gauges)
+      table.add_row({g.name + labels_text(g.labels), "gauge",
+                     util::Table::fmt(g.value, 4)});
+    out += table.to_string();
+  }
+  if (!histograms.empty()) {
+    util::Table table(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& h : histograms)
+      table.add_row({h.name + labels_text(h.labels),
+                     std::to_string(h.data.count),
+                     util::Table::fmt(h.data.mean(), 2),
+                     util::Table::fmt(h.data.p50, 2),
+                     util::Table::fmt(h.data.p95, 2),
+                     util::Table::fmt(h.data.p99, 2),
+                     util::Table::fmt(h.data.max, 2)});
+    out += table.to_string();
+  }
+  return out;
+}
+
+const CounterSample* MetricsSnapshot::find_counter(const std::string& name,
+                                                   const Labels& labels) const {
+  return find_sample(counters, name, labels);
+}
+const GaugeSample* MetricsSnapshot::find_gauge(const std::string& name,
+                                               const Labels& labels) const {
+  return find_sample(gauges, name, labels);
+}
+const HistogramSample* MetricsSnapshot::find_histogram(
+    const std::string& name, const Labels& labels) const {
+  return find_sample(histograms, name, labels);
+}
+
+}  // namespace drlhmd::obs

@@ -1,0 +1,179 @@
+// Thread-safe metrics registry: counters, gauges, and latency histograms
+// with fixed buckets plus P² streaming quantile estimators (p50/p95/p99).
+//
+// Metrics are addressed by name + label set under the naming scheme
+// `drlhmd.<layer>.<name>` (e.g. drlhmd.runtime.verdicts{verdict=benign}).
+// Handles returned by the registry are stable for the registry's lifetime,
+// so hot paths resolve a metric once and then pay one atomic op per update.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drlhmd::obs {
+
+/// Label set: (key, value) pairs; order-insensitive for addressing.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical metric identity, e.g. `name{k1=v1,k2=v2}` with sorted keys.
+std::string metric_key(const std::string& name, const Labels& labels);
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (set/add; doubles via CAS so writers may race).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// P² streaming quantile estimator (Jain & Chlamtac 1985): tracks one
+/// quantile with five markers, O(1) memory, no sample retention.  Exact
+/// until five observations have arrived.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  void observe(double x);
+  double estimate() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights (quantile estimates)
+  std::array<double, 5> positions_{};  // actual marker positions n_i
+  std::array<double, 5> desired_{};    // desired positions n'_i
+  std::array<double, 5> rates_{};      // dn'_i per observation
+};
+
+/// Fixed-bucket histogram + min/max/sum + streaming p50/p95/p99.
+/// Buckets are upper bounds; an implicit +inf bucket catches the tail.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::quiet_NaN();
+    double max = std::numeric_limits<double>::quiet_NaN();
+    double p50 = std::numeric_limits<double>::quiet_NaN();
+    double p95 = std::numeric_limits<double>::quiet_NaN();
+    double p99 = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> bounds;          // upper bounds (without +inf)
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 counts
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  P2Quantile p50_{0.50}, p95_{0.95}, p99_{0.99};
+};
+
+/// Default microsecond latency buckets (1us .. 10s, roughly log-spaced).
+const std::vector<double>& default_latency_buckets_us();
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  Histogram::Snapshot data;
+};
+
+/// Point-in-time copy of every metric, sorted by canonical key.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// {"counters": [...], "gauges": [...], "histograms": [...]}
+  std::string to_json() const;
+  /// Human-readable tables (counters+gauges, then one histogram table).
+  std::string to_table() const;
+
+  const CounterSample* find_counter(const std::string& name,
+                                    const Labels& labels = {}) const;
+  const GaugeSample* find_gauge(const std::string& name,
+                                const Labels& labels = {}) const;
+  const HistogramSample* find_histogram(const std::string& name,
+                                        const Labels& labels = {}) const;
+};
+
+/// Thread-safe registry.  Lookup takes a lock; returned references are
+/// stable, so callers cache them for hot-path updates.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// Registers with `bucket_bounds` on first use (subsequent calls with the
+  /// same identity reuse the existing histogram regardless of bounds).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bucket_bounds = {},
+                       const Labels& labels = {});
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+}  // namespace drlhmd::obs

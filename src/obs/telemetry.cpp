@@ -1,0 +1,25 @@
+#include "obs/telemetry.hpp"
+
+namespace drlhmd::obs {
+
+std::atomic<bool>& Telemetry::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+MetricsRegistry& Telemetry::metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Tracer& Telemetry::tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Telemetry::reset() {
+  metrics().clear();
+  tracer().clear();
+}
+
+}  // namespace drlhmd::obs

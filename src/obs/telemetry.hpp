@@ -1,0 +1,67 @@
+// Process-wide telemetry facade.
+//
+// Telemetry is OFF by default: instrumented call sites test one relaxed
+// atomic bool and fall through, so the hot paths measured by the benches
+// stay at seed performance.  `hmdctl telemetry`, tests, or any embedder
+// flips it on to collect metrics (global MetricsRegistry), phase spans
+// (global Tracer), and structured logs.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace drlhmd::obs {
+
+class Telemetry {
+ public:
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Global registry/tracer; valid for the process lifetime.
+  static MetricsRegistry& metrics();
+  static Tracer& tracer();
+
+  /// Clear all recorded telemetry (tests and repeated CLI runs).
+  static void reset();
+
+ private:
+  static std::atomic<bool>& enabled_flag();
+};
+
+/// A span on the global tracer, or an inert Span when telemetry is off.
+inline Span phase_span(std::string name) {
+  if (!Telemetry::enabled()) return Span{};
+  return Telemetry::tracer().span(std::move(name));
+}
+
+/// RAII latency recorder: observes elapsed microseconds into a histogram on
+/// destruction.  A null histogram makes it a no-op (and skips the clock
+/// reads entirely).
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (histogram_ != nullptr) {
+      histogram_->observe(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count());
+    }
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace drlhmd::obs

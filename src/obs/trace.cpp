@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace drlhmd::obs {
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    index_ = other.index_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->close(index_);
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Span Tracer::span(std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.parent = stack_.empty() ? TraceEvent::kNoParent : stack_.back();
+  event.depth = static_cast<int>(stack_.size());
+  event.start_us = now_us();
+  const std::size_t index = events_.size();
+  events_.push_back(std::move(event));
+  stack_.push_back(index);
+  return Span(this, index);
+}
+
+void Tracer::close(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (index >= events_.size() || !events_[index].open) return;
+  events_[index].dur_us = now_us() - events_[index].start_us;
+  events_[index].open = false;
+  // Pop the open stack down through this span; children destroyed out of
+  // order (e.g. via move-assignment) are force-closed at the same instant.
+  const auto it = std::find(stack_.begin(), stack_.end(), index);
+  if (it != stack_.end()) {
+    for (auto child = it + 1; child != stack_.end(); ++child) {
+      TraceEvent& ev = events_[*child];
+      if (ev.open) {
+        ev.dur_us = now_us() - ev.start_us;
+        ev.open = false;
+      }
+    }
+    stack_.erase(it, stack_.end());
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  stack_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::string Tracer::to_json() const {
+  const std::vector<TraceEvent> snap = events();
+  JsonWriter w;
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (const auto& ev : snap) {
+    w.begin_object()
+        .kv("name", std::string_view(ev.name))
+        .kv("depth", static_cast<std::int64_t>(ev.depth))
+        .kv("start_us", ev.start_us)
+        .kv("dur_us", ev.dur_us)
+        .kv("open", ev.open);
+    w.key("parent");
+    if (ev.parent == TraceEvent::kNoParent) {
+      w.null();
+    } else {
+      w.value(static_cast<std::uint64_t>(ev.parent));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string Tracer::to_table() const {
+  const std::vector<TraceEvent> snap = events();
+  util::Table table({"span", "start (ms)", "duration (ms)"});
+  for (const auto& ev : snap) {
+    std::string name(static_cast<std::size_t>(ev.depth) * 2, ' ');
+    name += ev.name;
+    table.add_row({std::move(name), util::Table::fmt(ev.start_us / 1e3, 3),
+                   ev.open ? "(open)" : util::Table::fmt(ev.dur_us / 1e3, 3)});
+  }
+  return table.to_string();
+}
+
+}  // namespace drlhmd::obs

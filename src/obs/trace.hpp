@@ -1,0 +1,88 @@
+// Hierarchical phase tracing: RAII spans recording wall-clock durations.
+//
+// A Tracer holds an append-only list of span events; Span is a move-only
+// RAII handle that closes its event on destruction (or explicit end()).
+// Spans nest through the tracer's open-span stack, so the pipeline's eight
+// phases and the runtime's per-sample stages come out as a tree that can be
+// exported as a JSON trace or a flat timing table.  A default-constructed
+// Span is a no-op — that is how instrumentation stays free when telemetry
+// is disabled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace drlhmd::obs {
+
+class Tracer;
+
+/// One completed (or still-open) span.
+struct TraceEvent {
+  std::string name;
+  std::size_t parent = kNoParent;  // index into the tracer's event list
+  int depth = 0;
+  double start_us = 0.0;  // relative to tracer construction
+  double dur_us = 0.0;
+  bool open = true;
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+};
+
+/// Move-only RAII handle; closes its event when destroyed.
+class Span {
+ public:
+  Span() = default;  // no-op span
+  Span(Span&& other) noexcept : tracer_(other.tracer_), index_(other.index_) {
+    other.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Close now (idempotent).
+  void end();
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::size_t index) : tracer_(tracer), index_(index) {}
+
+  Tracer* tracer_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Thread-safe event sink.  Nesting is tracked with a single open-span
+/// stack, so hierarchical structure assumes spans open/close on one thread
+/// (recording itself is safe from any thread).
+class Tracer {
+ public:
+  Tracer();
+
+  Span span(std::string name);
+
+  /// Snapshot of all events recorded so far.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+  /// {"spans": [{"name":..,"depth":..,"start_us":..,"dur_us":..}, ...]}
+  std::string to_json() const;
+  /// Indented flat timing table (name, start, duration).
+  std::string to_table() const;
+
+ private:
+  friend class Span;
+  void close(std::size_t index);
+  double now_us() const;
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::size_t> stack_;  // indices of open spans
+};
+
+}  // namespace drlhmd::obs

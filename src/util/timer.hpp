@@ -1,4 +1,5 @@
-// Wall-clock timing helper for latency measurement (Metric Monitor inputs).
+// Wall-clock timing helpers for latency measurement (Metric Monitor and
+// telemetry inputs).
 #pragma once
 
 #include <chrono>
@@ -6,12 +7,14 @@
 
 namespace drlhmd::util {
 
-/// Monotonic stopwatch.
+/// Monotonic stopwatch.  `elapsed_*` reads time since construction/reset;
+/// `lap()` reads time since the previous lap without disturbing the total,
+/// so one Timer can measure both per-step and cumulative durations.
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
+  Timer() : start_(clock::now()), lap_(start_) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = lap_ = clock::now(); }
 
   double elapsed_seconds() const {
     return std::chrono::duration<double>(clock::now() - start_).count();
@@ -19,9 +22,41 @@ class Timer {
   double elapsed_ms() const { return elapsed_seconds() * 1e3; }
   double elapsed_us() const { return elapsed_seconds() * 1e6; }
 
+  /// Seconds since the last lap() (or construction/reset), then start a
+  /// new lap.  The overall start point is untouched, so elapsed_seconds()
+  /// keeps reporting the total — previously callers had to copy `start_`
+  /// semantics by hand with reset(), losing the cumulative reading.
+  double lap() {
+    const clock::time_point now = clock::now();
+    const double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  clock::time_point lap_;
+};
+
+/// RAII accumulator: adds the scope's elapsed seconds into a double on
+/// destruction.  Use for cheap always-on aggregate timing where a full
+/// histogram is overkill:
+///
+///   double train_seconds = 0.0;
+///   { ScopedTimer t(train_seconds); model.fit(data); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_ += timer_.elapsed_seconds(); }
+
+  const Timer& timer() const { return timer_; }
+
+ private:
+  double& accumulator_;
+  Timer timer_;
 };
 
 }  // namespace drlhmd::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "obs/telemetry.hpp"
+
 namespace drlhmd::core {
 namespace {
 
@@ -106,6 +110,67 @@ TEST_F(RuntimeFixture, AdaptiveRetrainingTriggersAndResetsQuarantine) {
   EXPECT_LT(runtime.quarantine_size(), 25u);
   // After the retrain the defended models stay functional and vaulted.
   EXPECT_TRUE(runtime.validate_integrity());
+}
+
+TEST_F(RuntimeFixture, StatsViewMatchesRegistryCounters) {
+  DetectionRuntime runtime(*framework_);
+  runtime.process_stream(framework_->attacked_test_mix());
+  runtime.validate_integrity();
+
+  const RuntimeStats stats = runtime.stats();
+  const obs::MetricsSnapshot snap = runtime.metrics().snapshot();
+  const auto counter = [&snap](const char* name, const obs::Labels& labels) {
+    const auto* sample = snap.find_counter(name, labels);
+    return sample != nullptr ? sample->value : std::uint64_t{0};
+  };
+  EXPECT_EQ(counter("drlhmd.runtime.processed", {}), stats.processed);
+  EXPECT_EQ(counter("drlhmd.runtime.verdicts", {{"verdict", "benign"}}),
+            stats.benign);
+  EXPECT_EQ(counter("drlhmd.runtime.verdicts", {{"verdict", "malware"}}),
+            stats.malware);
+  EXPECT_EQ(counter("drlhmd.runtime.verdicts", {{"verdict", "adversarial"}}),
+            stats.adversarial);
+  EXPECT_EQ(counter("drlhmd.runtime.integrity.checks", {}),
+            stats.integrity_checks);
+  EXPECT_EQ(counter("drlhmd.runtime.retrains", {}), stats.retrains);
+  // Every processed sample got exactly one verdict.
+  EXPECT_EQ(stats.benign + stats.malware + stats.adversarial, stats.processed);
+  // Quarantine size is surfaced as a gauge off the same registry.
+  const auto* quarantine = snap.find_gauge("drlhmd.runtime.quarantine_size");
+  ASSERT_NE(quarantine, nullptr);
+  EXPECT_DOUBLE_EQ(quarantine->value,
+                   static_cast<double>(runtime.quarantine_size()));
+}
+
+TEST_F(RuntimeFixture, StageLatencyHistogramsRecordWhenTelemetryEnabled) {
+  obs::Telemetry::set_enabled(true);
+  DetectionRuntime runtime(*framework_);
+  const auto& mix = framework_->attacked_test_mix();
+  const std::size_t n = std::min<std::size_t>(mix.size(), 40);
+  for (std::size_t i = 0; i < n; ++i) runtime.process(mix.X[i]);
+  obs::Telemetry::set_enabled(false);
+
+  const obs::MetricsSnapshot snap = runtime.metrics().snapshot();
+  const auto* total = snap.find_histogram("drlhmd.runtime.stage_latency_us",
+                                          {{"stage", "total"}});
+  const auto* predictor = snap.find_histogram("drlhmd.runtime.stage_latency_us",
+                                              {{"stage", "predictor"}});
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(predictor, nullptr);
+  EXPECT_EQ(total->data.count, n);
+  EXPECT_EQ(predictor->data.count, n);
+  EXPECT_LE(total->data.p50, total->data.p95);
+  EXPECT_LE(total->data.p95, total->data.p99);
+  EXPECT_GT(total->data.max, 0.0);
+
+  // With telemetry off, further samples bump counters but not histograms.
+  runtime.process(mix.X[0]);
+  const auto after = runtime.metrics().snapshot();
+  EXPECT_EQ(after.find_histogram("drlhmd.runtime.stage_latency_us",
+                                 {{"stage", "total"}})
+                ->data.count,
+            n);
+  EXPECT_EQ(after.find_counter("drlhmd.runtime.processed")->value, n + 1);
 }
 
 TEST_F(RuntimeFixture, IncrementalUpdateRejectsBenignLabels) {

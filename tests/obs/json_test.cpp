@@ -1,0 +1,88 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drlhmd::obs {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithScalars) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("name", "x")
+      .kv("count", std::uint64_t{7})
+      .kv("ratio", 0.5)
+      .kv("on", true)
+      .key("none")
+      .null()
+      .end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"x","count":7,"ratio":0.5,"on":true,"none":null})");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object().key("rows").begin_array();
+  for (int i = 0; i < 3; ++i)
+    w.begin_object().kv("i", static_cast<std::int64_t>(i)).end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"i":0},{"i":1},{"i":2}]})");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.begin_object().kv("msg", "a\"b\\c\nd\te\x01" "f").end_object();
+  EXPECT_EQ(w.str(), "{\"msg\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersEmitNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  EXPECT_THROW(w.end_array(), std::logic_error);
+  EXPECT_THROW(w.str(), std::logic_error);  // document not complete
+}
+
+TEST(JsonWriterTest, RawInjectsSubDocument) {
+  JsonWriter inner;
+  inner.begin_object().kv("k", std::uint64_t{1}).end_object();
+  JsonWriter w;
+  w.begin_object().key("sub").raw(inner.str()).end_object();
+  EXPECT_EQ(w.str(), R"({"sub":{"k":1}})");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonValidTest, AcceptsCanonicalDocuments) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("  {\"a\": [1, -2.5, 3e4, \"s\", null, true]}  "));
+  EXPECT_TRUE(json_valid("\"lone string\""));
+  EXPECT_TRUE(json_valid("-0.25"));
+}
+
+TEST(JsonValidTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\":1}}"));
+  EXPECT_FALSE(json_valid("{'a':1}"));
+  EXPECT_FALSE(json_valid("01"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("{\"a\":1 \"b\":2}"));
+}
+
+}  // namespace
+}  // namespace drlhmd::obs

@@ -1,0 +1,118 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drlhmd::obs {
+namespace {
+
+/// Restores logger defaults around every test so suites don't leak sinks.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().reset();
+    Logger::instance().set_stderr_sink(false);
+  }
+  void TearDown() override { Logger::instance().reset(); }
+};
+
+TEST_F(LogTest, LevelNamesAreStable) {
+  EXPECT_STREQ(level_name(LogLevel::kTrace), "trace");
+  EXPECT_STREQ(level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(level_name(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(level_name(LogLevel::kError), "error");
+}
+
+TEST_F(LogTest, LevelFilteringGatesTheMacro) {
+  std::vector<LogRecord> seen;
+  Logger::instance().set_callback(
+      [&seen](const LogRecord& r) { seen.push_back(r); });
+  Logger::instance().set_level(LogLevel::kWarn);
+
+  DRLHMD_LOG(Info) << "dropped";
+  DRLHMD_LOG(Warn) << "kept " << 1;
+  DRLHMD_LOG(Error) << "kept " << 2;
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].message, "kept 1");
+  EXPECT_EQ(seen[0].level, LogLevel::kWarn);
+  EXPECT_EQ(seen[1].message, "kept 2");
+  EXPECT_GT(seen[1].line, 0);
+}
+
+TEST_F(LogTest, DisabledLevelDoesNotEvaluateStreamExpression) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  DRLHMD_LOG(Debug) << "x" << expensive();
+  EXPECT_EQ(evaluations, 0);
+  DRLHMD_LOG(Error) << "x" << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, MacroIsDanglingElseSafe) {
+  Logger::instance().set_level(LogLevel::kOff);
+  bool else_branch = false;
+  if (false)
+    DRLHMD_LOG(Info) << "then";
+  else
+    else_branch = true;
+  EXPECT_TRUE(else_branch);
+}
+
+TEST_F(LogTest, JsonlSinkRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/drlhmd_log_roundtrip.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(Logger::instance().open_jsonl(path));
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  DRLHMD_LOG(Info) << "sample " << 1 << " verdict=\"benign\"";
+  DRLHMD_LOG(Warn) << "alarm line\nsecond line";
+  Logger::instance().close_jsonl();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    EXPECT_NE(line.find("\"ts_ms\""), std::string::npos);
+    EXPECT_NE(line.find("\"level\""), std::string::npos);
+    EXPECT_NE(line.find("\"msg\""), std::string::npos);
+  }
+  // Quotes and the embedded newline survived the escape/parse round-trip.
+  EXPECT_NE(lines[0].find("verdict=\\\"benign\\\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\\n"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"warn\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, RecordSerializesItsFields) {
+  LogRecord record;
+  record.level = LogLevel::kError;
+  record.ts_ms = 12.5;
+  record.file = "runtime.cpp";
+  record.line = 99;
+  record.message = "integrity alarm";
+  const std::string line = record.to_jsonl();
+  EXPECT_TRUE(json_valid(line));
+  EXPECT_EQ(line,
+            R"({"ts_ms":12.5,"level":"error","file":"runtime.cpp",)"
+            R"("line":99,"msg":"integrity alarm"})");
+}
+
+}  // namespace
+}  // namespace drlhmd::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd::obs {
+namespace {
+
+TEST(MetricKeyTest, LabelsAreSortedAndCanonical) {
+  EXPECT_EQ(metric_key("m", {}), "m");
+  EXPECT_EQ(metric_key("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  EXPECT_EQ(metric_key("m", {{"a", "1"}, {"b", "2"}}),
+            metric_key("m", {{"b", "2"}, {"a", "1"}}));
+}
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile p50(0.5);
+  p50.observe(3.0);
+  p50.observe(1.0);
+  p50.observe(2.0);
+  EXPECT_DOUBLE_EQ(p50.estimate(), 2.0);
+}
+
+TEST(P2QuantileTest, TracksUniformStreamQuantiles) {
+  // 10k uniform [0,1000) samples: p50/p95/p99 estimates must land close to
+  // the true quantiles without retaining the stream.
+  util::Rng rng(7);
+  P2Quantile p50(0.5), p95(0.95), p99(0.99);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform() * 1000.0;
+    all.push_back(x);
+    p50.observe(x);
+    p95.observe(x);
+    p99.observe(x);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_NEAR(p50.estimate(), all[all.size() / 2], 25.0);
+  EXPECT_NEAR(p95.estimate(), all[all.size() * 95 / 100], 25.0);
+  EXPECT_NEAR(p99.estimate(), all[all.size() * 99 / 100], 25.0);
+}
+
+TEST(HistogramTest, BucketsPartitionObservations) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 0.7, 5.0, 50.0, 5000.0}) h.observe(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 bounds + the +inf tail
+  EXPECT_EQ(snap.buckets[0], 2u);      // <= 1
+  EXPECT_EQ(snap.buckets[1], 1u);      // <= 10
+  EXPECT_EQ(snap.buckets[2], 1u);      // <= 100
+  EXPECT_EQ(snap.buckets[3], 1u);      // +inf
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 5000.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 5056.2);
+  const std::uint64_t total = snap.buckets[0] + snap.buckets[1] +
+                              snap.buckets[2] + snap.buckets[3];
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST(HistogramTest, QuantilesOrderedOnSkewedStream) {
+  Histogram h({});
+  // Mostly-fast latencies with a slow tail, the runtime's typical shape.
+  for (int i = 0; i < 950; ++i) h.observe(10.0 + (i % 7));
+  for (int i = 0; i < 50; ++i) h.observe(500.0 + i);
+  const auto snap = h.snapshot();
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LT(snap.p50, 20.0);
+  EXPECT_GT(snap.p99, 100.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndIdentityAddressed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("drlhmd.test.hits", {{"shard", "0"}});
+  Counter& b = reg.counter("drlhmd.test.hits", {{"shard", "0"}});
+  Counter& c = reg.counter("drlhmd.test.hits", {{"shard", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.inc(3);
+  c.inc();
+  const auto snap = reg.snapshot();
+  const auto* s0 = snap.find_counter("drlhmd.test.hits", {{"shard", "0"}});
+  const auto* s1 = snap.find_counter("drlhmd.test.hits", {{"shard", "1"}});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s0->value, 3u);
+  EXPECT_EQ(s1->value, 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesFromManyThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Every thread resolves its own handles (exercises registry locking)
+      // and hammers shared metrics.
+      Counter& hits = reg.counter("drlhmd.test.concurrent.hits");
+      Gauge& level = reg.gauge("drlhmd.test.concurrent.level");
+      Histogram& lat = reg.histogram("drlhmd.test.concurrent.latency_us");
+      for (int i = 0; i < kIters; ++i) {
+        hits.inc();
+        level.add(1.0);
+        lat.observe(static_cast<double>((t * kIters + i) % 100));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.find_counter("drlhmd.test.concurrent.hits")->value,
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_DOUBLE_EQ(snap.find_gauge("drlhmd.test.concurrent.level")->value,
+                   static_cast<double>(kThreads * kIters));
+  EXPECT_EQ(snap.find_histogram("drlhmd.test.concurrent.latency_us")->data.count,
+            static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST(MetricsSnapshotTest, JsonIsValidAndCarriesAllSections) {
+  MetricsRegistry reg;
+  reg.counter("drlhmd.test.count").inc(5);
+  reg.gauge("drlhmd.test.level", {{"k", "v"}}).set(1.25);
+  reg.histogram("drlhmd.test.lat_us").observe(42.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(json_valid(json));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("drlhmd.test.count"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, TableRendersEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("drlhmd.test.count").inc();
+  reg.histogram("drlhmd.test.lat_us").observe(1.0);
+  const std::string table = reg.snapshot().to_table();
+  EXPECT_NE(table.find("drlhmd.test.count"), std::string::npos);
+  EXPECT_NE(table.find("drlhmd.test.lat_us"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesTheRegistry) {
+  MetricsRegistry reg;
+  reg.counter("a").inc();
+  reg.gauge("b").set(1);
+  reg.histogram("c").observe(1);
+  EXPECT_EQ(reg.size(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+}  // namespace
+}  // namespace drlhmd::obs

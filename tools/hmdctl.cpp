@@ -5,9 +5,12 @@
 //   hmdctl simulate --family ransomware [--windows 4] [--seed 7]
 //   hmdctl pipeline [--benign 150 --malware 150] [--seed 2024] [--mi]
 //   hmdctl attack   [--benign 150 --malware 150] [--margin 0.9] [--steps 150]
+//   hmdctl telemetry [--benign 150 --malware 150] [--format json|table]
+//                    [--policy fast|small|best] [--log run.jsonl]
+//                    [--log-level info]
 //
-// Every subcommand prints plain tables; exit code 0 on success, 2 on usage
-// errors.
+// Every subcommand prints plain tables (telemetry defaults to JSON); exit
+// code 0 on success, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -15,7 +18,11 @@
 #include <vector>
 
 #include "core/framework.hpp"
+#include "core/runtime.hpp"
 #include "ml/mutual_info.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/dataset_builder.hpp"
 #include "util/table.hpp"
 
@@ -202,6 +209,94 @@ int cmd_attack(const Args& args) {
   return 0;
 }
 
+int cmd_telemetry(const Args& args) {
+  // Structured logging first, so the pipeline's events reach the sinks.
+  const std::string level_name = args.get("log-level", "warn");
+  obs::LogLevel level = obs::LogLevel::kWarn;
+  for (const obs::LogLevel candidate :
+       {obs::LogLevel::kTrace, obs::LogLevel::kDebug, obs::LogLevel::kInfo,
+        obs::LogLevel::kWarn, obs::LogLevel::kError}) {
+    if (level_name == obs::level_name(candidate)) level = candidate;
+  }
+  obs::Logger::instance().set_level(level);
+  const std::string log_path = args.get("log", "");
+  if (!log_path.empty() && !obs::Logger::instance().open_jsonl(log_path)) {
+    std::fprintf(stderr, "cannot open JSONL log sink: %s\n", log_path.c_str());
+    return 2;
+  }
+
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::reset();
+
+  core::FrameworkConfig cfg;
+  cfg.corpus = corpus_config(args);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  if (args.has("mi")) cfg.feature_mode = core::FeatureSelectionMode::kMutualInfo;
+
+  core::Framework fw(cfg);
+  fw.run_all();
+
+  core::RuntimeConfig rt_cfg;
+  rt_cfg.registry = &obs::Telemetry::metrics();
+  rt_cfg.retrain_threshold =
+      static_cast<std::size_t>(args.get_int("retrain", 0));
+  rt_cfg.integrity_check_period =
+      static_cast<std::size_t>(args.get_int("integrity-period", 100));
+  const std::string policy = args.get("policy", "best");
+  if (policy == "fast") {
+    rt_cfg.policy = rl::ConstraintPolicy::kFastInference;
+  } else if (policy == "small") {
+    rt_cfg.policy = rl::ConstraintPolicy::kSmallMemory;
+  } else if (policy != "best") {
+    std::fprintf(stderr, "unknown --policy '%s' (fast|small|best)\n",
+                 policy.c_str());
+    return 2;
+  }
+
+  // Drive the deployment loop over the attacked test mixture so per-stage
+  // latency histograms and verdict counters have real traffic behind them.
+  core::DetectionRuntime runtime(fw, rt_cfg);
+  const ml::MetricReport report =
+      runtime.process_stream(fw.attacked_test_mix());
+  runtime.validate_integrity();
+
+  const std::string format = args.get("format", "json");
+  if (format == "table") {
+    std::printf("%s%s", util::banner("Phase trace").c_str(),
+                obs::Telemetry::tracer().to_table().c_str());
+    std::printf("%s%s", util::banner("Metrics").c_str(),
+                obs::Telemetry::metrics().snapshot().to_table().c_str());
+    std::printf("stream: %zu samples, F1 %s\n", fw.attacked_test_mix().size(),
+                util::Table::fmt(report.f1).c_str());
+    return 0;
+  }
+  if (format != "json") {
+    std::fprintf(stderr, "unknown --format '%s' (json|table)\n", format.c_str());
+    return 2;
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("config")
+      .begin_object()
+      .kv("benign_apps", static_cast<std::uint64_t>(cfg.corpus.benign_apps))
+      .kv("malware_apps", static_cast<std::uint64_t>(cfg.corpus.malware_apps))
+      .kv("seed", cfg.seed)
+      .kv("policy", std::string_view(rl::policy_name(rt_cfg.policy)))
+      .end_object();
+  w.key("stream")
+      .begin_object()
+      .kv("samples", static_cast<std::uint64_t>(fw.attacked_test_mix().size()))
+      .kv("f1", report.f1)
+      .kv("accuracy", report.accuracy)
+      .end_object();
+  w.key("trace").raw(obs::Telemetry::tracer().to_json());
+  w.key("metrics").raw(obs::Telemetry::metrics().snapshot().to_json());
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: hmdctl <command> [--flag value ...]\n"
@@ -215,7 +310,12 @@ void usage() {
                "  pipeline  run the full adversarial-resilient pipeline\n"
                "            --benign N --malware N --seed S [--mi]\n"
                "  attack    attack-only study (baselines + LowProFool)\n"
-               "            --benign N --malware N --steps K --margin M\n");
+               "            --benign N --malware N --steps K --margin M\n"
+               "  telemetry pipeline + runtime stream with full telemetry\n"
+               "            --benign N --malware N --seed S [--mi]\n"
+               "            --format json|table --policy fast|small|best\n"
+               "            --retrain K --integrity-period P\n"
+               "            --log FILE.jsonl --log-level LEVEL\n");
 }
 
 }  // namespace
@@ -233,6 +333,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "telemetry") return cmd_telemetry(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hmdctl %s: %s\n", command.c_str(), e.what());
     return 1;
