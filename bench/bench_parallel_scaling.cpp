@@ -1,0 +1,119 @@
+// Thread-scaling curve for the deterministic parallel layer.
+//
+// Times the two heaviest parallel consumers — RandomForest training and
+// LowProFool batch attack generation — at pool widths 1/2/4/8 and emits a
+// BENCH_parallel.json document with per-width wall times and speedups over
+// the 1-thread run.  Because the layer is deterministic, every width
+// produces bitwise identical models/attacks; only the wall clock moves.
+//
+// Speedup on a machine with fewer physical cores than the requested width
+// is necessarily ~1x; `hardware_concurrency` is recorded so readers can
+// judge the curve against the hardware that produced it.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "adversarial/feature_importance.hpp"
+#include "adversarial/lowprofool.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/preprocess.hpp"
+#include "ml/random_forest.hpp"
+#include "obs/json.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace drlhmd;
+
+namespace {
+
+ml::Dataset blobs(std::size_t n_per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(2.0, 1.2);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+/// Best-of-N wall time for one workload at the current pool width.
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> widths = {1, 2, 4, 8};
+
+  const ml::Dataset train = blobs(1000, 71);
+  ml::RandomForestConfig rf_cfg;
+  rf_cfg.n_trees = 48;
+
+  ml::LogisticRegression surrogate;
+  surrogate.fit(train);
+  const ml::FeatureBounds bounds = ml::feature_bounds(train);
+  const adversarial::LowProFool attacker(
+      surrogate, bounds, adversarial::importance_from_lr(surrogate));
+
+  std::vector<double> rf_seconds, attack_seconds;
+  for (std::size_t width : widths) {
+    util::set_parallel_threads(width);
+    rf_seconds.push_back(best_seconds([&] {
+      ml::RandomForest forest(rf_cfg);
+      forest.fit(train);
+    }));
+    attack_seconds.push_back(
+        best_seconds([&] { (void)attacker.attack_batch(train); }));
+    std::fprintf(stderr, "[scaling] threads=%zu rf=%.3fs attack=%.3fs\n",
+                 width, rf_seconds.back(), attack_seconds.back());
+  }
+  util::set_parallel_threads(0);  // back to the environment default
+
+  util::Table table({"threads", "rf_fit_s", "rf_speedup", "attack_s",
+                     "attack_speedup"});
+  obs::JsonWriter json;
+  json.begin_object();
+  json.kv("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.kv("rf_trees", static_cast<std::uint64_t>(rf_cfg.n_trees));
+  json.kv("dataset_rows", static_cast<std::uint64_t>(train.size()));
+  json.key("points").begin_array();
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const double rf_speedup = rf_seconds[0] / rf_seconds[i];
+    const double attack_speedup = attack_seconds[0] / attack_seconds[i];
+    table.add_row({util::Table::fmt(static_cast<double>(widths[i]), 0),
+                   util::Table::fmt(rf_seconds[i], 4),
+                   util::Table::fmt(rf_speedup, 2),
+                   util::Table::fmt(attack_seconds[i], 4),
+                   util::Table::fmt(attack_speedup, 2)});
+    json.begin_object();
+    json.kv("threads", static_cast<std::uint64_t>(widths[i]));
+    json.kv("rf_fit_seconds", rf_seconds[i]);
+    json.kv("rf_speedup", rf_speedup);
+    json.kv("attack_seconds", attack_seconds[i]);
+    json.kv("attack_speedup", attack_speedup);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::printf("%s\n%s\n", table.to_string().c_str(), json.str().c_str());
+  return 0;
+}

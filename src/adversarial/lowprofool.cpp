@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::adversarial {
 
 LowProFool::LowProFool(const ml::LogisticRegression& surrogate,
@@ -113,17 +115,28 @@ AttackResult LowProFool::attack(std::span<const double> sample) const {
   return best;
 }
 
+std::vector<AttackResult> LowProFool::attack_batch(const ml::Dataset& data) const {
+  data.validate();
+  std::vector<std::size_t> malware_rows;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (data.y[i] == 1) malware_rows.push_back(i);
+  return util::parallel_map(
+      "lowprofool.attack_batch", 0, malware_rows.size(), 1,
+      [&](std::size_t j) { return attack(data.X[malware_rows[j]]); });
+}
+
 ml::Dataset LowProFool::attack_dataset(const ml::Dataset& data,
                                        bool successful_only) const {
-  data.validate();
+  std::vector<AttackResult> attacks = attack_batch(data);
   ml::Dataset out;
   out.feature_names = data.feature_names;
+  std::size_t j = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data.y[i] != 1) {
       out.push(data.X[i], data.y[i]);
       continue;
     }
-    AttackResult result = attack(data.X[i]);
+    AttackResult& result = attacks[j++];
     if (result.success || !successful_only) {
       out.push(std::move(result.adversarial), 1);
     } else {
@@ -134,14 +147,13 @@ ml::Dataset LowProFool::attack_dataset(const ml::Dataset& data,
 }
 
 AttackCampaignReport LowProFool::evaluate_campaign(const ml::Dataset& data) const {
-  data.validate();
+  const std::vector<AttackResult> attacks = attack_batch(data);
   AttackCampaignReport report;
+  report.attempted = attacks.size();
   double norm_sum = 0.0;
   double linf_sum = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (data.y[i] != 1) continue;
-    ++report.attempted;
-    const AttackResult result = attack(data.X[i]);
+  // Row-order accumulation: identical sums to the old sequential sweep.
+  for (const AttackResult& result : attacks) {
     if (!result.success) continue;
     ++report.succeeded;
     norm_sum += result.weighted_norm;

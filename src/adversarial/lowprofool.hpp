@@ -61,6 +61,12 @@ class LowProFool {
 
   AttackResult attack(std::span<const double> sample) const;
 
+  /// Attack every malware row (label 1) of `data` in parallel; slot j of
+  /// the result holds the attack on the j-th malware row in dataset order.
+  /// attack() is pure, so the batch is bitwise identical at any thread
+  /// count.  Building block for attack_dataset / evaluate_campaign.
+  std::vector<AttackResult> attack_batch(const ml::Dataset& data) const;
+
   /// Attack every malware row (label 1) of `data`; benign rows are passed
   /// through untouched.  Returned dataset keeps ground-truth labels: an
   /// adversarial malware sample is still label 1 — that is exactly why it

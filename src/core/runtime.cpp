@@ -4,6 +4,7 @@
 
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
+#include "util/parallel.hpp"
 
 namespace drlhmd::core {
 
@@ -130,14 +131,82 @@ bool DetectionRuntime::validate_integrity() {
   return all_intact;
 }
 
+std::vector<TrafficVerdict> DetectionRuntime::process_batch(
+    std::span<const std::vector<double>> rows) {
+  struct Scored {
+    bool flagged = false;
+    int prediction = 0;
+  };
+
+  std::vector<TrafficVerdict> verdicts;
+  verdicts.reserve(rows.size());
+  std::size_t start = 0;
+  while (start < rows.size()) {
+    // Speculatively score every remaining row against the currently
+    // deployed (frozen) models.  Both calls are const and cache-free, so
+    // concurrent scoring matches what the sequential loop would compute.
+    const auto& predictor = framework_.predictor();
+    const auto& controller = framework_.controller(config_.policy);
+    const std::vector<Scored> scored = util::parallel_map(
+        "runtime.batch_score", start, rows.size(), 0, [&](std::size_t i) {
+          Scored s;
+          s.flagged = predictor.is_adversarial(rows[i]);
+          if (!s.flagged) s.prediction = controller.predict(rows[i]);
+          return s;
+        });
+
+    // Serial commit in row order: exactly process()'s side effects.  When
+    // a retrain swaps the deployed models, the speculative scores for the
+    // rows after it are stale — break out and re-score the remainder.
+    const std::uint64_t retrains_before = retrains_->value();
+    std::size_t i = start;
+    for (; i < rows.size(); ++i) {
+      const Scored& s = scored[i - start];
+      processed_->inc();
+      if (s.flagged) {
+        adversarial_->inc();
+        quarantine_.push(std::vector<double>(rows[i].begin(), rows[i].end()),
+                         1);
+        quarantine_gauge_->set(static_cast<double>(quarantine_.size()));
+        maybe_retrain();
+        maybe_validate_integrity();
+        verdicts.push_back(TrafficVerdict::kAdversarialMalware);
+        if (retrains_->value() != retrains_before) {
+          ++i;
+          break;
+        }
+      } else {
+        if (s.prediction == 1) {
+          malware_->inc();
+        } else {
+          benign_->inc();
+        }
+        maybe_validate_integrity();
+        verdicts.push_back(s.prediction == 1 ? TrafficVerdict::kMalware
+                                             : TrafficVerdict::kBenign);
+      }
+    }
+    start = i;
+  }
+  return verdicts;
+}
+
 ml::MetricReport DetectionRuntime::process_stream(const ml::Dataset& stream) {
   stream.validate();
-  std::vector<int> predictions;
-  predictions.reserve(stream.size());
-  for (const auto& row : stream.X) {
-    const TrafficVerdict verdict = process(row);
-    predictions.push_back(verdict == TrafficVerdict::kBenign ? 0 : 1);
+  std::vector<TrafficVerdict> verdicts;
+  if (obs::Telemetry::enabled()) {
+    // Per-row path so the stage latency histograms see every sample;
+    // the batch path cannot time individual stages inside its parallel
+    // scoring region.
+    verdicts.reserve(stream.size());
+    for (const auto& row : stream.X) verdicts.push_back(process(row));
+  } else {
+    verdicts = process_batch(stream.X);
   }
+  std::vector<int> predictions;
+  predictions.reserve(verdicts.size());
+  for (const TrafficVerdict verdict : verdicts)
+    predictions.push_back(verdict == TrafficVerdict::kBenign ? 0 : 1);
   return ml::evaluate_predictions(stream.y, predictions);
 }
 

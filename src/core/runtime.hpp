@@ -68,8 +68,22 @@ class DetectionRuntime {
   /// Process one HPC sample (engineered, scaled feature space).
   TrafficVerdict process(std::span<const double> features);
 
+  /// Process a batch of samples: exactly the verdicts, counters, quarantine
+  /// contents, and retrain/integrity side effects that calling process() on
+  /// each row in order would produce.  Rows are scored against the frozen
+  /// deployed models in parallel ("runtime.batch_score" region), then side
+  /// effects commit serially in row order; if an adaptive retrain fires
+  /// mid-batch, the remaining rows are re-scored against the updated
+  /// models.  Per-stage latency histograms are not recorded on this path —
+  /// the parallel region's span carries the batch scoring time instead.
+  std::vector<TrafficVerdict> process_batch(
+      std::span<const std::vector<double>> rows);
+
   /// Process a labeled stream; returns detection metrics where adversarial
-  /// verdicts count as "malware" (they are malware by construction).
+  /// verdicts count as "malware" (they are malware by construction).  Uses
+  /// process_batch() normally; when telemetry is enabled it walks the rows
+  /// through process() instead so the per-stage latency histograms see
+  /// every sample.
   ml::MetricReport process_stream(const ml::Dataset& stream);
 
   /// Force an integrity validation pass now.

@@ -73,7 +73,7 @@ double ConvNetClassifier::predict_proba(std::span<const double> features) const 
   if (!trained()) throw std::logic_error("ConvNetClassifier: not trained");
   if (features.size() != in_features_)
     throw std::invalid_argument("ConvNetClassifier: feature width mismatch");
-  const Matrix logits = net_.forward(Matrix::row_vector(features));
+  const Matrix logits = net_.infer(Matrix::row_vector(features));
   return nn::softmax(logits).at(0, 1);
 }
 

@@ -39,7 +39,7 @@ class ConvNetClassifier final : public Classifier {
 
  private:
   ConvNetConfig config_;
-  mutable nn::Network net_;
+  nn::Network net_;
   std::size_t in_features_ = 0;
 };
 

@@ -5,10 +5,21 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::ml {
 namespace {
 
 constexpr std::uint8_t kFormatVersion = 1;
+
+/// Nodes at least this large scan candidate features in parallel, each
+/// feature over its own sorted row copy.  That path sorts with an explicit
+/// row-index tie-break so the permutation — and with it the floating-point
+/// accumulation order — is unique; because the gate depends only on the
+/// node size (never the thread count), every DRLHMD_THREADS value builds
+/// the same tree.  Smaller nodes keep the original shared-buffer scan,
+/// preserving the exact trees the seed implementation produced.
+constexpr std::size_t kParallelSplitRows = 2048;
 
 /// Gini impurity of a (weighted) binary count pair.
 double gini(double n_pos, double n_total) {
@@ -86,36 +97,92 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   double best_threshold = 0.0;
   const double parent_impurity = gini(w_pos, w_total);
 
-  std::vector<std::size_t> sorted = rows;
-  for (std::size_t f : features) {
-    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-      return train.X[a][f] < train.X[b][f];
-    });
-    double left_total = 0.0, left_pos = 0.0;
-    std::size_t left_count = 0;
-    for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
-      const std::size_t r = sorted[k];
-      const double w = weights[r];
-      left_total += w;
-      left_count += 1;
-      if (train.y[r] == 1) left_pos += w;
-      const double v = train.X[r][f];
-      const double v_next = train.X[sorted[k + 1]][f];
-      if (v == v_next) continue;  // no boundary between equal values
-      if (left_count < config_.min_samples_leaf ||
-          sorted.size() - left_count < config_.min_samples_leaf)
-        continue;
-      const double right_total = w_total - left_total;
-      const double right_pos = w_pos - left_pos;
-      const double weighted_child =
-          (left_total * gini(left_pos, left_total) +
-           right_total * gini(right_pos, right_total)) /
-          w_total;
-      const double gain = parent_impurity - weighted_child;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5 * (v + v_next);
+  if (rows.size() >= kParallelSplitRows) {
+    struct FeatureBest {
+      double gain = 0.0;
+      double threshold = 0.0;
+    };
+    const std::vector<FeatureBest> bests = util::parallel_map(
+        "decision_tree.split_scan", 0, features.size(), 1,
+        [&](std::size_t fi) {
+          const std::size_t f = features[fi];
+          std::vector<std::size_t> sorted = rows;
+          std::sort(sorted.begin(), sorted.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const double va = train.X[a][f];
+                      const double vb = train.X[b][f];
+                      return va < vb || (va == vb && a < b);
+                    });
+          FeatureBest best;
+          double left_total = 0.0, left_pos = 0.0;
+          std::size_t left_count = 0;
+          for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+            const std::size_t r = sorted[k];
+            const double w = weights[r];
+            left_total += w;
+            left_count += 1;
+            if (train.y[r] == 1) left_pos += w;
+            const double v = train.X[r][f];
+            const double v_next = train.X[sorted[k + 1]][f];
+            if (v == v_next) continue;  // no boundary between equal values
+            if (left_count < config_.min_samples_leaf ||
+                sorted.size() - left_count < config_.min_samples_leaf)
+              continue;
+            const double right_total = w_total - left_total;
+            const double right_pos = w_pos - left_pos;
+            const double weighted_child =
+                (left_total * gini(left_pos, left_total) +
+                 right_total * gini(right_pos, right_total)) /
+                w_total;
+            const double gain = parent_impurity - weighted_child;
+            if (gain > best.gain) {
+              best.gain = gain;
+              best.threshold = 0.5 * (v + v_next);
+            }
+          }
+          return best;
+        });
+    // Reduce in candidate-feature order with strict >: the same winner the
+    // single-pass scan would select.
+    for (std::size_t fi = 0; fi < features.size(); ++fi) {
+      if (bests[fi].gain > best_gain) {
+        best_gain = bests[fi].gain;
+        best_feature = features[fi];
+        best_threshold = bests[fi].threshold;
+      }
+    }
+  } else {
+    std::vector<std::size_t> sorted = rows;
+    for (std::size_t f : features) {
+      std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        return train.X[a][f] < train.X[b][f];
+      });
+      double left_total = 0.0, left_pos = 0.0;
+      std::size_t left_count = 0;
+      for (std::size_t k = 0; k + 1 < sorted.size(); ++k) {
+        const std::size_t r = sorted[k];
+        const double w = weights[r];
+        left_total += w;
+        left_count += 1;
+        if (train.y[r] == 1) left_pos += w;
+        const double v = train.X[r][f];
+        const double v_next = train.X[sorted[k + 1]][f];
+        if (v == v_next) continue;  // no boundary between equal values
+        if (left_count < config_.min_samples_leaf ||
+            sorted.size() - left_count < config_.min_samples_leaf)
+          continue;
+        const double right_total = w_total - left_total;
+        const double right_pos = w_pos - left_pos;
+        const double weighted_child =
+            (left_total * gini(left_pos, left_total) +
+             right_total * gini(right_pos, right_total)) /
+            w_total;
+        const double gain = parent_impurity - weighted_child;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (v + v_next);
+        }
       }
     }
   }

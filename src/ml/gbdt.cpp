@@ -6,10 +6,18 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::ml {
 namespace {
 
 constexpr std::uint8_t kFormatVersion = 1;
+
+/// Leaf candidates at least this large scan features in parallel.  The
+/// per-feature scan is unchanged (same histogram fill order, same bin scan
+/// order) and the reduce walks features in ascending order with strict >,
+/// so the chosen split is bitwise identical to the serial sweep.
+constexpr std::size_t kParallelScanRows = 512;
 
 double sigmoid(double z) {
   if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
@@ -75,26 +83,26 @@ void Gbdt::fit(const Dataset& train) {
   std::vector<std::vector<double>> bin_uppers(width);
   std::vector<std::vector<std::uint8_t>> binned(width,
                                                 std::vector<std::uint8_t>(n));
-  std::vector<double> column(n);
-  for (std::size_t f = 0; f < width; ++f) {
+  util::parallel_for("gbdt.binning", 0, width, 1, [&](std::size_t f) {
+    std::vector<double> column(n);
     for (std::size_t i = 0; i < n; ++i) column[i] = train.X[i][f];
-    bin_uppers[f] = make_bin_uppers(column, config_.max_bins);
+    bin_uppers[f] = make_bin_uppers(std::move(column), config_.max_bins);
     for (std::size_t i = 0; i < n; ++i)
       binned[f][i] = bin_of(train.X[i][f], bin_uppers[f]);
-  }
+  });
 
   std::vector<double> raw(n, base_score_);
   std::vector<double> gradients(n), hessians(n);
 
   for (std::size_t round = 0; round < config_.n_rounds; ++round) {
-    for (std::size_t i = 0; i < n; ++i) {
+    util::parallel_for("gbdt.gradients", 0, n, 0, [&](std::size_t i) {
       const double p = sigmoid(raw[i]);
       gradients[i] = p - static_cast<double>(train.y[i]);
       hessians[i] = std::max(p * (1.0 - p), 1e-12);
-    }
+    });
     Tree tree = grow_tree(binned, bin_uppers, gradients, hessians, n);
-    // Update raw scores.
-    for (std::size_t i = 0; i < n; ++i) {
+    // Update raw scores (each row touches only its own slot).
+    util::parallel_for("gbdt.raw_update", 0, n, 0, [&](std::size_t i) {
       std::int32_t idx = 0;
       for (;;) {
         const Node& node = tree[static_cast<std::size_t>(idx)];
@@ -106,7 +114,7 @@ void Gbdt::fit(const Dataset& train) {
                   ? node.left
                   : node.right;
       }
-    }
+    });
     trees_.push_back(std::move(tree));
   }
   trained_ = true;
@@ -140,9 +148,12 @@ Gbdt::Tree Gbdt::grow_tree(const std::vector<std::vector<std::uint8_t>>& binned,
     if (cand.rows.size() < 2 * config_.min_samples_leaf) return;
     if (cand.depth >= config_.max_depth) return;
     const double parent_score = score(cand.sum_g, cand.sum_h);
-    for (std::size_t f = 0; f < width; ++f) {
+    // Best split within one feature; histogram fill and bin scan orders
+    // are fixed, so the result does not depend on where this runs.
+    auto scan_feature = [&](std::size_t f) {
+      SplitDecision best;
       const std::size_t n_bins = bin_uppers[f].size();
-      if (n_bins < 2) continue;
+      if (n_bins < 2) return best;
       // Histogram accumulation.
       std::vector<double> hist_g(n_bins, 0.0), hist_h(n_bins, 0.0);
       std::vector<std::size_t> hist_n(n_bins, 0);
@@ -163,13 +174,28 @@ Gbdt::Tree Gbdt::grow_tree(const std::vector<std::vector<std::uint8_t>>& binned,
         const double gain = score(left_g, left_h) +
                             score(cand.sum_g - left_g, cand.sum_h - left_h) -
                             parent_score;
-        if (gain > cand.split.gain && gain > config_.min_gain) {
-          cand.split.gain = gain;
-          cand.split.feature = f;
-          cand.split.bin = b;
-          cand.split.valid = true;
+        if (gain > best.gain && gain > config_.min_gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = b;
+          best.valid = true;
         }
       }
+      return best;
+    };
+    std::vector<SplitDecision> per_feature;
+    if (cand.rows.size() >= kParallelScanRows) {
+      per_feature = util::parallel_map("gbdt.split_scan", 0, width, 1,
+                                       scan_feature);
+    } else {
+      per_feature.reserve(width);
+      for (std::size_t f = 0; f < width; ++f)
+        per_feature.push_back(scan_feature(f));
+    }
+    // Ascending-feature reduce with strict >: picks the same (feature, bin)
+    // the single-pass sweep would.
+    for (const SplitDecision& d : per_feature) {
+      if (d.valid && d.gain > cand.split.gain) cand.split = d;
     }
   };
 

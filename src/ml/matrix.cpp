@@ -3,7 +3,15 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::ml {
+namespace {
+// Below these sizes the packed-B setup costs more than the classic loop.
+constexpr std::size_t kPackedMinDim = 8;
+// Rows per parallel chunk; small matrices run as one chunk (inline).
+constexpr std::size_t kMatmulGrain = 16;
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -44,15 +52,46 @@ Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = at(i, k);
-      if (a == 0.0) continue;
-      const double* brow = other.data_.data() + k * other.cols_;
-      double* orow = out.data_.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+  if (rows_ < kPackedMinDim || cols_ < kPackedMinDim ||
+      other.cols_ < kPackedMinDim) {
+    // Tiny product (single-sample inference etc.): skip the packing setup.
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = at(i, k);
+        if (a == 0.0) continue;
+        const double* brow = other.data_.data() + k * other.cols_;
+        double* orow = out.data_.data() + i * other.cols_;
+        for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      }
     }
+    return out;
   }
+  // Pack B^T once so every output element is a dot product of two
+  // contiguous arrays (unit-stride loads, accumulator in a register).
+  // Each out(i, j) still sums a(i, k) * b(k, j) over ascending k with the
+  // same zero-skip, so results are bitwise identical to the loop above.
+  const std::size_t n = other.cols_;
+  const std::size_t depth = cols_;
+  std::vector<double> bt(n * depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    const double* brow = other.data_.data() + k * n;
+    for (std::size_t j = 0; j < n; ++j) bt[j * depth + k] = brow[j];
+  }
+  util::parallel_for("matrix.matmul", 0, rows_, kMatmulGrain,
+                     [&](std::size_t i) {
+                       const double* arow = data_.data() + i * depth;
+                       double* orow = out.data_.data() + i * n;
+                       for (std::size_t j = 0; j < n; ++j) {
+                         const double* bcol = bt.data() + j * depth;
+                         double acc = 0.0;
+                         for (std::size_t k = 0; k < depth; ++k) {
+                           const double a = arow[k];
+                           if (a == 0.0) continue;
+                           acc += a * bcol[k];
+                         }
+                         orow[j] = acc;
+                       }
+                     });
   return out;
 }
 

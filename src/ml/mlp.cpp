@@ -52,7 +52,7 @@ double MlpClassifier::predict_proba(std::span<const double> features) const {
   if (!trained()) throw std::logic_error("MlpClassifier: not trained");
   if (features.size() != in_features_)
     throw std::invalid_argument("MlpClassifier: feature width mismatch");
-  const Matrix logits = net_.forward(Matrix::row_vector(features));
+  const Matrix logits = net_.infer(Matrix::row_vector(features));
   const Matrix probs = nn::softmax(logits);
   return probs.at(0, 1);
 }

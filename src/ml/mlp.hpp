@@ -32,7 +32,7 @@ class MlpClassifier final : public Classifier {
 
  private:
   MlpConfig config_;
-  mutable nn::Network net_;  // forward() caches internally; logically const
+  nn::Network net_;  // const paths use infer(), so no mutable needed
   std::size_t in_features_ = 0;
 };
 

@@ -65,6 +65,10 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng) 
 
 Matrix Dense::forward(const Matrix& input) {
   input_cache_ = input;
+  return infer(input);
+}
+
+Matrix Dense::infer(const Matrix& input) const {
   Matrix out = input.matmul(w_);
   out.add_row_broadcast(b_);
   return out;
@@ -117,6 +121,10 @@ std::unique_ptr<Dense> Dense::deserialize(util::ByteReader& r) {
 
 Matrix Relu::forward(const Matrix& input) {
   input_cache_ = input;
+  return infer(input);
+}
+
+Matrix Relu::infer(const Matrix& input) const {
   Matrix out = input;
   for (auto& v : out.flat()) v = v > 0.0 ? v : 0.0;
   return out;
@@ -158,6 +166,12 @@ Matrix Conv1D::forward(const Matrix& input) {
   if (input.cols() != in_channels_ * length_)
     throw std::invalid_argument("Conv1D::forward: input width mismatch");
   input_cache_ = input;
+  return infer(input);
+}
+
+Matrix Conv1D::infer(const Matrix& input) const {
+  if (input.cols() != in_channels_ * length_)
+    throw std::invalid_argument("Conv1D::forward: input width mismatch");
   const std::size_t out_len = out_length();
   Matrix out(input.rows(), out_channels_ * out_len);
   for (std::size_t n = 0; n < input.rows(); ++n) {
@@ -265,6 +279,12 @@ Network& Network::operator=(const Network& other) {
 Matrix Network::forward(const Matrix& input) {
   Matrix x = input;
   for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Matrix Network::infer(const Matrix& input) const {
+  Matrix x = input;
+  for (const auto& layer : layers_) x = layer->infer(x);
   return x;
 }
 

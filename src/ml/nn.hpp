@@ -22,6 +22,10 @@ class Layer {
   virtual ~Layer() = default;
 
   virtual Matrix forward(const Matrix& input) = 0;
+  /// Forward pass without touching the backprop caches: const, so it is
+  /// safe to call concurrently from parallel batch-inference workers.
+  /// Bitwise-identical outputs to forward().
+  virtual Matrix infer(const Matrix& input) const = 0;
   virtual Matrix backward(const Matrix& grad_output) = 0;
 
   virtual void zero_grad() {}
@@ -41,6 +45,7 @@ class Dense final : public Layer {
   Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng);
 
   Matrix forward(const Matrix& input) override;
+  Matrix infer(const Matrix& input) const override;
   Matrix backward(const Matrix& grad_output) override;
   void zero_grad() override;
   void adam_step(double lr, double beta1, double beta2, double eps,
@@ -67,6 +72,7 @@ class Dense final : public Layer {
 class Relu final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
+  Matrix infer(const Matrix& input) const override;
   Matrix backward(const Matrix& grad_output) override;
   std::string kind() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(); }
@@ -85,6 +91,7 @@ class Conv1D final : public Layer {
          std::size_t kernel, util::Rng& rng);
 
   Matrix forward(const Matrix& input) override;
+  Matrix infer(const Matrix& input) const override;
   Matrix backward(const Matrix& grad_output) override;
   void zero_grad() override;
   void adam_step(double lr, double beta1, double beta2, double eps,
@@ -120,6 +127,9 @@ class Network {
   void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
   Matrix forward(const Matrix& input);
+  /// Cache-free const forward for (possibly concurrent) inference;
+  /// bitwise-identical to forward().
+  Matrix infer(const Matrix& input) const;
   /// Backprop from dLoss/dOutput; returns dLoss/dInput.
   Matrix backward(const Matrix& grad_output);
   void zero_grad();

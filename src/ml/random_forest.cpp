@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::ml {
 namespace {
 constexpr std::uint8_t kFormatVersion = 1;
@@ -29,18 +31,30 @@ void RandomForest::fit(const Dataset& train) {
                std::lround(std::sqrt(static_cast<double>(train.num_features())))));
   }
 
-  std::vector<std::uint32_t> weights(train.size());
+  // Draw every tree's bootstrap weights and seed serially first — the rng
+  // stream is consumed in exactly the order the old per-tree loop used, so
+  // the fitted forest is bitwise identical regardless of thread count.
+  std::vector<std::vector<std::uint32_t>> weights(config_.n_trees);
+  std::vector<std::uint64_t> seeds(config_.n_trees);
   for (std::size_t t = 0; t < config_.n_trees; ++t) {
     // Bootstrap: multinomial row multiplicities.
-    std::fill(weights.begin(), weights.end(), 0);
+    weights[t].assign(train.size(), 0);
     for (std::size_t i = 0; i < train.size(); ++i)
-      ++weights[rng.next_below(train.size())];
-
-    tree_config.seed = rng.next();
-    DecisionTree tree(tree_config);
-    tree.fit_weighted(train, weights);
-    trees_.push_back(std::move(tree));
+      ++weights[t][rng.next_below(train.size())];
+    seeds[t] = rng.next();
   }
+
+  // Fit trees into pre-sized slots; each slot depends only on its own
+  // pre-drawn state, so scheduling order cannot affect the result.
+  trees_.assign(config_.n_trees, DecisionTree(tree_config));
+  util::parallel_for("random_forest.fit", 0, config_.n_trees, 1,
+                     [&](std::size_t t) {
+                       DecisionTreeConfig cfg = tree_config;
+                       cfg.seed = seeds[t];
+                       DecisionTree tree(cfg);
+                       tree.fit_weighted(train, weights[t]);
+                       trees_[t] = std::move(tree);
+                     });
 }
 
 double RandomForest::predict_proba(std::span<const double> features) const {

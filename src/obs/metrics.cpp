@@ -154,9 +154,12 @@ Histogram::Snapshot Histogram::snapshot() const {
   if (count_ > 0) {
     snap.min = min_;
     snap.max = max_;
+    // The three P² estimators track their markers independently, so the
+    // estimates can cross by tiny amounts at small sample counts; clamp to
+    // keep the reported quantiles monotone.
     snap.p50 = p50_.estimate();
-    snap.p95 = p95_.estimate();
-    snap.p99 = p99_.estimate();
+    snap.p95 = std::max(snap.p50, p95_.estimate());
+    snap.p99 = std::max(snap.p95, p99_.estimate());
   }
   snap.bounds = bounds_;
   snap.buckets = buckets_;

@@ -1,6 +1,37 @@
 #include "obs/telemetry.hpp"
 
+#include "util/parallel.hpp"
+
 namespace drlhmd::obs {
+namespace {
+
+/// Bridges util's parallel regions into the telemetry layer: every labeled
+/// top-level region bumps drlhmd.parallel.* metrics and opens a span
+/// ("parallel.<label>") for the duration of the region.  Installed once,
+/// the first time telemetry is enabled; each callback checks the enabled
+/// flag so disabled runs pay one branch per region.
+class ParallelTelemetryBridge final : public util::ParallelObserver {
+ public:
+  void* region_begin(const char* label, std::size_t n_chunks,
+                     std::size_t n_threads) override {
+    if (!Telemetry::enabled()) return nullptr;
+    MetricsRegistry& reg = Telemetry::metrics();
+    const Labels labels = {{"label", label}};
+    reg.counter("drlhmd.parallel.regions", labels).inc();
+    reg.counter("drlhmd.parallel.chunks", labels).inc(n_chunks);
+    reg.gauge("drlhmd.parallel.pool_size")
+        .set(static_cast<double>(n_threads));
+    reg.gauge("drlhmd.parallel.region_chunks", labels)
+        .set(static_cast<double>(n_chunks));
+    return new Span(Telemetry::tracer().span(std::string("parallel.") + label));
+  }
+
+  void region_end(void* token) override {
+    delete static_cast<Span*>(token);  // closes the span
+  }
+};
+
+}  // namespace
 
 std::atomic<bool>& Telemetry::enabled_flag() {
   static std::atomic<bool> flag{false};
@@ -15,6 +46,11 @@ MetricsRegistry& Telemetry::metrics() {
 Tracer& Telemetry::tracer() {
   static Tracer tracer;
   return tracer;
+}
+
+void Telemetry::install_parallel_bridge() {
+  static ParallelTelemetryBridge bridge;
+  util::set_parallel_observer(&bridge);
 }
 
 void Telemetry::reset() {

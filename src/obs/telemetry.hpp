@@ -21,6 +21,7 @@ class Telemetry {
     return enabled_flag().load(std::memory_order_relaxed);
   }
   static void set_enabled(bool on) {
+    if (on) install_parallel_bridge();
     enabled_flag().store(on, std::memory_order_relaxed);
   }
 
@@ -32,6 +33,10 @@ class Telemetry {
   static void reset();
 
  private:
+  /// Register the drlhmd.parallel.* observer on the util thread pool
+  /// (idempotent); done lazily so telemetry-off processes never pay it.
+  static void install_parallel_bridge();
+
   static std::atomic<bool>& enabled_flag();
 };
 

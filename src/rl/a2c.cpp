@@ -24,7 +24,7 @@ A2C::A2C(std::size_t observation_size, std::size_t action_count, A2CConfig confi
 std::vector<double> A2C::policy(std::span<const double> observation) const {
   if (observation.size() != obs_size_)
     throw std::invalid_argument("A2C::policy: observation width mismatch");
-  const Matrix logits = actor_.forward(Matrix::row_vector(observation));
+  const Matrix logits = actor_.infer(Matrix::row_vector(observation));
   const Matrix probs = ml::nn::softmax(logits);
   return {probs.row(0).begin(), probs.row(0).end()};
 }
@@ -45,7 +45,7 @@ std::size_t A2C::act_greedy(std::span<const double> observation) const {
 double A2C::value(std::span<const double> observation) const {
   if (observation.size() != obs_size_)
     throw std::invalid_argument("A2C::value: observation width mismatch");
-  return critic_.forward(Matrix::row_vector(observation)).at(0, 0);
+  return critic_.infer(Matrix::row_vector(observation)).at(0, 0);
 }
 
 void A2C::update(std::span<const double> observation, std::size_t action,

@@ -64,8 +64,8 @@ class A2C {
   std::size_t obs_size_;
   std::size_t n_actions_;
   A2CConfig config_;
-  mutable ml::nn::Network actor_;
-  mutable ml::nn::Network critic_;
+  ml::nn::Network actor_;
+  ml::nn::Network critic_;
 };
 
 }  // namespace drlhmd::rl

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace drlhmd::sim {
@@ -25,28 +26,53 @@ HpcCorpus build_corpus(const CorpusConfig& config) {
   const auto benign = benign_families();
   const auto malware = malware_families();
 
-  auto run_app = [&](ProgramFamily family, std::uint32_t app_id) {
-    WorkloadSpec spec = make_application(family, app_id, rng);
-    // Fresh hierarchy per application: every program starts cold, exactly as
-    // a fresh LXC container run does in the paper's collection flow.
-    Core core(config.core, config.hierarchy, Workload(spec, rng.next()),
-              /*seed=*/rng.next());
-    PerfMonitor monitor(core, config.monitor);
-    monitor.warm_up();
-    for (std::size_t w = 0; w < config.windows_per_app; ++w) {
-      HpcRecord rec;
-      rec.app = spec.name;
-      rec.family = spec.family;
-      rec.malware = spec.malware;
-      rec.features = monitor.sample_window().values;
-      corpus.records.push_back(std::move(rec));
-    }
+  // Serial pre-pass: draw every application's spec and seeds in a fixed
+  // order from the corpus rng, so the plan — and with it the corpus — is
+  // identical at any thread count.
+  struct AppPlan {
+    WorkloadSpec spec;
+    std::uint64_t workload_seed = 0;
+    std::uint64_t core_seed = 0;
   };
-
+  std::vector<AppPlan> plans;
+  plans.reserve(config.benign_apps + config.malware_apps);
+  auto plan_app = [&](ProgramFamily family, std::uint32_t app_id) {
+    AppPlan plan;
+    plan.spec = make_application(family, app_id, rng);
+    plan.workload_seed = rng.next();
+    plan.core_seed = rng.next();
+    plans.push_back(std::move(plan));
+  };
   for (std::size_t i = 0; i < config.benign_apps; ++i)
-    run_app(benign[i % benign.size()], static_cast<std::uint32_t>(i));
+    plan_app(benign[i % benign.size()], static_cast<std::uint32_t>(i));
   for (std::size_t i = 0; i < config.malware_apps; ++i)
-    run_app(malware[i % malware.size()], static_cast<std::uint32_t>(i));
+    plan_app(malware[i % malware.size()], static_cast<std::uint32_t>(i));
+
+  // Simulate applications in parallel.  A fresh hierarchy per application:
+  // every program starts cold, exactly as a fresh LXC container run does in
+  // the paper's collection flow — which is also what makes the apps
+  // independent.  Per-app blocks are flattened in plan order afterwards.
+  std::vector<std::vector<HpcRecord>> blocks = util::parallel_map(
+      "dataset_builder.apps", 0, plans.size(), 1, [&](std::size_t a) {
+        const AppPlan& plan = plans[a];
+        Core core(config.core, config.hierarchy,
+                  Workload(plan.spec, plan.workload_seed), plan.core_seed);
+        PerfMonitor monitor(core, config.monitor);
+        monitor.warm_up();
+        std::vector<HpcRecord> records;
+        records.reserve(config.windows_per_app);
+        for (std::size_t w = 0; w < config.windows_per_app; ++w) {
+          HpcRecord rec;
+          rec.app = plan.spec.name;
+          rec.family = plan.spec.family;
+          rec.malware = plan.spec.malware;
+          rec.features = monitor.sample_window().values;
+          records.push_back(std::move(rec));
+        }
+        return records;
+      });
+  for (auto& block : blocks)
+    for (auto& rec : block) corpus.records.push_back(std::move(rec));
 
   return corpus;
 }

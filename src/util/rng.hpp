@@ -15,6 +15,12 @@
 
 namespace drlhmd::util {
 
+/// One splitmix64 step for the given state (Steele et al.): advances by the
+/// golden-gamma increment and returns the mixed output.  Stateless, so it
+/// doubles as a seed-mixing hash for counter-based parallel RNG streams
+/// (see util::chunk_rng in parallel.hpp).
+std::uint64_t splitmix64(std::uint64_t x);
+
 /// xoshiro256** PRNG with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

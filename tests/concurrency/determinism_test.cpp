@@ -1,0 +1,182 @@
+// Thread-count invariance: the whole point of the deterministic parallel
+// layer is that DRLHMD_THREADS=1 and DRLHMD_THREADS=4 produce bitwise
+// identical artifacts.  Every test here runs the same computation at both
+// widths and compares exact bytes / exact doubles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adversarial/feature_importance.hpp"
+#include "adversarial/lowprofool.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/matrix.hpp"
+#include "ml/random_forest.hpp"
+#include "sim/dataset_builder.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd {
+namespace {
+
+class ThreadSweep : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_parallel_threads(saved_); }
+
+  /// Runs `fn` with the pool at 1 thread and at 4 threads and returns both
+  /// results for comparison.
+  template <typename Fn>
+  auto at_widths(Fn&& fn) {
+    util::set_parallel_threads(1);
+    auto serial = fn();
+    util::set_parallel_threads(4);
+    auto parallel = fn();
+    return std::pair{std::move(serial), std::move(parallel)};
+  }
+
+ private:
+  std::size_t saved_ = util::parallel_thread_count();
+};
+
+ml::Dataset blobs(std::size_t n_per_class, std::uint64_t seed = 17) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(2.0, 1.2);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+TEST_F(ThreadSweep, RandomForestBytesIdentical) {
+  const ml::Dataset train = blobs(300);
+  ml::RandomForestConfig cfg;
+  cfg.n_trees = 20;
+  const auto [serial, parallel] = at_widths([&] {
+    ml::RandomForest forest(cfg);
+    forest.fit(train);
+    return forest.serialize();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadSweep, LargeDecisionTreeBytesIdentical) {
+  // 3000 rows puts the root (and first splits) over the parallel
+  // split-scan threshold, exercising the fresh-sort path.
+  const ml::Dataset train = blobs(1500);
+  const auto [serial, parallel] = at_widths([&] {
+    ml::DecisionTree tree;
+    tree.fit(train);
+    return tree.serialize();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadSweep, GbdtBytesIdentical) {
+  const ml::Dataset train = blobs(400);  // over the parallel-scan threshold
+  ml::GbdtConfig cfg;
+  cfg.n_rounds = 25;
+  const auto [serial, parallel] = at_widths([&] {
+    ml::Gbdt model(cfg);
+    model.fit(train);
+    return model.serialize();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ThreadSweep, MatmulBitsIdentical) {
+  util::Rng rng(23);
+  const ml::Matrix a = ml::Matrix::randn(96, 48, 1.0, rng);
+  const ml::Matrix b = ml::Matrix::randn(48, 32, 1.0, rng);
+  const auto [serial, parallel] = at_widths([&] { return a.matmul(b); });
+  ASSERT_TRUE(serial.same_shape(parallel));
+  for (std::size_t r = 0; r < serial.rows(); ++r)
+    for (std::size_t c = 0; c < serial.cols(); ++c)
+      EXPECT_EQ(serial.at(r, c), parallel.at(r, c));  // exact, not NEAR
+}
+
+TEST_F(ThreadSweep, MatmulPackedPathMatchesReferenceBitwise) {
+  util::Rng rng(29);
+  ml::Matrix a = ml::Matrix::randn(40, 24, 1.0, rng);
+  const ml::Matrix b = ml::Matrix::randn(24, 16, 1.0, rng);
+  a.at(3, 7) = 0.0;  // exercise the zero-skip
+  a.at(20, 0) = 0.0;
+  // Reference: the classic i-k-j accumulation the tiny-matrix path (and
+  // the seed implementation) uses.
+  ml::Matrix want(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double v = a.at(i, k);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        want.at(i, j) += v * b.at(k, j);
+    }
+  const ml::Matrix got = a.matmul(b);
+  ASSERT_TRUE(got.same_shape(want));
+  for (std::size_t r = 0; r < want.rows(); ++r)
+    for (std::size_t c = 0; c < want.cols(); ++c)
+      EXPECT_EQ(got.at(r, c), want.at(r, c));
+}
+
+TEST_F(ThreadSweep, LowProFoolAttacksIdentical) {
+  const ml::Dataset train = blobs(200);
+  ml::LogisticRegression surrogate;
+  surrogate.fit(train);
+  const ml::FeatureBounds bounds = ml::feature_bounds(train);
+  const std::vector<double> importance =
+      adversarial::importance_from_lr(surrogate);
+  const adversarial::LowProFool attacker(surrogate, bounds, importance);
+
+  const auto [serial, parallel] =
+      at_widths([&] { return attacker.attack_dataset(train); });
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial.y, parallel.y);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial.X[i], parallel.X[i]);  // vector<double> exact compare
+
+  const auto [report1, report4] =
+      at_widths([&] { return attacker.evaluate_campaign(train); });
+  EXPECT_EQ(report1.attempted, report4.attempted);
+  EXPECT_EQ(report1.succeeded, report4.succeeded);
+  EXPECT_EQ(report1.mean_weighted_norm, report4.mean_weighted_norm);
+  EXPECT_EQ(report1.mean_linf, report4.mean_linf);
+}
+
+TEST_F(ThreadSweep, CrossValidationIdentical) {
+  const ml::Dataset data = blobs(120);
+  const ml::DecisionTree prototype;
+  const auto [serial, parallel] =
+      at_widths([&] { return ml::cross_validate(prototype, data, 5); });
+  ASSERT_EQ(serial.folds.size(), parallel.folds.size());
+  for (std::size_t f = 0; f < serial.folds.size(); ++f) {
+    EXPECT_EQ(serial.folds[f].accuracy, parallel.folds[f].accuracy);
+    EXPECT_EQ(serial.folds[f].f1, parallel.folds[f].f1);
+    EXPECT_EQ(serial.folds[f].auc, parallel.folds[f].auc);
+  }
+}
+
+TEST_F(ThreadSweep, CorpusIdentical) {
+  sim::CorpusConfig cfg;
+  cfg.benign_apps = 6;
+  cfg.malware_apps = 6;
+  cfg.windows_per_app = 2;
+  cfg.monitor.window_cycles = 20000;
+  cfg.monitor.warmup_cycles = 5000;
+  const auto [serial, parallel] = at_widths([&] { return build_corpus(cfg); });
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].app, parallel.records[i].app);
+    EXPECT_EQ(serial.records[i].malware, parallel.records[i].malware);
+    EXPECT_EQ(serial.records[i].features, parallel.records[i].features);
+  }
+}
+
+}  // namespace
+}  // namespace drlhmd

@@ -80,6 +80,22 @@ TEST_F(RuntimeFixture, ProcessStreamReportsMetrics) {
   EXPECT_EQ(runtime.stats().processed, framework_->attacked_test_mix().size());
 }
 
+TEST_F(RuntimeFixture, BatchVerdictsMatchSequentialProcess) {
+  const auto& mix = framework_->attacked_test_mix();
+  DetectionRuntime sequential(*framework_);
+  std::vector<TrafficVerdict> expected;
+  expected.reserve(mix.size());
+  for (const auto& row : mix.X) expected.push_back(sequential.process(row));
+
+  DetectionRuntime batched(*framework_);
+  const std::vector<TrafficVerdict> got = batched.process_batch(mix.X);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(batched.stats().processed, sequential.stats().processed);
+  EXPECT_EQ(batched.stats().adversarial, sequential.stats().adversarial);
+  EXPECT_EQ(batched.stats().malware, sequential.stats().malware);
+  EXPECT_EQ(batched.stats().benign, sequential.stats().benign);
+}
+
 TEST_F(RuntimeFixture, IntegrityValidationPasses) {
   DetectionRuntime runtime(*framework_);
   EXPECT_TRUE(runtime.validate_integrity());

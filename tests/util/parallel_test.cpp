@@ -1,0 +1,173 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace drlhmd::util {
+namespace {
+
+/// Restores the pool width configured before a test tampered with it.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(parallel_thread_count()) {}
+  ~ThreadCountGuard() { set_parallel_threads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(ParallelConfigTest, ThreadCountIsPositive) {
+  EXPECT_GE(parallel_thread_count(), 1u);
+}
+
+TEST(ParallelConfigTest, SetThreadsTakesEffect) {
+  ThreadCountGuard guard;
+  set_parallel_threads(3);
+  EXPECT_EQ(parallel_thread_count(), 3u);
+  set_parallel_threads(1);
+  EXPECT_EQ(parallel_thread_count(), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 0, 1, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(5, 5, 1, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(7, 3, 1, [&](std::size_t) { calls.fetch_add(1); });  // end < begin
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeIsOneChunk) {
+  std::vector<int> hits(5, 0);
+  parallel_for_chunks("test.grain", 0, 5, 100,
+                      [&](std::size_t chunk, std::size_t b, std::size_t e) {
+                        EXPECT_EQ(chunk, 0u);
+                        EXPECT_EQ(b, 0u);
+                        EXPECT_EQ(e, 5u);
+                        for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+                      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    constexpr std::size_t kN = 1337;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for("test.cover", 3, 3 + kN, 17,
+                 [&](std::size_t i) { hits[i - 3].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ExceptionsPropagateToCaller) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  EXPECT_THROW(
+      parallel_for("test.throw", 0, 100, 1,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing region.
+  std::atomic<int> calls{0};
+  parallel_for("test.after_throw", 0, 8, 1,
+               [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  parallel_for("test.outer", 0, 8, 1, [&](std::size_t) {
+    if (in_parallel_region()) saw_region_flag.store(true);
+    // Nested region: must degrade to inline execution, not deadlock.
+    parallel_for("test.inner", 0, 4, 1,
+                 [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ParallelMapTest, SlotsMatchIndices) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  const std::vector<std::size_t> out =
+      parallel_map("test.map", 10, 110, 7, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], (i + 10) * (i + 10));
+}
+
+TEST(ParallelMapTest, ResultsIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  set_parallel_threads(1);
+  const auto serial =
+      parallel_map("test.det", 0, 257, 9, [](std::size_t i) { return 3 * i + 1; });
+  set_parallel_threads(4);
+  const auto parallel =
+      parallel_map("test.det", 0, 257, 9, [](std::size_t i) { return 3 * i + 1; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ChunkRngTest, StreamsAreDeterministicAndDistinct) {
+  Rng a = chunk_rng(99, 0);
+  Rng a2 = chunk_rng(99, 0);
+  Rng b = chunk_rng(99, 1);
+  EXPECT_EQ(a.next(), a2.next());  // same (seed, chunk) => same stream
+  Rng a3 = chunk_rng(99, 0);
+  EXPECT_NE(a3.next(), b.next());  // different chunks => different streams
+}
+
+TEST(ParallelStatsTest, RegionsAreCounted) {
+  ThreadCountGuard guard;
+  set_parallel_threads(2);
+  const ParallelStats before = parallel_stats();
+  parallel_for("test.stats", 0, 64, 8, [](std::size_t) {});
+  const ParallelStats after = parallel_stats();
+  EXPECT_EQ(after.threads, 2u);
+  EXPECT_GT(after.regions + after.serial_regions,
+            before.regions + before.serial_regions);
+}
+
+TEST(ParallelTelemetryTest, BridgeRecordsRegionsWhenEnabled) {
+  ThreadCountGuard guard;
+  set_parallel_threads(4);
+  obs::Telemetry::set_enabled(true);
+  obs::Telemetry::reset();
+  std::atomic<int> touched{0};
+  parallel_for("test.bridge", 0, 64, 8,
+               [&](std::size_t) { touched.fetch_add(1); });
+  obs::Telemetry::set_enabled(false);
+  EXPECT_EQ(touched.load(), 64);
+
+  const obs::MetricsSnapshot snap = obs::Telemetry::metrics().snapshot();
+  const auto* regions = snap.find_counter("drlhmd.parallel.regions",
+                                          {{"label", "test.bridge"}});
+  ASSERT_NE(regions, nullptr);
+  EXPECT_GE(regions->value, 1u);
+  const auto* chunks = snap.find_counter("drlhmd.parallel.chunks",
+                                         {{"label", "test.bridge"}});
+  ASSERT_NE(chunks, nullptr);
+  EXPECT_EQ(chunks->value, 8u);  // 64 items / grain 8
+  EXPECT_NE(snap.find_gauge("drlhmd.parallel.pool_size"), nullptr);
+}
+
+TEST(ParallelResolveGrainTest, AutoGrainIsDeterministic) {
+  EXPECT_EQ(parallel_resolve_grain(10, 4), 4u);
+  EXPECT_EQ(parallel_resolve_grain(10, 0), 1u);       // 10/64 -> min 1
+  EXPECT_EQ(parallel_resolve_grain(6400, 0), 100u);   // n/64
+}
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -24,6 +24,7 @@
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/dataset_builder.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace drlhmd;
@@ -268,6 +269,14 @@ int cmd_telemetry(const Args& args) {
                 obs::Telemetry::metrics().snapshot().to_table().c_str());
     std::printf("stream: %zu samples, F1 %s\n", fw.attacked_test_mix().size(),
                 util::Table::fmt(report.f1).c_str());
+    const util::ParallelStats pstats = util::parallel_stats();
+    std::printf(
+        "parallel: %zu threads (DRLHMD_THREADS), %llu pool regions, "
+        "%llu inline regions, %llu chunks, largest region %llu chunks\n",
+        pstats.threads, static_cast<unsigned long long>(pstats.regions),
+        static_cast<unsigned long long>(pstats.serial_regions),
+        static_cast<unsigned long long>(pstats.chunks),
+        static_cast<unsigned long long>(pstats.peak_region_chunks));
     return 0;
   }
   if (format != "json") {
@@ -289,6 +298,15 @@ int cmd_telemetry(const Args& args) {
       .kv("samples", static_cast<std::uint64_t>(fw.attacked_test_mix().size()))
       .kv("f1", report.f1)
       .kv("accuracy", report.accuracy)
+      .end_object();
+  const util::ParallelStats pstats = util::parallel_stats();
+  w.key("parallel")
+      .begin_object()
+      .kv("threads", static_cast<std::uint64_t>(pstats.threads))
+      .kv("pool_regions", pstats.regions)
+      .kv("inline_regions", pstats.serial_regions)
+      .kv("chunks", pstats.chunks)
+      .kv("peak_region_chunks", pstats.peak_region_chunks)
       .end_object();
   w.key("trace").raw(obs::Telemetry::tracer().to_json());
   w.key("metrics").raw(obs::Telemetry::metrics().snapshot().to_json());
