@@ -1,0 +1,96 @@
+// Checkpoint/restart walkthrough: train the front half of the pipeline,
+// checkpoint it, "restart the process" by resuming into a brand-new
+// Framework, finish the remaining phases from the restored state, then
+// cold-start a serving runtime from the completed checkpoint — with the
+// vault's SHA-256 digests standing guard against tampered artifacts.
+//
+//   $ ./examples/checkpoint_restart
+#include <cstdio>
+#include <filesystem>
+
+#include "core/framework.hpp"
+#include "core/runtime.hpp"
+#include "util/artifact_store.hpp"
+
+using namespace drlhmd;
+
+namespace {
+
+void print_phases(const core::Framework& fw, const char* heading) {
+  std::printf("%s\n", heading);
+  for (std::size_t p = 0; p < core::kPhaseCount; ++p) {
+    const auto phase = static_cast<core::Phase>(p);
+    std::printf("  %-9s %s\n", core::phase_name(phase),
+                fw.phase_done(phase) ? "done" : "pending");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "drlhmd-checkpoint-demo")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  core::FrameworkConfig config;
+  config.corpus.benign_apps = 80;
+  config.corpus.malware_apps = 80;
+  config.corpus.windows_per_app = 3;
+
+  // --- Session 1: train through the attack phase, then checkpoint. ------
+  {
+    core::Framework fw(config);
+    fw.acquire_data();
+    fw.engineer_features();
+    fw.train_baselines();
+    fw.generate_attacks();
+    print_phases(fw, "session 1 (interrupted after the attack phase):");
+    fw.save_checkpoint(dir);
+    std::printf("checkpoint written to %s\n\n", dir.c_str());
+  }  // the framework object dies here — simulating a process restart
+
+  // --- Session 2: resume, finish the pipeline, checkpoint again. --------
+  {
+    core::Framework fw = core::Framework::resume(dir);
+    print_phases(fw, "session 2 (restored from disk):");
+    fw.run_all();  // re-runs only predict..protect
+    std::printf("remaining phases completed; attack success %.1f%%\n\n",
+                100.0 * fw.attack_report().success_rate);
+    fw.save_checkpoint(dir);
+  }
+
+  // --- Session 3: cold-start the serving runtime from the checkpoint. ---
+  {
+    core::ColdStart cold = core::cold_start(dir);
+    std::printf("cold start: vault verified %zu deployed models\n",
+                cold.framework->vault().size());
+    const ml::MetricReport report =
+        cold.runtime->process_stream(cold.framework->attacked_test_mix());
+    std::printf("served %zu samples from the restored deployment: F1 %.3f\n\n",
+                cold.framework->attacked_test_mix().size(), report.f1);
+  }
+
+  // --- Tampering demo: a swapped model artifact is refused. -------------
+  {
+    const util::ArtifactStore store(dir);
+    std::string victim;
+    for (const auto& name : store.list())
+      if (name.rfind("model-defended-", 0) == 0) { victim = name; break; }
+    const util::Artifact good = store.get(victim);
+    util::Artifact baseline = store.get("model-baseline-0-RF");
+    store.put(victim, good.kind, good.version, baseline.payload);
+    try {
+      core::cold_start(dir);
+      std::printf("ERROR: tampered checkpoint was accepted\n");
+      return 1;
+    } catch (const std::exception& e) {
+      std::printf("tampered artifact '%s' refused as expected:\n  %s\n",
+                  victim.c_str(), e.what());
+    }
+    store.put(victim, good.kind, good.version, good.payload);  // repair
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -39,6 +39,20 @@ void set_size_gauge(const char* split, std::size_t size) {
 
 }  // namespace
 
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kAcquire: return "acquire";
+    case Phase::kEngineer: return "engineer";
+    case Phase::kBaseline: return "baseline";
+    case Phase::kAttack: return "attack";
+    case Phase::kPredict: return "predict";
+    case Phase::kDefend: return "defend";
+    case Phase::kControl: return "control";
+    case Phase::kProtect: return "protect";
+  }
+  return "unknown";
+}
+
 Framework::Framework(FrameworkConfig config)
     : config_(std::move(config)), monitor_(config_.metric_tolerance) {
   if (config_.top_k_features == 0)
@@ -49,11 +63,24 @@ void Framework::require(bool condition, const char* message) const {
   if (!condition) throw std::logic_error(std::string("Framework: ") + message);
 }
 
+bool Framework::phase_done(Phase phase) const {
+  return (completed_phases_ >> static_cast<unsigned>(phase)) & 1u;
+}
+
+void Framework::mark_phase(Phase phase) {
+  const unsigned bit = static_cast<unsigned>(phase);
+  // Keep bits at or below `phase`, set this one: re-running any phase
+  // invalidates every downstream phase's recorded completion.
+  completed_phases_ =
+      (completed_phases_ & ((1u << (bit + 1)) - 1u)) | (1u << bit);
+}
+
 void Framework::acquire_data() {
   const obs::Span span = obs::phase_span("pipeline.acquire");
   const util::Timer timer;
   corpus_ = sim::build_corpus(config_.corpus);
   set_size_gauge("corpus", corpus_->records.size());
+  mark_phase(Phase::kAcquire);
   finish_phase("acquire", timer);
 }
 
@@ -111,6 +138,7 @@ void Framework::engineer_features() {
   set_size_gauge("train", train_.size());
   set_size_gauge("val", val_.size());
   set_size_gauge("test", test_.size());
+  mark_phase(Phase::kEngineer);
   finish_phase("engineer", timer);
 }
 
@@ -120,6 +148,7 @@ void Framework::train_baselines() {
   const util::Timer timer;
   baseline_models_ = ml::make_all_models(config_.seed);
   for (auto& model : baseline_models_) model->fit(train_);
+  mark_phase(Phase::kBaseline);
   finish_phase("baseline", timer);
 }
 
@@ -168,6 +197,7 @@ void Framework::generate_attacks() {
       }
     }
   }
+  mark_phase(Phase::kAttack);
   finish_phase("attack", timer);
 }
 
@@ -182,6 +212,7 @@ void Framework::train_predictor() {
       config_.top_k_features, cfg);
   // Labeled adversarial pool vs. unlabeled ("None") legitimate pool.
   predictor_->train(adversarial_train_, train_);
+  mark_phase(Phase::kPredict);
   finish_phase("predict", timer);
 }
 
@@ -207,6 +238,7 @@ void Framework::train_defenses() {
   defended_profiles_ = rl::profile_models(classical, defense_val_mix_);
 
   set_size_gauge("merged_train", merged_train_.size());
+  mark_phase(Phase::kDefend);
   finish_phase("defend", timer);
 }
 
@@ -235,6 +267,7 @@ void Framework::train_controllers() {
     controller->train(defense_val_mix_);
     controllers_[policy] = std::move(controller);
   }
+  mark_phase(Phase::kControl);
   finish_phase("control", timer);
 }
 
@@ -246,6 +279,7 @@ void Framework::protect_models(std::uint64_t deploy_timestamp) {
     vault_.deploy(model->name(), model->serialize(), deploy_timestamp);
     monitor_.record_baseline(*model, defense_val_mix_);
   }
+  mark_phase(Phase::kProtect);
   finish_phase("protect", timer);
 }
 
@@ -288,14 +322,14 @@ void Framework::incremental_defense_update(const ml::Dataset& new_adversarial) {
 
 void Framework::run_all() {
   const obs::Span span = obs::phase_span("pipeline");
-  acquire_data();
-  engineer_features();
-  train_baselines();
-  generate_attacks();
-  train_predictor();
-  train_defenses();
-  train_controllers();
-  protect_models();
+  if (!phase_done(Phase::kAcquire)) acquire_data();
+  if (!phase_done(Phase::kEngineer)) engineer_features();
+  if (!phase_done(Phase::kBaseline)) train_baselines();
+  if (!phase_done(Phase::kAttack)) generate_attacks();
+  if (!phase_done(Phase::kPredict)) train_predictor();
+  if (!phase_done(Phase::kDefend)) train_defenses();
+  if (!phase_done(Phase::kControl)) train_controllers();
+  if (!phase_done(Phase::kProtect)) protect_models();
 }
 
 std::vector<ScenarioEvaluation> Framework::evaluate_scenarios() const {

@@ -61,6 +61,22 @@ struct ScenarioEvaluation {
   ml::MetricReport defended;     // (c) after adversarial training
 };
 
+/// The eight pipeline phases, in run_all() order.  Each phase's outputs are
+/// persistable as named artifacts; a checkpoint records which phases have
+/// completed so resume() re-runs only the rest.
+enum class Phase : std::uint8_t {
+  kAcquire = 0,
+  kEngineer,
+  kBaseline,
+  kAttack,
+  kPredict,
+  kDefend,
+  kControl,
+  kProtect,
+};
+inline constexpr std::size_t kPhaseCount = 8;
+const char* phase_name(Phase phase);
+
 class Framework {
  public:
   explicit Framework(FrameworkConfig config = {});
@@ -75,8 +91,25 @@ class Framework {
   void train_controllers();
   void protect_models(std::uint64_t deploy_timestamp = 20240623);
 
-  /// Run phases 1-8 in order.
+  /// Run phases 1-8 in order, skipping any already completed (e.g. after
+  /// resume() from a partial checkpoint).
   void run_all();
+
+  // -- Checkpointing -----------------------------------------------------
+  /// True once the phase has completed (and no earlier phase has been
+  /// re-run since — re-running a phase invalidates everything downstream).
+  bool phase_done(Phase phase) const;
+
+  /// Persist the config, phase-completion state and every completed
+  /// phase's outputs as artifacts under `dir` (created if missing).
+  void save_checkpoint(const std::string& dir) const;
+
+  /// Reconstruct a framework from a checkpoint directory.  Completed
+  /// phases are restored from artifacts; run_all() then re-runs only the
+  /// remaining ones.  If the protect phase had completed, every defended
+  /// model is re-verified against its vaulted SHA-256 digest before use —
+  /// a mismatch throws std::runtime_error (tampered checkpoint).
+  static Framework resume(const std::string& dir);
 
   /// Adaptive defense update (run-time loop): fold freshly quarantined
   /// adversarial samples (label 1) into the merged database, retrain the
@@ -127,8 +160,11 @@ class Framework {
 
  private:
   void require(bool condition, const char* message) const;
+  /// Mark `phase` complete and invalidate all downstream phases.
+  void mark_phase(Phase phase);
 
   FrameworkConfig config_;
+  std::uint32_t completed_phases_ = 0;  // bit i == Phase i done
 
   std::optional<sim::HpcCorpus> corpus_;
   ml::Dataset raw_all_;  // full engineered-feature dataset pre-split

@@ -210,4 +210,16 @@ ml::MetricReport DetectionRuntime::process_stream(const ml::Dataset& stream) {
   return ml::evaluate_predictions(stream.y, predictions);
 }
 
+ColdStart cold_start(const std::string& checkpoint_dir, RuntimeConfig config) {
+  ColdStart out;
+  out.framework =
+      std::make_unique<Framework>(Framework::resume(checkpoint_dir));
+  if (!out.framework->phase_done(Phase::kProtect))
+    throw std::runtime_error(
+        "cold_start: checkpoint has not completed the protect phase — run "
+        "the pipeline (or resume + run_all) to deployment before serving");
+  out.runtime = std::make_unique<DetectionRuntime>(*out.framework, config);
+  return out;
+}
+
 }  // namespace drlhmd::core

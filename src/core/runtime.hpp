@@ -122,4 +122,17 @@ class DetectionRuntime {
   obs::Histogram* latency_total_;
 };
 
+/// A framework plus serving runtime reconstructed from a checkpoint.
+struct ColdStart {
+  std::unique_ptr<Framework> framework;
+  std::unique_ptr<DetectionRuntime> runtime;
+};
+
+/// Cold-start the deployment loop from a checkpoint directory: resume the
+/// framework (which verifies every defended model against its vaulted
+/// SHA-256 digest and refuses tampered checkpoints), require the pipeline
+/// to have completed through the protect phase, and attach a
+/// DetectionRuntime ready to serve traffic.
+ColdStart cold_start(const std::string& checkpoint_dir, RuntimeConfig config = {});
+
 }  // namespace drlhmd::core

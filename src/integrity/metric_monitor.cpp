@@ -52,4 +52,34 @@ std::optional<MetricBaseline> MetricMonitor::baseline(
   return it->second;
 }
 
+std::vector<std::uint8_t> MetricMonitor::serialize() const {
+  util::ByteWriter w;
+  w.write_string("MMON");
+  w.write_u8(1);  // format version
+  w.write_f64(tolerance_);
+  w.write_u64(baselines_.size());
+  for (const auto& [name, baseline] : baselines_) {
+    w.write_string(baseline.model_name);
+    ml::write_metric_report(w, baseline.metrics);
+  }
+  return w.take();
+}
+
+MetricMonitor MetricMonitor::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "MMON")
+    throw std::invalid_argument("MetricMonitor::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("MetricMonitor::deserialize: bad version");
+  MetricMonitor monitor(r.read_f64());
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MetricBaseline baseline;
+    baseline.model_name = r.read_string();
+    baseline.metrics = ml::read_metric_report(r);
+    monitor.baselines_[baseline.model_name] = std::move(baseline);
+  }
+  return monitor;
+}
+
 }  // namespace drlhmd::integrity

@@ -41,6 +41,10 @@ class MetricMonitor {
   std::size_t tracked_models() const { return baselines_.size(); }
   double tolerance() const { return tolerance_; }
 
+  /// Persist the tolerance and every recorded baseline.
+  std::vector<std::uint8_t> serialize() const;
+  static MetricMonitor deserialize(std::span<const std::uint8_t> bytes);
+
  private:
   double tolerance_;
   std::map<std::string, MetricBaseline> baselines_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace drlhmd::integrity {
 
 std::string ModelVault::compute_digest(const std::string& model_name,
@@ -53,6 +55,53 @@ std::optional<VaultRecord> ModelVault::record(const std::string& model_name) con
   const auto it = records_.find(model_name);
   if (it == records_.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<std::string> ModelVault::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(records_.size());
+  for (const auto& [name, record] : records_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::uint8_t> ModelVault::serialize() const {
+  util::ByteWriter w;
+  w.write_string("VALT");
+  w.write_u8(1);  // format version
+  w.write_u64(records_.size());
+  for (const auto& [name, record] : records_) {
+    w.write_string(record.model_name);
+    w.write_u64(record.deployed_at);
+    w.write_string(record.digest_hex);
+    w.write_bytes(record.golden_bytes);
+  }
+  return w.take();
+}
+
+ModelVault ModelVault::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "VALT")
+    throw std::invalid_argument("ModelVault::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("ModelVault::deserialize: bad version");
+  ModelVault vault;
+  const std::uint64_t count = r.read_u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    VaultRecord record;
+    record.model_name = r.read_string();
+    record.deployed_at = r.read_u64();
+    record.digest_hex = r.read_string();
+    record.golden_bytes = r.read_bytes();
+    // Self-check: the stored digest must match the golden copy, otherwise
+    // the vault artifact itself has been tampered with.
+    if (compute_digest(record.model_name, record.deployed_at,
+                       record.golden_bytes) != record.digest_hex)
+      throw std::invalid_argument(
+          "ModelVault::deserialize: digest mismatch for model '" +
+          record.model_name + "' (vault record tampered)");
+    vault.records_[record.model_name] = std::move(record);
+  }
+  return vault;
 }
 
 }  // namespace drlhmd::integrity

@@ -48,6 +48,15 @@ class ModelVault {
                                     std::uint64_t timestamp,
                                     std::span<const std::uint8_t> bytes);
 
+  /// All deployed model names, sorted.
+  std::vector<std::string> model_names() const;
+
+  /// Persist every record (digests + golden copies).  On load, each
+  /// record's digest is recomputed from its golden bytes and checked, so a
+  /// vault artifact whose payload was rewritten is rejected immediately.
+  std::vector<std::uint8_t> serialize() const;
+  static ModelVault deserialize(std::span<const std::uint8_t> bytes);
+
  private:
   std::map<std::string, VaultRecord> records_;
 };

@@ -82,9 +82,7 @@ std::vector<std::uint8_t> ConvNetClassifier::serialize() const {
   w.write_string("NN");
   w.write_u8(kFormatVersion);
   w.write_u64(in_features_);
-  const auto net_bytes = net_.serialize();
-  w.write_u64(net_bytes.size());
-  for (std::uint8_t b : net_bytes) w.write_u8(b);
+  w.write_bytes(net_.serialize());
   return w.take();
 }
 
@@ -96,10 +94,7 @@ ConvNetClassifier ConvNetClassifier::deserialize(std::span<const std::uint8_t> b
     throw std::invalid_argument("ConvNetClassifier::deserialize: bad version");
   ConvNetClassifier model;
   model.in_features_ = static_cast<std::size_t>(r.read_u64());
-  const std::uint64_t len = r.read_u64();
-  std::vector<std::uint8_t> net_bytes(static_cast<std::size_t>(len));
-  for (auto& b : net_bytes) b = r.read_u8();
-  model.net_ = nn::Network::deserialize(net_bytes);
+  model.net_ = nn::Network::deserialize(r.read_bytes());
   return model;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace drlhmd::ml {
 
 std::size_t Dataset::count_label(int label) const {
@@ -59,6 +61,47 @@ void Dataset::validate() const {
       throw std::invalid_argument("Dataset: labels must be 0 or 1");
   if (!feature_names.empty() && feature_names.size() != width)
     throw std::invalid_argument("Dataset: feature_names width mismatch");
+}
+
+std::vector<std::uint8_t> Dataset::serialize() const {
+  validate();
+  util::ByteWriter w;
+  w.write_string("DSET");
+  w.write_u8(1);  // format version
+  w.write_u64(feature_names.size());
+  for (const auto& name : feature_names) w.write_string(name);
+  w.write_u64(X.size());
+  w.write_u64(num_features());
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    w.write_i64(y[i]);
+    for (double v : X[i]) w.write_f64(v);
+  }
+  return w.take();
+}
+
+Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "DSET")
+    throw std::invalid_argument("Dataset::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("Dataset::deserialize: bad version");
+  Dataset data;
+  const std::uint64_t n_names = r.read_u64();
+  data.feature_names.reserve(static_cast<std::size_t>(n_names));
+  for (std::uint64_t i = 0; i < n_names; ++i)
+    data.feature_names.push_back(r.read_string());
+  const std::uint64_t rows = r.read_u64();
+  const std::uint64_t cols = r.read_u64();
+  data.X.reserve(static_cast<std::size_t>(rows));
+  data.y.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    data.y.push_back(static_cast<int>(r.read_i64()));
+    std::vector<double> row(static_cast<std::size_t>(cols));
+    for (auto& v : row) v = r.read_f64();
+    data.X.push_back(std::move(row));
+  }
+  data.validate();
+  return data;
 }
 
 TrainTestSplit stratified_split(const Dataset& data, double test_fraction,

@@ -32,6 +32,11 @@ struct Dataset {
   /// Throws std::invalid_argument on ragged rows, bad labels, or size
   /// mismatch between X and y.
   void validate() const;
+
+  /// Exact binary round trip (feature values preserved bit-for-bit, unlike
+  /// the CSV path).  Used for checkpoint artifacts.
+  std::vector<std::uint8_t> serialize() const;
+  static Dataset deserialize(std::span<const std::uint8_t> bytes);
 };
 
 struct TrainTestSplit {

@@ -102,4 +102,38 @@ std::vector<std::string> metric_header() {
   return {"ACC", "F1", "AUC", "TPR", "FPR", "FNR", "TNR"};
 }
 
+void write_metric_report(util::ByteWriter& w, const MetricReport& m) {
+  w.write_f64(m.accuracy);
+  w.write_f64(m.precision);
+  w.write_f64(m.recall);
+  w.write_f64(m.f1);
+  w.write_f64(m.auc);
+  w.write_f64(m.tpr);
+  w.write_f64(m.fpr);
+  w.write_f64(m.fnr);
+  w.write_f64(m.tnr);
+  w.write_u64(m.confusion.tp);
+  w.write_u64(m.confusion.fp);
+  w.write_u64(m.confusion.tn);
+  w.write_u64(m.confusion.fn);
+}
+
+MetricReport read_metric_report(util::ByteReader& r) {
+  MetricReport m;
+  m.accuracy = r.read_f64();
+  m.precision = r.read_f64();
+  m.recall = r.read_f64();
+  m.f1 = r.read_f64();
+  m.auc = r.read_f64();
+  m.tpr = r.read_f64();
+  m.fpr = r.read_f64();
+  m.fnr = r.read_f64();
+  m.tnr = r.read_f64();
+  m.confusion.tp = r.read_u64();
+  m.confusion.fp = r.read_u64();
+  m.confusion.tn = r.read_u64();
+  m.confusion.fn = r.read_u64();
+  return m;
+}
+
 }  // namespace drlhmd::ml

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.hpp"
+
 namespace drlhmd::ml {
 
 struct ConfusionMatrix {
@@ -49,5 +51,10 @@ double roc_auc(std::span<const int> truth, std::span<const double> scores);
 /// One formatted row "ACC F1 AUC TPR FPR FNR TNR" (paper Table 2 layout).
 std::vector<std::string> metric_row(const MetricReport& m);
 std::vector<std::string> metric_header();
+
+/// Exact byte round trip of a report (used by checkpoint artifacts and by
+/// tests asserting bitwise-identical evaluations across a restart).
+void write_metric_report(util::ByteWriter& w, const MetricReport& m);
+MetricReport read_metric_report(util::ByteReader& r);
 
 }  // namespace drlhmd::ml

@@ -62,9 +62,7 @@ std::vector<std::uint8_t> MlpClassifier::serialize() const {
   w.write_string("MLP");
   w.write_u8(kFormatVersion);
   w.write_u64(in_features_);
-  const auto net_bytes = net_.serialize();
-  w.write_u64(net_bytes.size());
-  for (std::uint8_t b : net_bytes) w.write_u8(b);
+  w.write_bytes(net_.serialize());
   return w.take();
 }
 
@@ -76,10 +74,7 @@ MlpClassifier MlpClassifier::deserialize(std::span<const std::uint8_t> bytes) {
     throw std::invalid_argument("MlpClassifier::deserialize: bad version");
   MlpClassifier model;
   model.in_features_ = static_cast<std::size_t>(r.read_u64());
-  const std::uint64_t len = r.read_u64();
-  std::vector<std::uint8_t> net_bytes(static_cast<std::size_t>(len));
-  for (auto& b : net_bytes) b = r.read_u8();
-  model.net_ = nn::Network::deserialize(net_bytes);
+  model.net_ = nn::Network::deserialize(r.read_bytes());
   return model;
 }
 

@@ -61,4 +61,27 @@ std::vector<std::unique_ptr<Classifier>> make_all_models(std::uint64_t seed) {
   return models;
 }
 
+std::string classifier_magic(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  const std::string magic = r.read_string();
+  for (const char* known : {"RF", "DT", "LR", "MLP", "GBDT", "NN"})
+    if (magic == known) return magic;
+  throw std::invalid_argument("classifier_magic: unrecognized model bytes");
+}
+
+std::unique_ptr<Classifier> load_classifier(std::span<const std::uint8_t> bytes) {
+  const std::string magic = classifier_magic(bytes);
+  if (magic == "RF")
+    return std::make_unique<RandomForest>(RandomForest::deserialize(bytes));
+  if (magic == "DT")
+    return std::make_unique<DecisionTree>(DecisionTree::deserialize(bytes));
+  if (magic == "LR")
+    return std::make_unique<LogisticRegression>(
+        LogisticRegression::deserialize(bytes));
+  if (magic == "MLP")
+    return std::make_unique<MlpClassifier>(MlpClassifier::deserialize(bytes));
+  if (magic == "GBDT") return std::make_unique<Gbdt>(Gbdt::deserialize(bytes));
+  return std::make_unique<ConvNetClassifier>(ConvNetClassifier::deserialize(bytes));
+}
+
 }  // namespace drlhmd::ml

@@ -21,4 +21,14 @@ std::vector<std::unique_ptr<Classifier>> make_classical_models(std::uint64_t see
 /// All six detectors (classical + NN), Table 2 order.
 std::vector<std::unique_ptr<Classifier>> make_all_models(std::uint64_t seed = 0);
 
+/// Magic tag at the head of a serialized model ("RF", "DT", "LR", "MLP",
+/// "GBDT", "NN").  Throws on unrecognized bytes.
+std::string classifier_magic(std::span<const std::uint8_t> bytes);
+
+/// Polymorphic load path: inspect the magic tag of `bytes` (produced by any
+/// Classifier::serialize()) and round-trip it through the matching
+/// concrete deserializer.  The returned model is inference-ready and
+/// re-serializes to byte-identical output.
+std::unique_ptr<Classifier> load_classifier(std::span<const std::uint8_t> bytes);
+
 }  // namespace drlhmd::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serialize.hpp"
 #include "util/stats.hpp"
 
 namespace drlhmd::ml {
@@ -49,6 +50,29 @@ std::vector<double> StandardScaler::inverse_transform(std::span<const double> ro
   for (std::size_t c = 0; c < row.size(); ++c)
     out[c] = row[c] * scale_[c] + mean_[c];
   return out;
+}
+
+std::vector<std::uint8_t> StandardScaler::serialize() const {
+  util::ByteWriter w;
+  w.write_string("SCAL");
+  w.write_u8(1);  // format version
+  w.write_f64_vec(mean_);
+  w.write_f64_vec(scale_);
+  return w.take();
+}
+
+StandardScaler StandardScaler::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "SCAL")
+    throw std::invalid_argument("StandardScaler::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("StandardScaler::deserialize: bad version");
+  StandardScaler scaler;
+  scaler.mean_ = r.read_f64_vec();
+  scaler.scale_ = r.read_f64_vec();
+  if (scaler.mean_.size() != scaler.scale_.size())
+    throw std::invalid_argument("StandardScaler::deserialize: width mismatch");
+  return scaler;
 }
 
 Dataset clean(const Dataset& data, double q_low, double q_high) {

@@ -1,6 +1,7 @@
 // Feature engineering: cleaning + standard scaling (paper Section 2.1).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,10 @@ class StandardScaler {
 
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& scale() const { return scale_; }
+
+  /// Persist the fitted statistics (checkpoint artifacts).
+  std::vector<std::uint8_t> serialize() const;
+  static StandardScaler deserialize(std::span<const std::uint8_t> bytes);
 
  private:
   std::vector<double> mean_;

@@ -69,11 +69,7 @@ std::vector<std::uint8_t> RandomForest::serialize() const {
   w.write_string("RF");
   w.write_u8(kFormatVersion);
   w.write_u64(trees_.size());
-  for (const auto& tree : trees_) {
-    const auto bytes = tree.serialize();
-    w.write_u64(bytes.size());
-    for (std::uint8_t b : bytes) w.write_u8(b);
-  }
+  for (const auto& tree : trees_) w.write_bytes(tree.serialize());
   return w.take();
 }
 
@@ -86,12 +82,8 @@ RandomForest RandomForest::deserialize(std::span<const std::uint8_t> bytes) {
   RandomForest forest;
   const std::uint64_t count = r.read_u64();
   forest.trees_.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t t = 0; t < count; ++t) {
-    const std::uint64_t len = r.read_u64();
-    std::vector<std::uint8_t> tree_bytes(static_cast<std::size_t>(len));
-    for (auto& b : tree_bytes) b = r.read_u8();
-    forest.trees_.push_back(DecisionTree::deserialize(tree_bytes));
-  }
+  for (std::uint64_t t = 0; t < count; ++t)
+    forest.trees_.push_back(DecisionTree::deserialize(r.read_bytes()));
   return forest;
 }
 

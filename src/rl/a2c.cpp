@@ -110,14 +110,18 @@ EpisodeStats A2C::train_episode(Environment& env, util::Rng& rng,
 std::vector<std::uint8_t> A2C::serialize() const {
   util::ByteWriter w;
   w.write_string("A2C");
+  w.write_u8(2);  // format version (v2 added the config block)
+  std::vector<std::uint64_t> hidden(config_.hidden.begin(), config_.hidden.end());
+  w.write_u64_vec(hidden);
+  w.write_f64(config_.actor_lr);
+  w.write_f64(config_.critic_lr);
+  w.write_f64(config_.gamma);
+  w.write_f64(config_.entropy_bonus);
+  w.write_u64(config_.seed);
   w.write_u64(obs_size_);
   w.write_u64(n_actions_);
-  const auto actor_bytes = actor_.serialize();
-  const auto critic_bytes = critic_.serialize();
-  w.write_u64(actor_bytes.size());
-  for (std::uint8_t b : actor_bytes) w.write_u8(b);
-  w.write_u64(critic_bytes.size());
-  for (std::uint8_t b : critic_bytes) w.write_u8(b);
+  w.write_bytes(actor_.serialize());
+  w.write_bytes(critic_.serialize());
   return w.take();
 }
 
@@ -125,15 +129,21 @@ A2C A2C::deserialize(std::span<const std::uint8_t> bytes) {
   util::ByteReader r(bytes);
   if (r.read_string() != "A2C")
     throw std::invalid_argument("A2C::deserialize: bad magic");
+  if (r.read_u8() != 2)
+    throw std::invalid_argument("A2C::deserialize: bad version");
+  A2CConfig config;
+  const std::vector<std::uint64_t> hidden = r.read_u64_vec();
+  config.hidden.assign(hidden.begin(), hidden.end());
+  config.actor_lr = r.read_f64();
+  config.critic_lr = r.read_f64();
+  config.gamma = r.read_f64();
+  config.entropy_bonus = r.read_f64();
+  config.seed = r.read_u64();
   const auto obs = static_cast<std::size_t>(r.read_u64());
   const auto actions = static_cast<std::size_t>(r.read_u64());
-  A2C agent(obs, actions);
-  std::vector<std::uint8_t> actor_bytes(static_cast<std::size_t>(r.read_u64()));
-  for (auto& b : actor_bytes) b = r.read_u8();
-  std::vector<std::uint8_t> critic_bytes(static_cast<std::size_t>(r.read_u64()));
-  for (auto& b : critic_bytes) b = r.read_u8();
-  agent.actor_ = ml::nn::Network::deserialize(actor_bytes);
-  agent.critic_ = ml::nn::Network::deserialize(critic_bytes);
+  A2C agent(obs, actions, config);
+  agent.actor_ = ml::nn::Network::deserialize(r.read_bytes());
+  agent.critic_ = ml::nn::Network::deserialize(r.read_bytes());
   return agent;
 }
 

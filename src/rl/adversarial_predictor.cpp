@@ -87,6 +87,50 @@ ml::MetricReport AdversarialPredictor::evaluate(const ml::Dataset& adversarial,
   return ml::evaluate_scores(truth, scores, config_.reward_threshold);
 }
 
+std::vector<std::uint8_t> AdversarialPredictor::serialize() const {
+  util::ByteWriter w;
+  w.write_string("APRD");
+  w.write_u8(1);  // format version
+  w.write_u64(feature_count_);
+  w.write_f64(config_.reward_adversarial);
+  w.write_f64(config_.reward_none);
+  w.write_f64(config_.reward_threshold);
+  w.write_u64(config_.epochs);
+  w.write_u64(config_.seed);
+  w.write_u8(trained_ ? 1 : 0);
+  w.write_f64(mean_episode_reward_);
+  w.write_bytes(agent_.serialize());  // carries the A2C config block
+  return w.take();
+}
+
+AdversarialPredictor AdversarialPredictor::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "APRD")
+    throw std::invalid_argument("AdversarialPredictor::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("AdversarialPredictor::deserialize: bad version");
+  const auto feature_count = static_cast<std::size_t>(r.read_u64());
+  AdversarialPredictorConfig config;
+  config.reward_adversarial = r.read_f64();
+  config.reward_none = r.read_f64();
+  config.reward_threshold = r.read_f64();
+  config.epochs = static_cast<std::size_t>(r.read_u64());
+  config.seed = r.read_u64();
+  const bool trained = r.read_u8() != 0;
+  const double mean_reward = r.read_f64();
+  A2C agent = A2C::deserialize(r.read_bytes());
+  if (agent.observation_size() != feature_count || agent.action_count() != 2)
+    throw std::invalid_argument(
+        "AdversarialPredictor::deserialize: agent shape mismatch");
+  config.a2c = agent.config();
+  AdversarialPredictor predictor(feature_count, config);
+  predictor.agent_ = std::move(agent);
+  predictor.trained_ = trained;
+  predictor.mean_episode_reward_ = mean_reward;
+  return predictor;
+}
+
 std::vector<double> AdversarialPredictor::reward_trace(
     const std::vector<std::vector<double>>& stream) const {
   std::vector<double> trace;

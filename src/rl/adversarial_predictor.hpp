@@ -58,6 +58,11 @@ class AdversarialPredictor {
   const A2C& agent() const { return agent_; }
   double mean_training_episode_reward() const { return mean_episode_reward_; }
 
+  /// Full state (config, training flag, A2C weights); round-trips to
+  /// identical bytes, so a restored predictor scores traffic identically.
+  std::vector<std::uint8_t> serialize() const;
+  static AdversarialPredictor deserialize(std::span<const std::uint8_t> bytes);
+
  private:
   std::size_t feature_count_;
   AdversarialPredictorConfig config_;

@@ -138,6 +138,56 @@ ml::MetricReport ConstraintController::evaluate(const ml::Dataset& data) const {
   return models_[arm]->evaluate(data);
 }
 
+std::vector<std::uint8_t> ConstraintController::serialize() const {
+  util::ByteWriter w;
+  w.write_string("CTRL");
+  w.write_u8(1);  // format version
+  w.write_u8(static_cast<std::uint8_t>(config_.policy));
+  w.write_f64(config_.accuracy_weight);
+  w.write_f64(config_.ucb.exploration);
+  w.write_u64(config_.training_epochs);
+  w.write_u64(config_.seed);
+  w.write_u64(profiles_.size());
+  for (const ModelProfile& profile : profiles_) write_model_profile(w, profile);
+  w.write_bytes(bandit_.serialize());
+  return w.take();
+}
+
+ConstraintController ConstraintController::deserialize(
+    std::span<const std::uint8_t> bytes, std::vector<ml::Classifier*> models) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "CTRL")
+    throw std::invalid_argument("ConstraintController::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("ConstraintController::deserialize: bad version");
+  ConstraintControllerConfig config;
+  config.policy = static_cast<ConstraintPolicy>(r.read_u8());
+  config.accuracy_weight = r.read_f64();
+  config.ucb.exploration = r.read_f64();
+  config.training_epochs = static_cast<std::size_t>(r.read_u64());
+  config.seed = r.read_u64();
+  const std::uint64_t n_profiles = r.read_u64();
+  std::vector<ModelProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(n_profiles));
+  for (std::uint64_t i = 0; i < n_profiles; ++i)
+    profiles.push_back(read_model_profile(r));
+  UcbBandit bandit = UcbBandit::deserialize(r.read_bytes());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    if (i < models.size() && models[i] != nullptr &&
+        models[i]->name() != profiles[i].name)
+      throw std::invalid_argument(
+          "ConstraintController::deserialize: model/profile order mismatch");
+  }
+  // The constructor re-derives accuracy_weight_ and the min latency/memory
+  // normalizers from config + profiles, exactly as at training time.
+  ConstraintController controller(std::move(models), std::move(profiles), config);
+  if (bandit.arm_count() != controller.models_.size())
+    throw std::invalid_argument(
+        "ConstraintController::deserialize: bandit arm count mismatch");
+  controller.bandit_ = std::move(bandit);
+  return controller;
+}
+
 std::vector<double> ConstraintController::build_state(
     std::span<const double> features) const {
   std::vector<double> state;

@@ -74,6 +74,14 @@ class ConstraintController {
 
   const UcbBandit& bandit() const { return bandit_; }
 
+  /// Learned state (policy config, measured profiles, bandit statistics).
+  /// Model pointers are NOT serialized — deserialize() re-attaches the
+  /// caller's live models, which must match the stored profiles in count
+  /// and name order (index-aligned, as in the constructor contract).
+  std::vector<std::uint8_t> serialize() const;
+  static ConstraintController deserialize(std::span<const std::uint8_t> bytes,
+                                          std::vector<ml::Classifier*> models);
+
  private:
   double reward(std::size_t arm, bool correct) const;
 

@@ -44,4 +44,20 @@ std::vector<ModelProfile> profile_models(const std::vector<ml::Classifier*>& mod
   return profiles;
 }
 
+void write_model_profile(util::ByteWriter& w, const ModelProfile& profile) {
+  w.write_string(profile.name);
+  w.write_f64(profile.latency_us);
+  w.write_u64(profile.memory_bytes);
+  ml::write_metric_report(w, profile.metrics);
+}
+
+ModelProfile read_model_profile(util::ByteReader& r) {
+  ModelProfile profile;
+  profile.name = r.read_string();
+  profile.latency_us = r.read_f64();
+  profile.memory_bytes = static_cast<std::size_t>(r.read_u64());
+  profile.metrics = ml::read_metric_report(r);
+  return profile;
+}
+
 }  // namespace drlhmd::rl

@@ -29,4 +29,9 @@ std::vector<ModelProfile> profile_models(
     const std::vector<ml::Classifier*>& models, const ml::Dataset& validation,
     std::size_t repeats = 3);
 
+/// Persist a measured profile.  Checkpoints restore profiles verbatim (no
+/// re-measurement), so constraint scores are identical across a restart.
+void write_model_profile(util::ByteWriter& w, const ModelProfile& profile);
+ModelProfile read_model_profile(util::ByteReader& r);
+
 }  // namespace drlhmd::rl

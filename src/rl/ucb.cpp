@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/serialize.hpp"
+
 namespace drlhmd::rl {
 
 UcbBandit::UcbBandit(std::size_t n_arms, UcbConfig config)
@@ -57,6 +59,36 @@ void UcbBandit::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   std::fill(sums_.begin(), sums_.end(), 0.0);
   total_ = 0;
+}
+
+std::vector<std::uint8_t> UcbBandit::serialize() const {
+  util::ByteWriter w;
+  w.write_string("UCB1");
+  w.write_u8(1);  // format version
+  w.write_f64(config_.exploration);
+  w.write_u64_vec(counts_);
+  w.write_f64_vec(sums_);
+  w.write_u64(total_);
+  return w.take();
+}
+
+UcbBandit UcbBandit::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "UCB1")
+    throw std::invalid_argument("UcbBandit::deserialize: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("UcbBandit::deserialize: bad version");
+  UcbConfig config;
+  config.exploration = r.read_f64();
+  std::vector<std::uint64_t> counts = r.read_u64_vec();
+  std::vector<double> sums = r.read_f64_vec();
+  if (counts.empty() || counts.size() != sums.size())
+    throw std::invalid_argument("UcbBandit::deserialize: arm count mismatch");
+  UcbBandit bandit(counts.size(), config);
+  bandit.counts_ = std::move(counts);
+  bandit.sums_ = std::move(sums);
+  bandit.total_ = r.read_u64();
+  return bandit;
 }
 
 }  // namespace drlhmd::rl

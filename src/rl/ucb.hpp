@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace drlhmd::rl {
@@ -29,6 +30,11 @@ class UcbBandit {
   double ucb(std::size_t arm) const;
 
   void reset();
+
+  /// Full learned state (pull counts, reward sums, exploration constant);
+  /// round-trips to identical bytes.
+  std::vector<std::uint8_t> serialize() const;
+  static UcbBandit deserialize(std::span<const std::uint8_t> bytes);
 
  private:
   std::vector<std::uint64_t> counts_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/serialize.hpp"
 #include "util/table.hpp"
 
 namespace drlhmd::sim {
@@ -104,6 +105,46 @@ HpcCorpus corpus_from_csv(const util::CsvDocument& doc) {
     rec.malware = row[2] == "malware";
     rec.features.reserve(corpus.feature_names.size());
     for (std::size_t c = 3; c < row.size(); ++c) rec.features.push_back(std::stod(row[c]));
+    corpus.records.push_back(std::move(rec));
+  }
+  return corpus;
+}
+
+std::vector<std::uint8_t> serialize_corpus(const HpcCorpus& corpus) {
+  util::ByteWriter w;
+  w.write_string("CORP");
+  w.write_u8(1);  // format version
+  w.write_u64(corpus.feature_names.size());
+  for (const auto& name : corpus.feature_names) w.write_string(name);
+  w.write_u64(corpus.records.size());
+  for (const HpcRecord& rec : corpus.records) {
+    w.write_string(rec.app);
+    w.write_string(rec.family);
+    w.write_u8(rec.malware ? 1 : 0);
+    w.write_f64_vec(rec.features);
+  }
+  return w.take();
+}
+
+HpcCorpus deserialize_corpus(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.read_string() != "CORP")
+    throw std::invalid_argument("deserialize_corpus: bad magic");
+  if (r.read_u8() != 1)
+    throw std::invalid_argument("deserialize_corpus: bad version");
+  HpcCorpus corpus;
+  const std::uint64_t n_names = r.read_u64();
+  corpus.feature_names.reserve(static_cast<std::size_t>(n_names));
+  for (std::uint64_t i = 0; i < n_names; ++i)
+    corpus.feature_names.push_back(r.read_string());
+  const std::uint64_t n_records = r.read_u64();
+  corpus.records.reserve(static_cast<std::size_t>(n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    HpcRecord rec;
+    rec.app = r.read_string();
+    rec.family = r.read_string();
+    rec.malware = r.read_u8() != 0;
+    rec.features = r.read_f64_vec();
     corpus.records.push_back(std::move(rec));
   }
   return corpus;

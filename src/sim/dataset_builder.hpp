@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,10 @@ HpcCorpus build_corpus(const CorpusConfig& config);
 /// Export/import CSV (one row per record: app, family, label, features...).
 util::CsvDocument corpus_to_csv(const HpcCorpus& corpus);
 HpcCorpus corpus_from_csv(const util::CsvDocument& doc);
+
+/// Exact binary round trip of a corpus (counter values preserved
+/// bit-for-bit, unlike the CSV path).  Used for checkpoint artifacts.
+std::vector<std::uint8_t> serialize_corpus(const HpcCorpus& corpus);
+HpcCorpus deserialize_corpus(std::span<const std::uint8_t> bytes);
 
 }  // namespace drlhmd::sim

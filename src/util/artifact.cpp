@@ -1,0 +1,72 @@
+#include "util/artifact.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace drlhmd::util {
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'D', 'R', 'L', 'A'};
+constexpr std::uint8_t kEnvelopeVersion = 1;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> wrap_artifact(const std::string& kind,
+                                        std::uint32_t version,
+                                        std::span<const std::uint8_t> payload) {
+  if (kind.empty())
+    throw std::invalid_argument("wrap_artifact: empty kind tag");
+  ByteWriter w;
+  for (std::uint8_t m : kMagic) w.write_u8(m);
+  w.write_u8(kEnvelopeVersion);
+  w.write_string(kind);
+  w.write_u32(version);
+  w.write_bytes(payload);
+  w.write_u32(crc32(payload));
+  return w.take();
+}
+
+Artifact unwrap_artifact(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  for (std::uint8_t m : kMagic) {
+    if (r.read_u8() != m)
+      throw std::invalid_argument("unwrap_artifact: bad magic (not an artifact)");
+  }
+  if (r.read_u8() != kEnvelopeVersion)
+    throw std::invalid_argument("unwrap_artifact: unsupported envelope version");
+  Artifact artifact;
+  artifact.kind = r.read_string();
+  artifact.version = r.read_u32();
+  artifact.payload = r.read_bytes();
+  const std::uint32_t stored_crc = r.read_u32();
+  if (!r.exhausted())
+    throw std::invalid_argument("unwrap_artifact: trailing bytes after envelope");
+  if (crc32(artifact.payload) != stored_crc)
+    throw std::invalid_argument("unwrap_artifact: CRC mismatch (artifact corrupt)");
+  return artifact;
+}
+
+}  // namespace drlhmd::util

@@ -1,0 +1,49 @@
+// Tagged, versioned, integrity-checked artifact envelope.
+//
+// Every persisted piece of pipeline state (trained detectors, RL agents,
+// the fitted scaler, datasets, vault records, ...) is wrapped in one common
+// envelope before it touches disk, so a loader can (1) identify what a blob
+// is without guessing, (2) refuse format versions it does not understand,
+// and (3) detect bit rot or truncation before handing the payload to a
+// type-specific deserializer.  Layout (little-endian):
+//
+//   u8[4]  magic        "DRLA"
+//   u8     envelope version (currently 1)
+//   string kind         e.g. "drlhmd.ml.classifier" (u64 length + bytes)
+//   u32    format version of the payload (kind-specific)
+//   u64    payload length
+//   u8[n]  payload
+//   u32    CRC-32 of the payload
+//
+// The CRC catches accidental corruption; *authenticated* integrity of
+// deployed models is the SHA-256 vault's job (integrity/model_vault.hpp),
+// which Framework::resume checks on top of the envelope CRC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// A decoded envelope: what the blob claims to be, plus its payload.
+struct Artifact {
+  std::string kind;
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Wrap a payload into the envelope format above.
+std::vector<std::uint8_t> wrap_artifact(const std::string& kind,
+                                        std::uint32_t version,
+                                        std::span<const std::uint8_t> payload);
+
+/// Parse and validate an envelope.  Throws std::invalid_argument on bad
+/// magic/version/CRC and std::out_of_range on truncation.
+Artifact unwrap_artifact(std::span<const std::uint8_t> bytes);
+
+}  // namespace drlhmd::util

@@ -1,0 +1,109 @@
+#include "util/artifact_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace drlhmd::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kExtension = ".art";
+}
+
+ArtifactStore::ArtifactStore(std::string directory) : dir_(std::move(directory)) {
+  if (dir_.empty())
+    throw std::invalid_argument("ArtifactStore: empty directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("ArtifactStore: cannot create directory " + dir_);
+}
+
+void ArtifactStore::validate_name(const std::string& name) {
+  if (name.empty())
+    throw std::invalid_argument("ArtifactStore: empty artifact name");
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok)
+      throw std::invalid_argument("ArtifactStore: invalid artifact name '" +
+                                  name + "'");
+  }
+  if (name.front() == '.')
+    throw std::invalid_argument("ArtifactStore: artifact name cannot start with '.'");
+}
+
+std::string ArtifactStore::path_for(const std::string& name) const {
+  validate_name(name);
+  return (fs::path(dir_) / (name + kExtension)).string();
+}
+
+void ArtifactStore::put(const std::string& name, const std::string& kind,
+                        std::uint32_t version,
+                        std::span<const std::uint8_t> payload) const {
+  const std::string final_path = path_for(name);
+  const std::string tmp_path = final_path + ".tmp";
+  const std::vector<std::uint8_t> bytes = wrap_artifact(kind, version, payload);
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("ArtifactStore: cannot open " + tmp_path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+      throw std::runtime_error("ArtifactStore: short write to " + tmp_path);
+  }
+  // Atomic publish: rename within one directory replaces the target as a
+  // single operation, so readers see either the old or the new artifact.
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("ArtifactStore: cannot publish " + final_path);
+  }
+}
+
+Artifact ArtifactStore::get(const std::string& name) const {
+  const std::string path = path_for(name);
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("ArtifactStore: missing artifact '" + name +
+                             "' (" + path + ")");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  try {
+    return unwrap_artifact(bytes);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("ArtifactStore: artifact '" + name +
+                                "' is corrupt: " + e.what());
+  }
+}
+
+bool ArtifactStore::contains(const std::string& name) const {
+  std::error_code ec;
+  return fs::is_regular_file(path_for(name), ec);
+}
+
+void ArtifactStore::remove(const std::string& name) const {
+  std::error_code ec;
+  fs::remove(path_for(name), ec);
+}
+
+std::vector<std::string> ArtifactStore::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path p = entry.path();
+    if (p.extension() != kExtension) continue;
+    names.push_back(p.stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace drlhmd::util

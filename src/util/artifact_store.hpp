@@ -1,0 +1,50 @@
+// Directory-backed artifact store with atomic writes.
+//
+// One artifact = one file `<dir>/<name>.art` holding a wrap_artifact()
+// envelope.  Writes go to a `.tmp` sibling first and are renamed into
+// place, so a crash mid-write never leaves a half-written artifact under a
+// live name; reads re-validate the envelope (magic + CRC) on every get().
+// This is the substrate Framework::save_checkpoint / resume build on.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/artifact.hpp"
+
+namespace drlhmd::util {
+
+class ArtifactStore {
+ public:
+  /// Opens (creating if needed) the backing directory.
+  explicit ArtifactStore(std::string directory);
+
+  const std::string& directory() const { return dir_; }
+
+  /// Atomically persist `payload` wrapped in an envelope under `name`.
+  /// Overwrites any existing artifact of the same name.
+  void put(const std::string& name, const std::string& kind,
+           std::uint32_t version, std::span<const std::uint8_t> payload) const;
+
+  /// Load and validate an artifact.  Throws std::runtime_error when the
+  /// file is missing and std::invalid_argument/std::out_of_range when the
+  /// envelope is corrupt.
+  Artifact get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  void remove(const std::string& name) const;
+
+  /// Names of all artifacts in the store, sorted.
+  std::vector<std::string> list() const;
+
+  /// Filesystem path backing `name` (whether or not it exists yet).
+  std::string path_for(const std::string& name) const;
+
+ private:
+  static void validate_name(const std::string& name);
+
+  std::string dir_;
+};
+
+}  // namespace drlhmd::util

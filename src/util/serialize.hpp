@@ -1,9 +1,16 @@
 // Portable byte-oriented serialization used to persist trained models.
 //
-// Model bytes serve two purposes in the framework: (1) measuring the memory
-// footprint that the constraint-aware controller trades off against accuracy,
-// and (2) feeding the SHA-256 integrity vault (Section 2.7 of the paper).
+// Model bytes serve three purposes in the framework: (1) measuring the
+// memory footprint that the constraint-aware controller trades off against
+// accuracy, (2) feeding the SHA-256 integrity vault (Section 2.7 of the
+// paper), and (3) the payloads of on-disk artifacts (util/artifact.hpp).
 // The encoding is little-endian and versioned per model type.
+//
+// ByteReader is hardened against malformed input: every read — including
+// the length prefixes of strings, vectors, and blobs — is bounds-checked
+// against the remaining bytes *before* any allocation, so deserializing a
+// truncated or corrupt artifact throws std::out_of_range instead of
+// over-reading or attempting a multi-exabyte allocation.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,13 @@ class ByteWriter {
   void write_string(const std::string& s) {
     write_u64(s.size());
     bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed byte blob (wire-compatible with a u64 count followed
+  /// by that many write_u8 calls).
+  void write_bytes(std::span<const std::uint8_t> blob) {
+    write_u64(blob.size());
+    bytes_.insert(bytes_.end(), blob.begin(), blob.end());
   }
 
   void write_f64_vec(std::span<const double> v) {
@@ -65,15 +79,26 @@ class ByteReader {
 
   std::string read_string() {
     const std::uint64_t n = read_u64();
-    require(n);
+    require(n, sizeof(char));
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
                   static_cast<std::size_t>(n));
     pos_ += static_cast<std::size_t>(n);
     return s;
   }
 
+  /// Length-prefixed byte blob written by ByteWriter::write_bytes.
+  std::vector<std::uint8_t> read_bytes() {
+    const std::uint64_t n = read_u64();
+    require(n, sizeof(std::uint8_t));
+    std::vector<std::uint8_t> blob(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                   bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return blob;
+  }
+
   std::vector<double> read_f64_vec() {
     const std::uint64_t n = read_u64();
+    require(n, sizeof(double));
     std::vector<double> v(static_cast<std::size_t>(n));
     for (auto& x : v) x = read_f64();
     return v;
@@ -81,6 +106,7 @@ class ByteReader {
 
   std::vector<std::uint64_t> read_u64_vec() {
     const std::uint64_t n = read_u64();
+    require(n, sizeof(std::uint64_t));
     std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
     for (auto& x : v) x = read_u64();
     return v;
@@ -92,15 +118,18 @@ class ByteReader {
  private:
   template <typename T>
   T read_pod() {
-    require(sizeof(T));
+    require(1, sizeof(T));
     T v;
     std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
-  void require(std::uint64_t n) {
-    if (n > bytes_.size() - pos_)
+  /// Check that `count` elements of `elem_size` bytes fit in the remaining
+  /// input, without overflowing the product.
+  void require(std::uint64_t count, std::size_t elem_size) {
+    const std::uint64_t left = remaining();
+    if (elem_size != 0 && count > left / elem_size)
       throw std::out_of_range("ByteReader: truncated input");
   }
 

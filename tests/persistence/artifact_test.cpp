@@ -1,0 +1,147 @@
+// Artifact envelope + directory store behaviors: framing, CRC integrity,
+// atomic replacement, name validation, and corrupt-input rejection.
+#include "util/artifact_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/artifact.hpp"
+
+namespace drlhmd::util {
+namespace {
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / leaf).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> p;
+  for (int v : values) p.push_back(static_cast<std::uint8_t>(v));
+  return p;
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const std::string check = "123456789";
+  std::vector<std::uint8_t> bytes(check.begin(), check.end());
+  EXPECT_EQ(crc32(bytes), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(ArtifactTest, WrapUnwrapRoundTrip) {
+  const auto payload = payload_of({1, 2, 3, 0, 255});
+  const auto bytes = wrap_artifact("drlhmd.test", 7, payload);
+  const Artifact art = unwrap_artifact(bytes);
+  EXPECT_EQ(art.kind, "drlhmd.test");
+  EXPECT_EQ(art.version, 7u);
+  EXPECT_EQ(art.payload, payload);
+}
+
+TEST(ArtifactTest, EmptyPayloadRoundTrips) {
+  const auto bytes = wrap_artifact("drlhmd.empty", 1, {});
+  const Artifact art = unwrap_artifact(bytes);
+  EXPECT_EQ(art.kind, "drlhmd.empty");
+  EXPECT_TRUE(art.payload.empty());
+}
+
+TEST(ArtifactTest, BadMagicRejected) {
+  auto bytes = wrap_artifact("drlhmd.test", 1, payload_of({1, 2, 3}));
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(unwrap_artifact(bytes), std::invalid_argument);
+}
+
+TEST(ArtifactTest, FlippedPayloadByteFailsCrc) {
+  auto bytes = wrap_artifact("drlhmd.test", 1, payload_of({1, 2, 3, 4}));
+  // Payload sits between the header and the trailing 4-byte CRC.
+  bytes[bytes.size() - 5] ^= 0x01;
+  EXPECT_THROW(unwrap_artifact(bytes), std::invalid_argument);
+}
+
+TEST(ArtifactTest, EveryTruncationRejected) {
+  const auto bytes = wrap_artifact("drlhmd.test", 1, payload_of({9, 8, 7}));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_ANY_THROW(unwrap_artifact(truncated)) << "cut at " << cut;
+  }
+}
+
+TEST(ArtifactTest, TrailingGarbageRejected) {
+  auto bytes = wrap_artifact("drlhmd.test", 1, payload_of({1}));
+  bytes.push_back(0x00);
+  EXPECT_THROW(unwrap_artifact(bytes), std::invalid_argument);
+}
+
+TEST(ArtifactStoreTest, PutGetListRemove) {
+  const ArtifactStore store(fresh_dir("artifact-store-basic"));
+  EXPECT_TRUE(store.list().empty());
+  EXPECT_FALSE(store.contains("alpha"));
+
+  store.put("alpha", "drlhmd.test", 1, payload_of({1, 2}));
+  store.put("beta", "drlhmd.test", 2, payload_of({3}));
+  EXPECT_TRUE(store.contains("alpha"));
+  EXPECT_EQ(store.list(), (std::vector<std::string>{"alpha", "beta"}));
+
+  const Artifact art = store.get("beta");
+  EXPECT_EQ(art.kind, "drlhmd.test");
+  EXPECT_EQ(art.version, 2u);
+  EXPECT_EQ(art.payload, payload_of({3}));
+
+  store.remove("alpha");
+  EXPECT_FALSE(store.contains("alpha"));
+  EXPECT_EQ(store.list(), std::vector<std::string>{"beta"});
+}
+
+TEST(ArtifactStoreTest, PutOverwritesAtomically) {
+  const ArtifactStore store(fresh_dir("artifact-store-overwrite"));
+  store.put("model", "drlhmd.test", 1, payload_of({1, 1, 1}));
+  store.put("model", "drlhmd.test", 1, payload_of({2, 2}));
+  EXPECT_EQ(store.get("model").payload, payload_of({2, 2}));
+  // The temporary used for the atomic rename must not linger.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(store.directory()))
+    EXPECT_EQ(entry.path().extension(), ".art") << entry.path();
+}
+
+TEST(ArtifactStoreTest, MissingArtifactThrows) {
+  const ArtifactStore store(fresh_dir("artifact-store-missing"));
+  EXPECT_THROW(store.get("ghost"), std::runtime_error);
+}
+
+TEST(ArtifactStoreTest, OnDiskCorruptionDetectedOnGet) {
+  const ArtifactStore store(fresh_dir("artifact-store-corrupt"));
+  store.put("model", "drlhmd.test", 1, payload_of({1, 2, 3, 4, 5, 6, 7, 8}));
+
+  // Flip one payload byte directly in the backing file.
+  const std::string path = store.path_for("model");
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(-8, std::ios::end);  // inside the payload (before the CRC)
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(-8, std::ios::end);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_ANY_THROW(store.get("model"));
+}
+
+TEST(ArtifactStoreTest, RejectsUnsafeNames) {
+  const ArtifactStore store(fresh_dir("artifact-store-names"));
+  const auto payload = payload_of({1});
+  EXPECT_THROW(store.put("", "k", 1, payload), std::invalid_argument);
+  EXPECT_THROW(store.put("../escape", "k", 1, payload), std::invalid_argument);
+  EXPECT_THROW(store.put("a/b", "k", 1, payload), std::invalid_argument);
+  EXPECT_THROW(store.put(".hidden", "k", 1, payload), std::invalid_argument);
+  EXPECT_THROW(store.put("sp ace", "k", 1, payload), std::invalid_argument);
+  EXPECT_NO_THROW(store.put("ok-name_1.v2", "k", 1, payload));
+}
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -1,0 +1,283 @@
+// serialize -> deserialize -> serialize byte-equality for every persistable
+// component: the six detectors (through the polymorphic loader), the A2C
+// agent, the adversarial predictor, the UCB bandit and the three constraint
+// controllers, the fitted scaler, datasets, corpus, vault, and monitor.
+// Byte equality is the strongest round-trip statement: a restored object
+// cannot differ in any serialized state from the original.
+#include <gtest/gtest.h>
+
+#include "integrity/metric_monitor.hpp"
+#include "integrity/model_vault.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/preprocess.hpp"
+#include "rl/a2c.hpp"
+#include "rl/adversarial_predictor.hpp"
+#include "rl/constraint_controller.hpp"
+#include "rl/ucb.hpp"
+#include "sim/dataset_builder.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd {
+namespace {
+
+/// Two separable Gaussian blobs in 4-D (the engineered feature width).
+ml::Dataset blobs(std::size_t n_per_class, double gap = 3.0,
+                  std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  d.feature_names = {"f0", "f1", "f2", "f3"};
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(gap, 1.0);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+// ------------------------------------------------------- Six detectors --
+
+class DetectorRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DetectorRoundTrip, SerializeDeserializeSerializeIsByteIdentical) {
+  auto models = ml::make_all_models(11);
+  ASSERT_LT(GetParam(), models.size());
+  auto& model = models[GetParam()];
+  const ml::Dataset train = blobs(60);
+  model->fit(train);
+
+  const std::vector<std::uint8_t> first = model->serialize();
+  EXPECT_FALSE(ml::classifier_magic(first).empty());
+  const std::unique_ptr<ml::Classifier> restored = ml::load_classifier(first);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), model->name());
+  EXPECT_TRUE(restored->trained());
+  EXPECT_EQ(restored->serialize(), first);
+
+  // The restored model must also score identically.
+  const ml::Dataset probe = blobs(20, 3.0, 77);
+  for (const auto& row : probe.X)
+    EXPECT_EQ(restored->predict_proba(row), model->predict_proba(row));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixModels, DetectorRoundTrip,
+                         ::testing::Range<std::size_t>(0, 6));
+
+TEST(DetectorRoundTrip, LoadClassifierRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {'X', 'X', 'X', 'X'};
+  EXPECT_ANY_THROW(ml::load_classifier(garbage));
+  EXPECT_ANY_THROW(ml::load_classifier({}));
+}
+
+TEST(DetectorRoundTrip, TruncatedModelBytesThrow) {
+  auto models = ml::make_all_models(11);
+  const ml::Dataset train = blobs(40);
+  for (auto& model : models) {
+    model->fit(train);
+    const auto bytes = model->serialize();
+    // Cut at a spread of points including just-short-of-complete.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+      std::vector<std::uint8_t> truncated(
+          bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_ANY_THROW(ml::load_classifier(truncated))
+          << model->name() << " cut at " << cut;
+    }
+  }
+}
+
+// ----------------------------------------------------------- RL agents --
+
+TEST(A2CRoundTrip, ByteIdenticalAfterTraining) {
+  rl::A2CConfig cfg;
+  cfg.hidden = {8, 8};
+  rl::A2C agent(4, 2, cfg);
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> obs = {rng.normal(), rng.normal(), rng.normal(),
+                                     rng.normal()};
+    agent.update(obs, rng.next() % 2, obs[0] > 0 ? 1.0 : 0.0, 0.0, true);
+  }
+  const auto first = agent.serialize();
+  const rl::A2C restored = rl::A2C::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_EQ(restored.observation_size(), 4u);
+  EXPECT_EQ(restored.action_count(), 2u);
+  const std::vector<double> probe = {0.5, -0.5, 1.0, 0.0};
+  EXPECT_EQ(restored.value(probe), agent.value(probe));
+  EXPECT_EQ(restored.policy(probe), agent.policy(probe));
+}
+
+TEST(PredictorRoundTrip, ByteIdenticalAndSameRewards) {
+  rl::AdversarialPredictorConfig cfg;
+  cfg.a2c.hidden = {8, 8};
+  cfg.epochs = 2;
+  rl::AdversarialPredictor predictor(4, cfg);
+  predictor.train(blobs(30, 4.0, 21), blobs(30, 0.5, 22));
+
+  const auto first = predictor.serialize();
+  const rl::AdversarialPredictor restored =
+      rl::AdversarialPredictor::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_TRUE(restored.trained());
+  const ml::Dataset probe = blobs(10, 4.0, 23);
+  for (const auto& row : probe.X) {
+    EXPECT_EQ(restored.feedback_reward(row), predictor.feedback_reward(row));
+    EXPECT_EQ(restored.is_adversarial(row), predictor.is_adversarial(row));
+  }
+}
+
+TEST(UcbRoundTrip, ByteIdenticalWithLearnedState) {
+  rl::UcbBandit bandit(5);
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i)
+    bandit.update(rng.next() % 5, rng.uniform());
+  const auto first = bandit.serialize();
+  const rl::UcbBandit restored = rl::UcbBandit::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_EQ(restored.select(), bandit.select());
+  EXPECT_EQ(restored.total_pulls(), bandit.total_pulls());
+}
+
+// ---------------------------------------------- Constraint controllers --
+
+class ControllerRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = blobs(60);
+    all_models_ = ml::make_all_models(13);
+    for (std::size_t i = 0; i + 1 < all_models_.size(); ++i) {
+      all_models_[i]->fit(train_);
+      classical_.push_back(all_models_[i].get());
+    }
+    profiles_ = rl::profile_models(classical_, train_);
+  }
+
+  ml::Dataset train_;
+  std::vector<std::unique_ptr<ml::Classifier>> all_models_;
+  std::vector<ml::Classifier*> classical_;
+  std::vector<rl::ModelProfile> profiles_;
+};
+
+TEST_F(ControllerRoundTrip, AllThreePoliciesByteIdentical) {
+  for (const rl::ConstraintPolicy policy :
+       {rl::ConstraintPolicy::kFastInference, rl::ConstraintPolicy::kSmallMemory,
+        rl::ConstraintPolicy::kBestDetection}) {
+    rl::ConstraintControllerConfig cfg;
+    cfg.policy = policy;
+    cfg.training_epochs = 2;
+    rl::ConstraintController controller(classical_, profiles_, cfg);
+    controller.train(train_);
+
+    const auto first = controller.serialize();
+    const rl::ConstraintController restored =
+        rl::ConstraintController::deserialize(first, classical_);
+    EXPECT_EQ(restored.serialize(), first)
+        << rl::policy_name(policy);
+    EXPECT_EQ(restored.selected_model(), controller.selected_model());
+    for (std::size_t arm = 0; arm < classical_.size(); ++arm)
+      EXPECT_EQ(restored.constraint_score(arm), controller.constraint_score(arm));
+    const std::vector<double> probe = train_.X.front();
+    EXPECT_EQ(restored.predict(probe), controller.predict(probe));
+  }
+}
+
+TEST_F(ControllerRoundTrip, RejectsMisalignedModels) {
+  rl::ConstraintController controller(classical_, profiles_, {});
+  const auto bytes = controller.serialize();
+  // Wrong count.
+  std::vector<ml::Classifier*> fewer(classical_.begin(), classical_.end() - 1);
+  EXPECT_ANY_THROW(rl::ConstraintController::deserialize(bytes, fewer));
+  // Wrong order (names no longer align with the stored profiles).
+  std::vector<ml::Classifier*> swapped = classical_;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_ANY_THROW(rl::ConstraintController::deserialize(bytes, swapped));
+}
+
+// ----------------------------------------------- Data + preprocessing --
+
+TEST(DatasetRoundTrip, ByteIdentical) {
+  const ml::Dataset data = blobs(25);
+  const auto first = data.serialize();
+  const ml::Dataset restored = ml::Dataset::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_EQ(restored.X, data.X);
+  EXPECT_EQ(restored.y, data.y);
+  EXPECT_EQ(restored.feature_names, data.feature_names);
+}
+
+TEST(ScalerRoundTrip, ByteIdenticalAndSameTransforms) {
+  ml::StandardScaler scaler;
+  const ml::Dataset data = blobs(30);
+  scaler.fit(data);
+  const auto first = scaler.serialize();
+  const ml::StandardScaler restored = ml::StandardScaler::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  const ml::Dataset a = scaler.transform(data);
+  const ml::Dataset b = restored.transform(data);
+  EXPECT_EQ(a.X, b.X);
+}
+
+TEST(CorpusRoundTrip, ByteIdentical) {
+  sim::CorpusConfig cfg;
+  cfg.benign_apps = 3;
+  cfg.malware_apps = 3;
+  cfg.windows_per_app = 2;
+  const sim::HpcCorpus corpus = sim::build_corpus(cfg);
+  const auto first = sim::serialize_corpus(corpus);
+  const sim::HpcCorpus restored = sim::deserialize_corpus(first);
+  EXPECT_EQ(sim::serialize_corpus(restored), first);
+  EXPECT_EQ(restored.records.size(), corpus.records.size());
+  EXPECT_EQ(restored.feature_names, corpus.feature_names);
+  for (std::size_t i = 0; i < corpus.records.size(); ++i)
+    EXPECT_EQ(restored.records[i].features, corpus.records[i].features);
+}
+
+// ------------------------------------------------------ Integrity pair --
+
+TEST(VaultRoundTrip, ByteIdenticalAndSelfChecking) {
+  integrity::ModelVault vault;
+  vault.deploy("RF", {1, 2, 3, 4}, 100);
+  vault.deploy("MLP", {5, 6}, 101);
+  const auto first = vault.serialize();
+  const integrity::ModelVault restored = integrity::ModelVault::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_EQ(restored.model_names(), (std::vector<std::string>{"MLP", "RF"}));
+  EXPECT_EQ(restored.verify("RF", std::vector<std::uint8_t>{1, 2, 3, 4}),
+            integrity::VerificationStatus::kIntact);
+  EXPECT_EQ(restored.verify("RF", std::vector<std::uint8_t>{9, 9}),
+            integrity::VerificationStatus::kTampered);
+}
+
+TEST(VaultRoundTrip, TamperedGoldenBytesRejectedOnLoad) {
+  integrity::ModelVault vault;
+  vault.deploy("RF", {1, 2, 3, 4}, 100);
+  auto bytes = vault.serialize();
+  // Flip the last payload byte: part of a stored golden copy, so the
+  // recomputed digest can no longer match the stored digest.
+  bytes.back() ^= 0x01;
+  EXPECT_ANY_THROW(integrity::ModelVault::deserialize(bytes));
+}
+
+TEST(MonitorRoundTrip, ByteIdenticalWithBaselines) {
+  const ml::Dataset reserved = blobs(30);
+  auto models = ml::make_all_models(17);
+  models[0]->fit(reserved);
+  integrity::MetricMonitor monitor(0.05);
+  monitor.record_baseline(*models[0], reserved);
+
+  const auto first = monitor.serialize();
+  const integrity::MetricMonitor restored =
+      integrity::MetricMonitor::deserialize(first);
+  EXPECT_EQ(restored.serialize(), first);
+  EXPECT_EQ(restored.tracked_models(), 1u);
+  EXPECT_DOUBLE_EQ(restored.tolerance(), 0.05);
+  EXPECT_FALSE(restored.assess(*models[0], reserved).deviated);
+}
+
+}  // namespace
+}  // namespace drlhmd

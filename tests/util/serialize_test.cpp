@@ -68,6 +68,97 @@ TEST(SerializeTest, HugeLengthPrefixRejected) {
   EXPECT_THROW(r.read_string(), std::out_of_range);
 }
 
+TEST(SerializeTest, RoundTripBytes) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> blob = {0x00, 0xFF, 0x42, 0x42};
+  w.write_bytes(blob);
+  w.write_bytes({});
+  const auto bytes = w.take();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read_bytes(), blob);
+  EXPECT_EQ(r.read_bytes(), std::vector<std::uint8_t>{});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, WriteBytesMatchesPerByteLoop) {
+  // write_bytes must stay wire-compatible with the legacy encoding
+  // (u64 count + that many write_u8 calls) used by older model formats.
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5};
+  ByteWriter blobbed, looped;
+  blobbed.write_bytes(blob);
+  looped.write_u64(blob.size());
+  for (std::uint8_t b : blob) looped.write_u8(b);
+  EXPECT_EQ(blobbed.bytes(), looped.bytes());
+}
+
+TEST(SerializeTest, TruncationSweepAlwaysThrowsNeverOverreads) {
+  // A composite message cut at EVERY possible byte boundary must throw
+  // std::out_of_range from some read — never crash or read past the end.
+  ByteWriter w;
+  const std::vector<double> doubles = {1.0, 2.0, 3.0};
+  const std::vector<std::uint64_t> ints = {4, 5};
+  const std::vector<std::uint8_t> blob = {9, 9, 9};
+  w.write_string("kind");
+  w.write_u32(7);
+  w.write_f64_vec(doubles);
+  w.write_u64_vec(ints);
+  w.write_bytes(blob);
+  const auto full = w.take();
+
+  const auto read_all = [](ByteReader& r) {
+    r.read_string();
+    r.read_u32();
+    r.read_f64_vec();
+    r.read_u64_vec();
+    r.read_bytes();
+  };
+  {
+    ByteReader r(full);
+    EXPECT_NO_THROW(read_all(r));
+    EXPECT_TRUE(r.exhausted());
+  }
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(full.begin(),
+                                        full.begin() + static_cast<std::ptrdiff_t>(cut));
+    ByteReader r(truncated);
+    EXPECT_THROW(read_all(r), std::out_of_range) << "cut at byte " << cut;
+  }
+}
+
+TEST(SerializeTest, HugeVectorLengthPrefixesRejectedWithoutAllocating) {
+  // Length prefixes claiming up to 2^64-1 elements must be rejected by the
+  // bounds check before any allocation is attempted.
+  for (const std::uint64_t huge :
+       {~0ull, ~0ull / 8, 1ull << 62, 1ull << 32}) {
+    ByteWriter w;
+    w.write_u64(huge);
+    const auto bytes = w.take();
+    {
+      ByteReader r(bytes);
+      EXPECT_THROW(r.read_f64_vec(), std::out_of_range);
+    }
+    {
+      ByteReader r(bytes);
+      EXPECT_THROW(r.read_u64_vec(), std::out_of_range);
+    }
+    {
+      ByteReader r(bytes);
+      EXPECT_THROW(r.read_bytes(), std::out_of_range);
+    }
+    {
+      ByteReader r(bytes);
+      EXPECT_THROW(r.read_string(), std::out_of_range);
+    }
+  }
+}
+
+TEST(SerializeTest, ReadPastEndOfEmptyInputThrows) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.read_u8(), std::out_of_range);
+}
+
 TEST(SerializeTest, RemainingTracksPosition) {
   ByteWriter w;
   w.write_u32(1);

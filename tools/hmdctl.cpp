@@ -8,9 +8,12 @@
 //   hmdctl telemetry [--benign 150 --malware 150] [--format json|table]
 //                    [--policy fast|small|best] [--log run.jsonl]
 //                    [--log-level info]
+//   hmdctl save     --dir ckpt [--benign 150 --malware 150] [--seed 2024]
+//   hmdctl resume   --dir ckpt
+//   hmdctl verify   --dir ckpt
 //
 // Every subcommand prints plain tables (telemetry defaults to JSON); exit
-// code 0 on success, 2 on usage errors.
+// code 0 on success, 1 on runtime/integrity failures, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -24,6 +27,7 @@
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/dataset_builder.hpp"
+#include "util/artifact_store.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -148,15 +152,7 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_pipeline(const Args& args) {
-  core::FrameworkConfig cfg;
-  cfg.corpus = corpus_config(args);
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
-  if (args.has("mi")) cfg.feature_mode = core::FeatureSelectionMode::kMutualInfo;
-
-  core::Framework fw(cfg);
-  fw.run_all();
-
+void print_pipeline_report(const core::Framework& fw) {
   std::printf("features:");
   for (const auto& n : fw.selected_feature_names()) std::printf(" %s", n.c_str());
   std::printf("\nattack success: %s\n",
@@ -180,7 +176,110 @@ int cmd_pipeline(const Args& args) {
                 agent.profile(agent.selected_model()).name.c_str(),
                 util::Table::fmt(agent.evaluate(fw.attacked_test_mix()).f1).c_str());
   }
+}
+
+core::FrameworkConfig pipeline_config(const Args& args) {
+  core::FrameworkConfig cfg;
+  cfg.corpus = corpus_config(args);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  if (args.has("mi")) cfg.feature_mode = core::FeatureSelectionMode::kMutualInfo;
+  return cfg;
+}
+
+int cmd_pipeline(const Args& args) {
+  core::Framework fw(pipeline_config(args));
+  fw.run_all();
+  print_pipeline_report(fw);
   return 0;
+}
+
+int cmd_save(const Args& args) {
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "save: --dir is required\n");
+    return 2;
+  }
+  core::Framework fw(pipeline_config(args));
+  fw.run_all();
+  fw.save_checkpoint(dir);
+  print_pipeline_report(fw);
+  std::printf("checkpoint saved to %s\n", dir.c_str());
+  return 0;
+}
+
+int cmd_resume(const Args& args) {
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "resume: --dir is required\n");
+    return 2;
+  }
+  core::Framework fw = core::Framework::resume(dir);
+  for (std::size_t p = 0; p < core::kPhaseCount; ++p) {
+    const auto phase = static_cast<core::Phase>(p);
+    std::printf("phase %-8s %s\n", core::phase_name(phase),
+                fw.phase_done(phase) ? "restored" : "pending");
+  }
+  fw.run_all();  // re-runs only the pending phases
+  fw.save_checkpoint(dir);
+  print_pipeline_report(fw);
+  return 0;
+}
+
+/// Model name suffix of a "model-defended-<i>-<name>" artifact name.
+std::string defended_model_name(const std::string& artifact) {
+  const std::string stem = "model-defended-";
+  std::size_t pos = artifact.find('-', stem.size());
+  return pos == std::string::npos ? std::string() : artifact.substr(pos + 1);
+}
+
+int cmd_verify(const Args& args) {
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "verify: --dir is required\n");
+    return 2;
+  }
+  const util::ArtifactStore store(dir);
+  bool failed = false;
+
+  // Envelope pass: magic + declared kind + CRC of every artifact.
+  std::map<std::string, util::Artifact> intact;
+  for (const std::string& name : store.list()) {
+    try {
+      intact[name] = store.get(name);
+      std::printf("%-28s ok       %s (%zu bytes)\n", name.c_str(),
+                  intact[name].kind.c_str(), intact[name].payload.size());
+    } catch (const std::exception& e) {
+      std::printf("%-28s CORRUPT  %s\n", name.c_str(), e.what());
+      failed = true;
+    }
+  }
+
+  // Vault pass: each deployed model artifact must hash to its vaulted
+  // SHA-256 digest (catches CRC-valid but swapped model payloads).
+  const auto vault_it = intact.find("vault");
+  if (vault_it != intact.end()) {
+    try {
+      const integrity::ModelVault vault =
+          integrity::ModelVault::deserialize(vault_it->second.payload);
+      for (const auto& [name, art] : intact) {
+        if (name.rfind("model-defended-", 0) != 0) continue;
+        const auto status =
+            vault.verify(defended_model_name(name), art.payload);
+        if (status == integrity::VerificationStatus::kIntact) {
+          std::printf("%-28s vault digest ok\n", name.c_str());
+        } else {
+          std::printf("%-28s TAMPERED (vault digest mismatch)\n", name.c_str());
+          failed = true;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::printf("%-28s CORRUPT  %s\n", "vault", e.what());
+      failed = true;
+    }
+  }
+
+  std::printf("verify: %s\n", failed ? "FAILED" : "all artifacts intact");
+  return failed ? 1 : 0;
 }
 
 int cmd_attack(const Args& args) {
@@ -315,8 +414,8 @@ int cmd_telemetry(const Args& args) {
   return 0;
 }
 
-void usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: hmdctl <command> [--flag value ...]\n"
                "commands:\n"
                "  corpus    generate a labeled HPC corpus CSV\n"
@@ -333,17 +432,29 @@ void usage() {
                "            --benign N --malware N --seed S [--mi]\n"
                "            --format json|table --policy fast|small|best\n"
                "            --retrain K --integrity-period P\n"
-               "            --log FILE.jsonl --log-level LEVEL\n");
+               "            --log FILE.jsonl --log-level LEVEL\n"
+               "  save      run the pipeline and checkpoint it to a directory\n"
+               "            --dir D --benign N --malware N --seed S [--mi]\n"
+               "  resume    restore a checkpoint, run remaining phases, report\n"
+               "            --dir D\n"
+               "  verify    integrity-check a checkpoint (envelope CRCs +\n"
+               "            vaulted SHA-256 digests of deployed models)\n"
+               "            --dir D\n"
+               "  help      show this listing\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage(stdout);
+    return 0;
+  }
   const Args args(argc, argv, 2);
   try {
     if (command == "corpus") return cmd_corpus(args);
@@ -352,10 +463,14 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "attack") return cmd_attack(args);
     if (command == "telemetry") return cmd_telemetry(args);
+    if (command == "save") return cmd_save(args);
+    if (command == "resume") return cmd_resume(args);
+    if (command == "verify") return cmd_verify(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hmdctl %s: %s\n", command.c_str(), e.what());
     return 1;
   }
-  usage();
+  std::fprintf(stderr, "hmdctl: unknown command '%s'\n", command.c_str());
+  usage(stderr);
   return 2;
 }
