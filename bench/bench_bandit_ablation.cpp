@@ -39,7 +39,7 @@ int main() {
         rng.shuffle(order);
         for (const std::size_t row : order) {
           const std::size_t arm = bandit->select();
-          const bool correct = models[arm]->predict(stream.X[row]) == stream.y[row];
+          const bool correct = models[arm]->predict(stream.row_copy(row)) == stream.y[row];
           const double cost = profiles[arm].latency_us > 0
                                   ? min_latency / profiles[arm].latency_us
                                   : 1.0;

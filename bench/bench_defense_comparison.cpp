@@ -15,7 +15,7 @@ ml::Dataset rows_with_label(const ml::Dataset& data, int label) {
   ml::Dataset out;
   out.feature_names = data.feature_names;
   for (std::size_t i = 0; i < data.size(); ++i)
-    if (data.y[i] == label) out.push(data.X[i], label);
+    if (data.y[i] == label) out.push(data.row_copy(i), label);
   return out;
 }
 

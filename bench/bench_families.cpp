@@ -69,7 +69,7 @@ int main() {
   for (std::size_t i = 0; i < test_binary.size(); ++i) {
     auto& slot = per_family[test_family[i]];
     ++slot.second;
-    const int pred = rf->predict(test_binary.X[i]);
+    const int pred = rf->predict(test_binary.row_copy(i));
     if (pred == test_binary.y[i]) ++slot.first;
   }
   std::printf("%s", util::banner("Per-family detection (binary RF)").c_str());
@@ -102,8 +102,7 @@ int main() {
   for (std::size_t k = 0; k < order.size(); ++k) {
     const auto& rec = corpus.records[order[k]];
     auto& dst = (k < n_test) ? mc_test : mc_train;
-    dst.X.push_back(scaler.transform(select(rec.features)));
-    dst.y.push_back(class_of(rec.family));
+    dst.push(scaler.transform(select(rec.features)), class_of(rec.family));
   }
 
   ml::RandomForestConfig rf_cfg;

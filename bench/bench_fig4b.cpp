@@ -27,7 +27,7 @@ int main() {
     const auto n = static_cast<std::size_t>(
         frac * static_cast<double>(adv_train.size()));
     ml::Dataset merged = train;
-    for (std::size_t i = 0; i < n; ++i) merged.push(adv_train.X[i], adv_train.y[i]);
+    for (std::size_t i = 0; i < n; ++i) merged.push(adv_train.row_copy(i), adv_train.y[i]);
     auto model = ml::make_model(ml::ModelKind::kMlp);
     model->fit(merged);
     const auto m = model->evaluate(mix);
@@ -48,12 +48,12 @@ int main() {
   ml::Dataset benign_only;
   benign_only.feature_names = fw.test_set().feature_names;
   for (std::size_t i = 0; i < fw.test_set().size(); ++i)
-    if (fw.test_set().y[i] == 0) benign_only.push(fw.test_set().X[i], 0);
+    if (fw.test_set().y[i] == 0) benign_only.push(fw.test_set().row_copy(i), 0);
   for (const double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
     const auto n = std::max<std::size_t>(
         1, static_cast<std::size_t>(frac * static_cast<double>(adv_test.size())));
     ml::Dataset stream = benign_only;
-    for (std::size_t i = 0; i < n; ++i) stream.push(adv_test.X[i], 1);
+    for (std::size_t i = 0; i < n; ++i) stream.push(adv_test.row_copy(i), 1);
     const auto m = defended_mlp->evaluate(stream);
     orange.add_row({std::to_string(n), util::Table::fmt(m.f1),
                     util::Table::fmt(m.tpr)});

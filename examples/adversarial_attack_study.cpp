@@ -35,24 +35,24 @@ int main() {
   ml::Dataset malware;
   malware.feature_names = fw.test_set().feature_names;
   for (std::size_t i = 0; i < fw.test_set().size(); ++i)
-    if (fw.test_set().y[i] == 1) malware.push(fw.test_set().X[i], 1);
+    if (fw.test_set().y[i] == 1) malware.push(fw.test_set().row_copy(i), 1);
 
   std::printf("%s", util::banner("Dissecting three adversarial samples").c_str());
   for (std::size_t s = 0; s < 3 && s < malware.size(); ++s) {
-    const auto result = attacker.attack(malware.X[s]);
+    const auto result = attacker.attack(malware.row_copy(s));
     std::printf("sample %zu: success=%s, steps=%zu, weighted norm=%.4f\n", s,
                 result.success ? "yes" : "no", result.steps_used,
                 result.weighted_norm);
     util::Table t({"feature", "original (scaled)", "adversarial", "perturbation"});
-    for (std::size_t c = 0; c < malware.X[s].size(); ++c) {
+    for (std::size_t c = 0; c < malware.row_copy(s).size(); ++c) {
       t.add_row({fw.selected_feature_names()[c],
-                 util::Table::fmt(malware.X[s][c], 3),
+                 util::Table::fmt(malware.at(s, c), 3),
                  util::Table::fmt(result.adversarial[c], 3),
                  util::Table::fmt(result.perturbation[c], 3)});
     }
     std::printf("%s", t.to_string().c_str());
     std::printf("surrogate P(malware): %.3f -> %.3f\n\n",
-                surrogate.predict_proba(malware.X[s]),
+                surrogate.predict_proba(malware.row_copy(s)),
                 surrogate.predict_proba(result.adversarial));
   }
 

@@ -44,7 +44,7 @@ int main() {
   const auto& stream = fw.attacked_test_mix();
   std::size_t correct = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
-    const int pred = agent.observe(stream.X[i], stream.y[i]);
+    const int pred = agent.observe(stream.row_copy(i), stream.y[i]);
     correct += (pred == stream.y[i]) ? 1 : 0;
   }
   std::printf("Streamed %zu samples, online accuracy %s\n", stream.size(),
@@ -61,7 +61,7 @@ int main() {
   std::printf("%s", arms.to_string().c_str());
 
   // The paper's 14-tuple MDP state for the first streamed sample.
-  const auto state = agent.build_state(stream.X[0]);
+  const auto state = agent.build_state(stream.row_copy(0));
   std::printf("\n14-tuple controller state for sample 0: [");
   for (std::size_t i = 0; i < state.size(); ++i)
     std::printf("%s%.2f", i ? ", " : "", state[i]);

@@ -31,22 +31,22 @@ int main() {
 
   // Build a shuffled mixed stream with ground truth for reporting.
   struct Packet {
-    const std::vector<double>* x;
+    std::vector<double> x;
     const char* truth;
   };
   std::vector<Packet> stream;
   for (std::size_t i = 0; i < framework.test_set().size(); ++i)
-    stream.push_back({&framework.test_set().X[i],
+    stream.push_back({framework.test_set().row_copy(i),
                       framework.test_set().y[i] == 1 ? "malware" : "benign"});
-  for (const auto& row : framework.adversarial_test().X)
-    stream.push_back({&row, "adversarial"});
+  for (std::size_t i = 0; i < framework.adversarial_test().size(); ++i)
+    stream.push_back({framework.adversarial_test().row_copy(i), "adversarial"});
   util::Rng rng(5);
   rng.shuffle(stream);
 
   std::printf("%s", util::banner("Streaming mixed traffic").c_str());
   std::map<std::string, std::map<std::string, std::size_t>> confusion;
   for (const Packet& pkt : stream) {
-    const core::TrafficVerdict verdict = runtime.process(*pkt.x);
+    const core::TrafficVerdict verdict = runtime.process(pkt.x);
     ++confusion[pkt.truth][core::verdict_name(verdict)];
   }
 

@@ -19,10 +19,12 @@ AttackCampaignReport campaign_over_malware(
   data.validate();
   AttackCampaignReport report;
   double norm_sum = 0.0, linf_sum = 0.0;
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data.y[i] != 1) continue;
     ++report.attempted;
-    const AttackResult result = attack(data.X[i]);
+    data.gather_row(i, row);
+    const AttackResult result = attack(row);
     if (!result.success) continue;
     ++report.succeeded;
     norm_sum += result.weighted_norm;
@@ -44,13 +46,17 @@ ml::Dataset attacked_dataset(
   data.validate();
   ml::Dataset out;
   out.feature_names = data.feature_names;
+  std::vector<double> row(data.num_features());
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data.y[i] != 1) {
-      out.push(data.X[i], data.y[i]);
+      out.push_from(data, i);
       continue;
     }
-    AttackResult result = attack(data.X[i]);
-    out.push(result.success ? std::move(result.adversarial) : data.X[i], 1);
+    data.gather_row(i, row);
+    AttackResult result = attack(row);
+    out.push(result.success ? std::span<const double>(result.adversarial)
+                            : std::span<const double>(row),
+             1);
   }
   return out;
 }

@@ -41,7 +41,13 @@ ml::MetricReport RandomizedEnsembleDefense::evaluate(const ml::Dataset& data) co
   data.validate();
   std::vector<int> predictions;
   predictions.reserve(data.size());
-  for (const auto& row : data.X) predictions.push_back(predict(row));
+  // Row-at-a-time on purpose: each predict() draws from the defense's rng,
+  // so the per-row draw order is part of the behavior.
+  std::vector<double> row(data.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.gather_row(i, row);
+    predictions.push_back(predict(row));
+  }
   return ml::evaluate_predictions(data.y, predictions);
 }
 
@@ -72,9 +78,19 @@ int MajorityVoteDefense::predict(std::span<const double> features) const {
 
 ml::MetricReport MajorityVoteDefense::evaluate(const ml::Dataset& data) const {
   data.validate();
+  // Batch-score each member over the whole set, then vote per row in member
+  // order — the same count predict() produces row by row.
+  std::vector<std::vector<double>> member_scores(members_.size());
+  for (std::size_t m = 0; m < members_.size(); ++m)
+    member_scores[m] = members_[m]->predict_proba_batch(data);
   std::vector<int> predictions;
   predictions.reserve(data.size());
-  for (const auto& row : data.X) predictions.push_back(predict(row));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::size_t votes = 0;
+    for (const auto& scores : member_scores)
+      votes += scores[i] >= 0.5 ? 1 : 0;
+    predictions.push_back(2 * votes >= members_.size() ? 1 : 0);
+  }
   return ml::evaluate_predictions(data.y, predictions);
 }
 

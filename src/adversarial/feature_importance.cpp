@@ -39,12 +39,9 @@ std::vector<double> importance_pearson(const ml::Dataset& data) {
   std::vector<double> labels(data.size());
   for (std::size_t i = 0; i < data.size(); ++i)
     labels[i] = static_cast<double>(data.y[i]);
-  std::vector<double> column(data.size());
   std::vector<double> v(width);
-  for (std::size_t f = 0; f < width; ++f) {
-    for (std::size_t i = 0; i < data.size(); ++i) column[i] = data.X[i][f];
-    v[f] = std::abs(util::pearson(column, labels));
-  }
+  for (std::size_t f = 0; f < width; ++f)
+    v[f] = std::abs(util::pearson(data.col(f), labels));
   return normalize_importance(std::move(v));
 }
 

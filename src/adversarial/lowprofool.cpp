@@ -120,9 +120,10 @@ std::vector<AttackResult> LowProFool::attack_batch(const ml::Dataset& data) cons
   std::vector<std::size_t> malware_rows;
   for (std::size_t i = 0; i < data.size(); ++i)
     if (data.y[i] == 1) malware_rows.push_back(i);
+  const ml::BatchView batch = data.view();
   return util::parallel_map(
       "lowprofool.attack_batch", 0, malware_rows.size(), 1,
-      [&](std::size_t j) { return attack(data.X[malware_rows[j]]); });
+      [&](std::size_t j) { return attack(batch.row_copy(malware_rows[j])); });
 }
 
 ml::Dataset LowProFool::attack_dataset(const ml::Dataset& data,
@@ -133,14 +134,14 @@ ml::Dataset LowProFool::attack_dataset(const ml::Dataset& data,
   std::size_t j = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data.y[i] != 1) {
-      out.push(data.X[i], data.y[i]);
+      out.push_from(data, i);
       continue;
     }
     AttackResult& result = attacks[j++];
     if (result.success || !successful_only) {
-      out.push(std::move(result.adversarial), 1);
+      out.push(result.adversarial, 1);
     } else {
-      out.push(data.X[i], 1);
+      out.push_from(data, i);  // data.y[i] == 1 here
     }
   }
   return out;

@@ -15,7 +15,7 @@ ml::Dataset rows_with_label(const ml::Dataset& data, int label) {
   ml::Dataset out;
   out.feature_names = data.feature_names;
   for (std::size_t i = 0; i < data.size(); ++i)
-    if (data.y[i] == label) out.push(data.X[i], label);
+    if (data.y[i] == label) out.push_from(data, i);
   return out;
 }
 
@@ -89,10 +89,8 @@ void Framework::engineer_features() {
   const obs::Span span = obs::phase_span("pipeline.engineer");
   const util::Timer timer;
 
-  // Raw dataset over all HPC events.
-  ml::Dataset raw;
-  raw.feature_names = corpus_->feature_names;
-  for (const auto& rec : corpus_->records) raw.push(rec.features, rec.malware ? 1 : 0);
+  // Raw columnar dataset over all HPC events.
+  ml::Dataset raw = sim::corpus_to_dataset(*corpus_);
 
   // Cleaning (drop non-finite rows, winsorize counter glitches).
   raw = ml::clean(raw);
@@ -122,15 +120,16 @@ void Framework::engineer_features() {
   for (std::size_t idx : feature_indices_)
     feature_names_.push_back(raw.feature_names[idx]);
 
-  ml::Dataset train_sel = split.train.select_features(feature_indices_);
-  ml::Dataset val_sel = split.val.select_features(feature_indices_);
-  ml::Dataset test_sel = split.test.select_features(feature_indices_);
-
-  // Standard scaling fitted on train.
-  scaler_.fit(train_sel);
-  train_ = scaler_.transform(train_sel);
-  val_ = scaler_.transform(val_sel);
-  test_ = scaler_.transform(test_sel);
+  // Column selection then standard scaling fitted on train, applied in
+  // place on the selected columnar storage — one copy per split instead of
+  // select + a second full transform copy.
+  train_ = split.train.select_features(feature_indices_);
+  val_ = split.val.select_features(feature_indices_);
+  test_ = split.test.select_features(feature_indices_);
+  scaler_.fit(train_);
+  scaler_.transform_inplace(train_.X.mutable_view());
+  scaler_.transform_inplace(val_.X.mutable_view());
+  scaler_.transform_inplace(test_.X.mutable_view());
 
   // Clipping bounds for the attack (Algorithm 1 line 1), in scaled space.
   bounds_ = ml::feature_bounds(train_);
@@ -190,10 +189,10 @@ void Framework::generate_attacks() {
         obs::Telemetry::metrics().counter("drlhmd.pipeline.attack.success");
     for (const ml::Dataset* pool :
          {&adversarial_train_, &adversarial_val_, &adversarial_test_}) {
-      for (const auto& row : pool->X) {
+      const std::vector<int> predictions = surrogate_->predict_batch(*pool);
+      for (const int prediction : predictions) {
         generated.inc();
-        if (surrogate_->predict(row) == config_.attack.target_label)
-          success.inc();
+        if (prediction == config_.attack.target_label) success.inc();
       }
     }
   }
@@ -357,8 +356,10 @@ std::vector<double> Framework::predictor_reward_trace() const {
   require(predictor_ != nullptr, "train_predictor must run first");
   std::vector<std::vector<double>> stream;
   stream.reserve(adversarial_test_.size() + test_.size());
-  for (const auto& row : adversarial_test_.X) stream.push_back(row);
-  for (const auto& row : test_.X) stream.push_back(row);
+  for (std::size_t i = 0; i < adversarial_test_.size(); ++i)
+    stream.push_back(adversarial_test_.row_copy(i));
+  for (std::size_t i = 0; i < test_.size(); ++i)
+    stream.push_back(test_.row_copy(i));
   return predictor_->reward_trace(stream);
 }
 

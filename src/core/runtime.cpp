@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ml/feature_matrix.hpp"
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
 #include "util/parallel.hpp"
@@ -73,7 +74,7 @@ TrafficVerdict DetectionRuntime::process(std::span<const double> features) {
     adversarial_->inc();
     // Adversarial vectors are malware masquerading as benign: label and
     // quarantine them for the next adversarial-training round.
-    quarantine_.push(std::vector<double>(features.begin(), features.end()), 1);
+    quarantine_.push(features, 1);
     quarantine_gauge_->set(static_cast<double>(quarantine_.size()));
     maybe_retrain();
     maybe_validate_integrity();
@@ -131,28 +132,37 @@ bool DetectionRuntime::validate_integrity() {
   return all_intact;
 }
 
-std::vector<TrafficVerdict> DetectionRuntime::process_batch(
-    std::span<const std::vector<double>> rows) {
-  struct Scored {
-    bool flagged = false;
-    int prediction = 0;
-  };
-
+std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch) {
   std::vector<TrafficVerdict> verdicts;
-  verdicts.reserve(rows.size());
+  verdicts.reserve(batch.rows());
+  std::vector<double> row(batch.cols());
   std::size_t start = 0;
-  while (start < rows.size()) {
+  while (start < batch.rows()) {
     // Speculatively score every remaining row against the currently
-    // deployed (frozen) models.  Both calls are const and cache-free, so
+    // deployed (frozen) models.  Both stages are const and cache-free, so
     // concurrent scoring matches what the sequential loop would compute.
+    // The stages are fused per chunk: each worker runs the predictor's
+    // critic and the scheduled detector back to back on its zero-copy row
+    // slice, so predictor and detector work overlap across chunks with no
+    // barrier in between.  Detector routing is computed for flagged rows
+    // too — it is pure and the commit loop simply ignores those slots.
     const auto& predictor = framework_.predictor();
     const auto& controller = framework_.controller(config_.policy);
-    const std::vector<Scored> scored = util::parallel_map(
-        "runtime.batch_score", start, rows.size(), 0, [&](std::size_t i) {
-          Scored s;
-          s.flagged = predictor.is_adversarial(rows[i]);
-          if (!s.flagged) s.prediction = controller.predict(rows[i]);
-          return s;
+    const std::size_t pending = batch.rows() - start;
+    const ml::BatchView remaining = batch.rows_slice(start, pending);
+    std::vector<std::uint8_t> flagged(pending);
+    std::vector<int> predictions(pending);
+    util::parallel_pipeline(
+        "runtime.batch_score", std::size_t{0}, pending, 0,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          predictor.is_adversarial_batch(
+              remaining.rows_slice(begin, end - begin),
+              std::span<std::uint8_t>(flagged).subspan(begin, end - begin));
+        },
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          controller.predict_batch(
+              remaining.rows_slice(begin, end - begin),
+              std::span<int>(predictions).subspan(begin, end - begin));
         });
 
     // Serial commit in row order: exactly process()'s side effects.  When
@@ -160,13 +170,12 @@ std::vector<TrafficVerdict> DetectionRuntime::process_batch(
     // rows after it are stale — break out and re-score the remainder.
     const std::uint64_t retrains_before = retrains_->value();
     std::size_t i = start;
-    for (; i < rows.size(); ++i) {
-      const Scored& s = scored[i - start];
+    for (; i < batch.rows(); ++i) {
       processed_->inc();
-      if (s.flagged) {
+      if (flagged[i - start] != 0) {
         adversarial_->inc();
-        quarantine_.push(std::vector<double>(rows[i].begin(), rows[i].end()),
-                         1);
+        batch.gather_row(i, row);
+        quarantine_.push(row, 1);
         quarantine_gauge_->set(static_cast<double>(quarantine_.size()));
         maybe_retrain();
         maybe_validate_integrity();
@@ -176,19 +185,28 @@ std::vector<TrafficVerdict> DetectionRuntime::process_batch(
           break;
         }
       } else {
-        if (s.prediction == 1) {
+        const int prediction = predictions[i - start];
+        if (prediction == 1) {
           malware_->inc();
         } else {
           benign_->inc();
         }
         maybe_validate_integrity();
-        verdicts.push_back(s.prediction == 1 ? TrafficVerdict::kMalware
-                                             : TrafficVerdict::kBenign);
+        verdicts.push_back(prediction == 1 ? TrafficVerdict::kMalware
+                                           : TrafficVerdict::kBenign);
       }
     }
     start = i;
   }
   return verdicts;
+}
+
+std::vector<TrafficVerdict> DetectionRuntime::process_batch(
+    std::span<const std::vector<double>> rows) {
+  ml::FeatureMatrix packed;
+  packed.reserve_rows(rows.size());
+  for (const auto& r : rows) packed.push_row(r);
+  return process_batch(packed.view());
 }
 
 ml::MetricReport DetectionRuntime::process_stream(const ml::Dataset& stream) {
@@ -199,9 +217,13 @@ ml::MetricReport DetectionRuntime::process_stream(const ml::Dataset& stream) {
     // the batch path cannot time individual stages inside its parallel
     // scoring region.
     verdicts.reserve(stream.size());
-    for (const auto& row : stream.X) verdicts.push_back(process(row));
+    std::vector<double> row(stream.num_features());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      stream.gather_row(i, row);
+      verdicts.push_back(process(row));
+    }
   } else {
-    verdicts = process_batch(stream.X);
+    verdicts = process_batch(stream.X.view());
   }
   std::vector<int> predictions;
   predictions.reserve(verdicts.size());

@@ -68,14 +68,20 @@ class DetectionRuntime {
   /// Process one HPC sample (engineered, scaled feature space).
   TrafficVerdict process(std::span<const double> features);
 
-  /// Process a batch of samples: exactly the verdicts, counters, quarantine
-  /// contents, and retrain/integrity side effects that calling process() on
-  /// each row in order would produce.  Rows are scored against the frozen
-  /// deployed models in parallel ("runtime.batch_score" region), then side
-  /// effects commit serially in row order; if an adaptive retrain fires
-  /// mid-batch, the remaining rows are re-scored against the updated
-  /// models.  Per-stage latency histograms are not recorded on this path —
-  /// the parallel region's span carries the batch scoring time instead.
+  /// Process a columnar batch of samples: exactly the verdicts, counters,
+  /// quarantine contents, and retrain/integrity side effects that calling
+  /// process() on each row in order would produce.  Rows are scored against
+  /// the frozen deployed models through the detectors' vectorized batch
+  /// paths as a two-stage pipeline ("runtime.batch_score" region: predictor
+  /// feedback rewards, then detector routing, fused per chunk so the stages
+  /// overlap across chunks); side effects then commit serially in row
+  /// order.  If an adaptive retrain fires mid-batch, the remaining rows are
+  /// re-scored against the updated models via a zero-copy row slice.
+  /// Per-stage latency histograms are not recorded on this path — the
+  /// parallel region's span carries the batch scoring time instead.
+  std::vector<TrafficVerdict> process_batch(ml::BatchView batch);
+  /// Compatibility adapter: packs the rows into a FeatureMatrix (one copy)
+  /// and runs the columnar path.
   std::vector<TrafficVerdict> process_batch(
       std::span<const std::vector<double>> rows);
 

@@ -1,18 +1,41 @@
 #include "ml/classifier.hpp"
 
+#include <stdexcept>
+
 namespace drlhmd::ml {
 
-std::vector<double> Classifier::predict_proba_batch(const Dataset& data) const {
-  std::vector<double> scores;
-  scores.reserve(data.size());
-  for (const auto& row : data.X) scores.push_back(predict_proba(row));
+void Classifier::check_batch_out(BatchView batch,
+                                 std::span<const double> out) const {
+  if (out.size() != batch.rows())
+    throw std::invalid_argument(name() +
+                                "::predict_proba_batch: out size mismatch");
+}
+
+void Classifier::predict_proba_batch(BatchView batch,
+                                     std::span<double> out) const {
+  check_batch_out(batch, out);
+  std::vector<double> row(batch.cols());
+  for (std::size_t r = 0; r < batch.rows(); ++r) {
+    batch.gather_row(r, row);
+    out[r] = predict_proba(row);
+  }
+}
+
+std::vector<double> Classifier::predict_proba_batch(BatchView batch) const {
+  std::vector<double> scores(batch.rows());
+  predict_proba_batch(batch, scores);
   return scores;
 }
 
+std::vector<double> Classifier::predict_proba_batch(const Dataset& data) const {
+  return predict_proba_batch(data.X.view());
+}
+
 std::vector<int> Classifier::predict_batch(const Dataset& data) const {
-  std::vector<int> preds;
-  preds.reserve(data.size());
-  for (const auto& row : data.X) preds.push_back(predict(row));
+  const std::vector<double> scores = predict_proba_batch(data);
+  std::vector<int> preds(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    preds[i] = scores[i] >= 0.5 ? 1 : 0;
   return preds;
 }
 

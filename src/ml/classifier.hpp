@@ -4,6 +4,13 @@
 // conv NN) implements this.  Scores are P(malware); hard predictions
 // threshold at 0.5.  serialize() provides both the persistent format and
 // the memory-footprint measure the constraint-aware controller uses.
+//
+// The interface is batch-first: predict_proba_batch(BatchView, out) is the
+// hot path, fed zero-copy from columnar storage, and every detector
+// overrides it with a vectorized implementation (block tree traversal for
+// RF/DT/GBDT, whole-batch matmul for LR/MLP/NN) that is bit-for-bit
+// identical to scoring the rows one at a time.  predict_proba(span) is the
+// single-row compatibility adapter.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/feature_matrix.hpp"
 #include "ml/metrics.hpp"
 #include "util/serialize.hpp"
 
@@ -26,17 +34,29 @@ class Classifier {
   /// deterministic given their construction-time seed.
   virtual void fit(const Dataset& train) = 0;
 
-  /// P(label == 1) for one sample.
+  /// P(label == 1) for one sample (row adapter over the batch path's
+  /// math; kept virtual so detectors can score a single row without
+  /// batch-view plumbing).
   virtual double predict_proba(std::span<const double> features) const = 0;
 
   int predict(std::span<const double> features) const {
     return predict_proba(features) >= 0.5 ? 1 : 0;
   }
 
+  /// Batch-first scoring: out[i] = P(label == 1 | batch row i).
+  /// `out.size()` must equal `batch.rows()`.  The default walks rows
+  /// through predict_proba(); detectors override it with vectorized
+  /// implementations that produce bitwise-identical scores.
+  virtual void predict_proba_batch(BatchView batch,
+                                   std::span<double> out) const;
+
+  std::vector<double> predict_proba_batch(BatchView batch) const;
+  /// Zero-copy over the dataset's columnar storage.
   std::vector<double> predict_proba_batch(const Dataset& data) const;
   std::vector<int> predict_batch(const Dataset& data) const;
 
   /// Evaluate on a labeled dataset (scores -> full metric report).
+  /// Routed through the batch path.
   MetricReport evaluate(const Dataset& data) const;
 
   /// Short identifier: "RF", "DT", "LR", "MLP", "LightGBM", "NN".
@@ -50,6 +70,10 @@ class Classifier {
   virtual std::unique_ptr<Classifier> clone_untrained() const = 0;
 
   virtual bool trained() const = 0;
+
+ protected:
+  /// Shared argument check for batch overrides.
+  void check_batch_out(BatchView batch, std::span<const double> out) const;
 };
 
 }  // namespace drlhmd::ml

@@ -71,7 +71,7 @@ CrossValidationResult cross_validate(const Classifier& prototype,
         train.feature_names = data.feature_names;
         test.feature_names = data.feature_names;
         for (std::size_t i = 0; i < data.size(); ++i)
-          (fold_of[i] == fold ? test : train).push(data.X[i], data.y[i]);
+          (fold_of[i] == fold ? test : train).push_from(data, i);
         if (train.count_label(0) == 0 || train.count_label(1) == 0 ||
             test.size() == 0)
           throw std::invalid_argument(

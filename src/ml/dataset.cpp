@@ -12,22 +12,39 @@ std::size_t Dataset::count_label(int label) const {
   return n;
 }
 
-void Dataset::push(std::vector<double> features, int label) {
-  X.push_back(std::move(features));
+std::vector<std::vector<double>> Dataset::rows_copy() const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(size());
+  for (std::size_t r = 0; r < size(); ++r) rows.push_back(row_copy(r));
+  return rows;
+}
+
+void Dataset::push(std::span<const double> features, int label) {
+  X.push_row(features);
   y.push_back(label);
 }
 
+void Dataset::push_from(const Dataset& src, std::size_t r) {
+  X.push_row_from(src.X, r);
+  y.push_back(src.y[r]);
+}
+
 void Dataset::append(const Dataset& other) {
-  if (!other.X.empty() && !X.empty() && other.num_features() != num_features())
+  if (other.size() == 0) return;
+  if (size() > 0 && other.num_features() != num_features())
     throw std::invalid_argument("Dataset::append: feature-space mismatch");
-  X.insert(X.end(), other.X.begin(), other.X.end());
+  if (!feature_names.empty() && !other.feature_names.empty() &&
+      feature_names != other.feature_names)
+    throw std::invalid_argument("Dataset::append: feature_names mismatch");
+  X.append(other.X);
   y.insert(y.end(), other.y.begin(), other.y.end());
+  if (feature_names.empty()) feature_names = other.feature_names;
 }
 
 void Dataset::shuffle(util::Rng& rng) {
-  for (std::size_t i = X.size(); i > 1; --i) {
+  for (std::size_t i = size(); i > 1; --i) {
     const auto j = static_cast<std::size_t>(rng.next_below(i));
-    std::swap(X[i - 1], X[j]);
+    X.swap_rows(i - 1, j);
     std::swap(y[i - 1], y[j]);
   }
 }
@@ -40,26 +57,17 @@ Dataset Dataset::select_features(std::span<const std::size_t> indices) const {
       throw std::out_of_range("Dataset::select_features: index out of range");
     if (!feature_names.empty()) out.feature_names.push_back(feature_names[idx]);
   }
-  out.X.reserve(X.size());
-  for (const auto& row : X) {
-    std::vector<double> selected;
-    selected.reserve(indices.size());
-    for (std::size_t idx : indices) selected.push_back(row[idx]);
-    out.X.push_back(std::move(selected));
-  }
+  out.X = X.select_columns(indices);
   return out;
 }
 
 void Dataset::validate() const {
-  if (X.size() != y.size())
+  if (size() != y.size())
     throw std::invalid_argument("Dataset: X/y size mismatch");
-  const std::size_t width = num_features();
-  for (const auto& row : X)
-    if (row.size() != width) throw std::invalid_argument("Dataset: ragged rows");
   for (int label : y)
     if (label != 0 && label != 1)
       throw std::invalid_argument("Dataset: labels must be 0 or 1");
-  if (!feature_names.empty() && feature_names.size() != width)
+  if (!feature_names.empty() && feature_names.size() != num_features())
     throw std::invalid_argument("Dataset: feature_names width mismatch");
 }
 
@@ -70,11 +78,11 @@ std::vector<std::uint8_t> Dataset::serialize() const {
   w.write_u8(1);  // format version
   w.write_u64(feature_names.size());
   for (const auto& name : feature_names) w.write_string(name);
-  w.write_u64(X.size());
+  w.write_u64(size());
   w.write_u64(num_features());
-  for (std::size_t i = 0; i < X.size(); ++i) {
+  for (std::size_t i = 0; i < size(); ++i) {
     w.write_i64(y[i]);
-    for (double v : X[i]) w.write_f64(v);
+    for (std::size_t c = 0; c < num_features(); ++c) w.write_f64(X.at(i, c));
   }
   return w.take();
 }
@@ -92,13 +100,14 @@ Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
     data.feature_names.push_back(r.read_string());
   const std::uint64_t rows = r.read_u64();
   const std::uint64_t cols = r.read_u64();
-  data.X.reserve(static_cast<std::size_t>(rows));
+  data.X = FeatureMatrix(static_cast<std::size_t>(rows),
+                         static_cast<std::size_t>(cols));
   data.y.reserve(static_cast<std::size_t>(rows));
   for (std::uint64_t i = 0; i < rows; ++i) {
     data.y.push_back(static_cast<int>(r.read_i64()));
-    std::vector<double> row(static_cast<std::size_t>(cols));
-    for (auto& v : row) v = r.read_f64();
-    data.X.push_back(std::move(row));
+    for (std::uint64_t c = 0; c < cols; ++c)
+      data.X.at(static_cast<std::size_t>(i), static_cast<std::size_t>(c)) =
+          r.read_f64();
   }
   data.validate();
   return data;
@@ -123,7 +132,8 @@ TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
         static_cast<double>(indices.size()) * test_fraction);
     for (std::size_t k = 0; k < indices.size(); ++k) {
       Dataset& dst = (k < n_test) ? split.test : split.train;
-      dst.push(data.X[indices[k]], label);
+      dst.X.push_row_from(data.X, indices[k]);
+      dst.y.push_back(label);
     }
   }
   split.train.shuffle(rng);

@@ -1,36 +1,74 @@
 // Labeled tabular dataset container with the split discipline the paper
 // uses: 80:20 train/test, then a further 80:20 of train into train/val.
+//
+// Storage is columnar: features live in a FeatureMatrix (contiguous
+// column-major block), so batch consumers — scaler, MI selection, the
+// detectors' predict_proba_batch — read whole columns as contiguous spans
+// and row batches travel as zero-copy BatchViews (`data.X.view()`).  The
+// row-oriented accessors (row_copy, gather_row, push) are thin adapters
+// kept for compatibility; hot paths should not go row-at-a-time.
+//
+// Rectangularity is enforced at construction: FeatureMatrix rejects
+// ragged rows at push time, so num_features() is always trustworthy.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "ml/feature_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace drlhmd::ml {
 
 /// Binary labels used throughout: 1 = malware (positive class), 0 = benign.
 struct Dataset {
-  std::vector<std::vector<double>> X;
+  FeatureMatrix X;  // columnar feature block (column-major)
   std::vector<int> y;
   std::vector<std::string> feature_names;
 
-  std::size_t size() const { return X.size(); }
-  std::size_t num_features() const { return X.empty() ? 0 : X.front().size(); }
+  std::size_t size() const { return X.rows(); }
+  std::size_t num_features() const { return X.cols(); }
   std::size_t count_label(int label) const;
 
-  void push(std::vector<double> features, int label);
-  /// Append all rows of another dataset (feature spaces must match).
+  /// Feature value of row r, column c.
+  double at(std::size_t r, std::size_t c) const { return X.at(r, c); }
+  /// One feature column as a contiguous span.
+  ColumnView col(std::size_t c) const { return X.col(c); }
+  /// Zero-copy view over all rows.
+  BatchView view() const { return X.view(); }
+
+  /// Row adapters (copying): for span-of-row consumers only.
+  std::vector<double> row_copy(std::size_t r) const { return X.row_copy(r); }
+  void gather_row(std::size_t r, std::span<double> out) const {
+    X.gather_row(r, out);
+  }
+  /// All rows materialized as vectors (compatibility adapter for legacy
+  /// row-oriented consumers; hot paths should use view()).
+  std::vector<std::vector<double>> rows_copy() const;
+
+  void push(std::span<const double> features, int label);
+  void push(std::initializer_list<double> features, int label) {
+    push(std::span<const double>(features.begin(), features.size()), label);
+  }
+  /// Append row r of `src` (no intermediate row vector).
+  void push_from(const Dataset& src, std::size_t r);
+
+  /// Append all rows of another dataset.  Throws std::invalid_argument if
+  /// the feature spaces disagree: mismatched column counts, or mismatched
+  /// feature_names when both sides carry names (an unnamed side is
+  /// compatible with anything of the same width).
   void append(const Dataset& other);
   void shuffle(util::Rng& rng);
 
   /// Keep only the listed feature columns (in the given order).
   Dataset select_features(std::span<const std::size_t> indices) const;
 
-  /// Throws std::invalid_argument on ragged rows, bad labels, or size
-  /// mismatch between X and y.
+  /// Throws std::invalid_argument on bad labels or size mismatch between
+  /// X and y.  (Ragged rows cannot exist: FeatureMatrix rejects them at
+  /// construction.)
   void validate() const;
 
   /// Exact binary round trip (feature values preserved bit-for-bit, unlike

@@ -21,6 +21,11 @@ constexpr std::uint8_t kFormatVersion = 1;
 /// preserving the exact trees the seed implementation produced.
 constexpr std::size_t kParallelSplitRows = 2048;
 
+/// Rows traversed in lockstep by the batch path.  Each sweep advances every
+/// pending lane one level, keeping up to this many independent dependent-load
+/// chains in flight instead of serializing them row by row.
+constexpr std::size_t kTraversalLanes = 16;
+
 /// Gini impurity of a (weighted) binary count pair.
 double gini(double n_pos, double n_total) {
   if (n_total <= 0.0) return 0.0;
@@ -60,6 +65,7 @@ void DecisionTree::fit_weighted(const Dataset& train,
     throw std::invalid_argument("DecisionTree::fit_weighted: all weights zero");
   util::Rng rng(config_.seed);
   build(train, weights, rows, 0, rng);
+  build_flat();
 }
 
 std::uint32_t DecisionTree::build(const Dataset& train,
@@ -106,11 +112,12 @@ std::uint32_t DecisionTree::build(const Dataset& train,
         "decision_tree.split_scan", 0, features.size(), 1,
         [&](std::size_t fi) {
           const std::size_t f = features[fi];
+          const ColumnView colf = train.col(f);
           std::vector<std::size_t> sorted = rows;
           std::sort(sorted.begin(), sorted.end(),
                     [&](std::size_t a, std::size_t b) {
-                      const double va = train.X[a][f];
-                      const double vb = train.X[b][f];
+                      const double va = colf[a];
+                      const double vb = colf[b];
                       return va < vb || (va == vb && a < b);
                     });
           FeatureBest best;
@@ -122,8 +129,8 @@ std::uint32_t DecisionTree::build(const Dataset& train,
             left_total += w;
             left_count += 1;
             if (train.y[r] == 1) left_pos += w;
-            const double v = train.X[r][f];
-            const double v_next = train.X[sorted[k + 1]][f];
+            const double v = colf[r];
+            const double v_next = colf[sorted[k + 1]];
             if (v == v_next) continue;  // no boundary between equal values
             if (left_count < config_.min_samples_leaf ||
                 sorted.size() - left_count < config_.min_samples_leaf)
@@ -154,8 +161,9 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   } else {
     std::vector<std::size_t> sorted = rows;
     for (std::size_t f : features) {
+      const ColumnView colf = train.col(f);
       std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
-        return train.X[a][f] < train.X[b][f];
+        return colf[a] < colf[b];
       });
       double left_total = 0.0, left_pos = 0.0;
       std::size_t left_count = 0;
@@ -165,8 +173,8 @@ std::uint32_t DecisionTree::build(const Dataset& train,
         left_total += w;
         left_count += 1;
         if (train.y[r] == 1) left_pos += w;
-        const double v = train.X[r][f];
-        const double v_next = train.X[sorted[k + 1]][f];
+        const double v = colf[r];
+        const double v_next = colf[sorted[k + 1]];
         if (v == v_next) continue;  // no boundary between equal values
         if (left_count < config_.min_samples_leaf ||
             sorted.size() - left_count < config_.min_samples_leaf)
@@ -190,8 +198,9 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   if (best_feature == width) return node_index;  // no useful split
 
   std::vector<std::size_t> left_rows, right_rows;
+  const ColumnView best_col = train.col(best_feature);
   for (std::size_t r : rows) {
-    (train.X[r][best_feature] <= best_threshold ? left_rows : right_rows).push_back(r);
+    (best_col[r] <= best_threshold ? left_rows : right_rows).push_back(r);
   }
   if (left_rows.empty() || right_rows.empty()) return node_index;
 
@@ -217,6 +226,104 @@ double DecisionTree::predict_proba(std::span<const double> features) const {
       throw std::invalid_argument("DecisionTree: feature width mismatch");
     idx = features[node.feature] <= node.threshold ? node.left : node.right;
   }
+}
+
+void DecisionTree::build_flat() {
+  flat_.assign(nodes_.size(), FlatNode{});
+  flat_depth_ = 0;
+  required_width_ = 0;
+  if (nodes_.empty()) return;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    FlatNode& flat = flat_[i];
+    if (node.feature == Node::kLeaf) {
+      // Self-loop: whichever way the (dummy) compare goes, the lane stays
+      // parked on its leaf for the remaining sweeps.
+      flat.kid[0] = flat.kid[1] = i;
+    } else {
+      flat.feature = node.feature;
+      flat.threshold = node.threshold;
+      flat.kid[0] = node.left;
+      flat.kid[1] = node.right;
+      required_width_ = std::max(required_width_, node.feature + 1);
+    }
+  }
+  flat_depth_ = depth() - 1;  // root->leaf transitions
+}
+
+void DecisionTree::score_block(BatchView batch, std::size_t row0,
+                               std::size_t count, std::span<double> out,
+                               bool accumulate) const {
+  // Lockstep descent over the flat mirror: every lane advances one level
+  // per sweep, so up to kTraversalLanes independent node->value load
+  // chains are in flight instead of one per row.  The body compiles to a
+  // handful of instructions with no data-dependent branch — the child is
+  // an indexed load (kid[0/1]), leaves self-loop, and the trip count is
+  // the fixed flat_depth_, so the branch predictor sees only counted
+  // loops.  `v <= threshold ? 0 : 1` keeps the row path's NaN behavior
+  // (NaN goes right).  Callers validate feature width once per batch call
+  // (required_width_) and peel root-is-leaf stumps, so column 0 is always
+  // readable for the dummy load a parked lane issues.
+  std::uint32_t idx[kTraversalLanes];
+  for (std::size_t l = 0; l < count; ++l) idx[l] = 0;
+  const FlatNode* flat = flat_.data();
+  const double* base = batch.col(0).data();
+  const std::size_t stride = batch.stride();
+  if (count == kTraversalLanes) {
+    for (std::size_t step = 0; step < flat_depth_; ++step) {
+      for (std::size_t l = 0; l < kTraversalLanes; ++l) {
+        const FlatNode& n = flat[idx[l]];
+        const double v = base[n.feature * stride + row0 + l];
+        idx[l] = n.kid[v <= n.threshold ? 0 : 1];
+      }
+    }
+  } else {
+    for (std::size_t step = 0; step < flat_depth_; ++step) {
+      for (std::size_t l = 0; l < count; ++l) {
+        const FlatNode& n = flat[idx[l]];
+        const double v = base[n.feature * stride + row0 + l];
+        idx[l] = n.kid[v <= n.threshold ? 0 : 1];
+      }
+    }
+  }
+  const Node* nodes = nodes_.data();
+  if (accumulate) {
+    for (std::size_t l = 0; l < count; ++l) out[row0 + l] += nodes[idx[l]].proba;
+  } else {
+    for (std::size_t l = 0; l < count; ++l) out[row0 + l] = nodes[idx[l]].proba;
+  }
+}
+
+void DecisionTree::predict_proba_batch(BatchView batch,
+                                       std::span<double> out) const {
+  if (!trained()) throw std::logic_error("DecisionTree: not trained");
+  check_batch_out(batch, out);
+  if (batch.rows() == 0) return;
+  if (required_width_ > batch.cols())
+    throw std::invalid_argument("DecisionTree: feature width mismatch");
+  if (nodes_[0].feature == Node::kLeaf) {
+    std::fill(out.begin(), out.end(), nodes_[0].proba);
+    return;
+  }
+  for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kTraversalLanes)
+    score_block(batch, r0, std::min(kTraversalLanes, batch.rows() - r0), out,
+                /*accumulate=*/false);
+}
+
+void DecisionTree::accumulate_proba_batch(BatchView batch,
+                                          std::span<double> out) const {
+  if (!trained()) throw std::logic_error("DecisionTree: not trained");
+  check_batch_out(batch, out);
+  if (batch.rows() == 0) return;
+  if (required_width_ > batch.cols())
+    throw std::invalid_argument("DecisionTree: feature width mismatch");
+  if (nodes_[0].feature == Node::kLeaf) {
+    for (double& v : out) v += nodes_[0].proba;
+    return;
+  }
+  for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kTraversalLanes)
+    score_block(batch, r0, std::min(kTraversalLanes, batch.rows() - r0), out,
+                /*accumulate=*/true);
 }
 
 std::size_t DecisionTree::depth() const {
@@ -268,6 +375,7 @@ DecisionTree DecisionTree::deserialize(std::span<const std::uint8_t> bytes) {
     n.right = r.read_u32();
     n.proba = r.read_f64();
   }
+  tree.build_flat();
   return tree;
 }
 

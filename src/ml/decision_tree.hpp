@@ -27,6 +27,13 @@ class DecisionTree final : public Classifier {
   void fit_weighted(const Dataset& train, std::span<const std::uint32_t> weights);
 
   double predict_proba(std::span<const double> features) const override;
+  /// Block traversal: lanes of up to 16 rows walk the tree in lockstep so
+  /// their dependent node loads overlap.  Bitwise identical to the row path.
+  void predict_proba_batch(BatchView batch, std::span<double> out) const override;
+  using Classifier::predict_proba_batch;
+  /// out[r] += P(malware | batch row r).  RandomForest uses this to
+  /// accumulate trees over a whole batch in row-path summation order.
+  void accumulate_proba_batch(BatchView batch, std::span<double> out) const;
   std::string name() const override { return "DT"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -52,8 +59,31 @@ class DecisionTree final : public Classifier {
                       std::vector<std::size_t>& rows, std::size_t depth,
                       util::Rng& rng);
 
+  /// Batch traversal mirror of nodes_, rebuilt by fit/deserialize (never
+  /// serialized).  Children sit in an indexable pair so the descent is a
+  /// pure `idx = kid[v <= threshold ? 0 : 1]` — no select, no branch — and
+  /// leaves self-loop (kid[0] == kid[1] == self, feature 0), so the sweep
+  /// needs no leaf test: it just runs flat_depth_ levels and every lane
+  /// parks on its leaf.
+  struct FlatNode {
+    std::uint32_t feature = 0;
+    std::uint32_t kid[2] = {0, 0};
+    double threshold = 0.0;
+  };
+
+  /// Rebuild flat_ / flat_depth_ / required_width_ from nodes_.
+  void build_flat();
+
+  /// Traverse rows [row0, row0 + count) in lockstep; count <= 16.  Writes
+  /// (or adds to, when `accumulate`) out[row0 + l].
+  void score_block(BatchView batch, std::size_t row0, std::size_t count,
+                   std::span<double> out, bool accumulate) const;
+
   DecisionTreeConfig config_;
   std::vector<Node> nodes_;
+  std::vector<FlatNode> flat_;
+  std::size_t flat_depth_ = 0;        // transitions from root to deepest leaf
+  std::uint32_t required_width_ = 0;  // widest feature index + 1
 };
 
 }  // namespace drlhmd::ml

@@ -1,0 +1,132 @@
+#include "ml/feature_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace drlhmd::ml {
+
+void BatchView::gather_row(std::size_t r, std::span<double> out) const {
+  if (out.size() != cols_)
+    throw std::invalid_argument("BatchView::gather_row: width mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = base_[c * stride_ + r];
+}
+
+std::vector<double> BatchView::row_copy(std::size_t r) const {
+  std::vector<double> out(cols_);
+  gather_row(r, out);
+  return out;
+}
+
+FeatureMatrix::FeatureMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), capacity_(rows), data_(rows * cols, 0.0) {}
+
+FeatureMatrix FeatureMatrix::from_rows(
+    const std::vector<std::vector<double>>& rows) {
+  FeatureMatrix m;
+  if (rows.empty()) return m;
+  m.rows_ = rows.size();
+  m.cols_ = rows.front().size();
+  m.capacity_ = m.rows_;
+  m.data_.resize(m.rows_ * m.cols_);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_)
+      throw std::invalid_argument("FeatureMatrix::from_rows: ragged input");
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void FeatureMatrix::grow(std::size_t min_capacity) {
+  std::size_t next = capacity_ == 0 ? 8 : capacity_ * 2;
+  next = std::max(next, min_capacity);
+  std::vector<double> packed(next * cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double* src = data_.data() + c * capacity_;
+    std::copy(src, src + rows_, packed.data() + c * next);
+  }
+  data_ = std::move(packed);
+  capacity_ = next;
+}
+
+void FeatureMatrix::reserve_rows(std::size_t n) {
+  // Width unknown until the first push fixes it; nothing to allocate yet.
+  if (cols_ == 0) return;
+  if (n > capacity_) grow(n);
+}
+
+void FeatureMatrix::push_row(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    throw std::invalid_argument(
+        "FeatureMatrix::push_row: row width mismatch (ragged input)");
+  }
+  if (rows_ == capacity_ && cols_ > 0) grow(rows_ + 1);
+  for (std::size_t c = 0; c < cols_; ++c) data_[c * capacity_ + rows_] = row[c];
+  ++rows_;
+}
+
+void FeatureMatrix::push_row_from(const FeatureMatrix& src, std::size_t r) {
+  if (r >= src.rows_)
+    throw std::out_of_range("FeatureMatrix::push_row_from: row out of range");
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = src.cols_;
+  } else if (src.cols_ != cols_) {
+    throw std::invalid_argument("FeatureMatrix::push_row_from: width mismatch");
+  }
+  if (rows_ == capacity_ && cols_ > 0) grow(rows_ + 1);
+  for (std::size_t c = 0; c < cols_; ++c)
+    data_[c * capacity_ + rows_] = src.at(r, c);
+  ++rows_;
+}
+
+void FeatureMatrix::append(const FeatureMatrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0 && cols_ == 0) cols_ = other.cols_;
+  if (other.cols_ != cols_)
+    throw std::invalid_argument("FeatureMatrix::append: width mismatch");
+  if (rows_ + other.rows_ > capacity_ && cols_ > 0) grow(rows_ + other.rows_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const ColumnView src = other.col(c);
+    std::copy(src.begin(), src.end(), data_.data() + c * capacity_ + rows_);
+  }
+  rows_ += other.rows_;
+}
+
+void FeatureMatrix::swap_rows(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t c = 0; c < cols_; ++c)
+    std::swap(data_[c * capacity_ + a], data_[c * capacity_ + b]);
+}
+
+void FeatureMatrix::clear() {
+  rows_ = 0;
+  cols_ = 0;
+  capacity_ = 0;
+  data_.clear();
+}
+
+FeatureMatrix FeatureMatrix::select_columns(
+    std::span<const std::size_t> indices) const {
+  for (std::size_t idx : indices)
+    if (idx >= cols_)
+      throw std::out_of_range("FeatureMatrix::select_columns: index out of range");
+  FeatureMatrix out(rows_, indices.size());
+  for (std::size_t c = 0; c < indices.size(); ++c) {
+    const ColumnView src = col(indices[c]);
+    std::copy(src.begin(), src.end(), out.col(c).begin());
+  }
+  return out;
+}
+
+bool operator==(const FeatureMatrix& a, const FeatureMatrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  for (std::size_t c = 0; c < a.cols_; ++c) {
+    const ColumnView ca = a.col(c), cb = b.col(c);
+    if (!std::equal(ca.begin(), ca.end(), cb.begin())) return false;
+  }
+  return true;
+}
+
+}  // namespace drlhmd::ml

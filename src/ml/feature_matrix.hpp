@@ -1,0 +1,167 @@
+// Columnar zero-copy batch data plane (the storage half).
+//
+// FeatureMatrix owns contiguous column-major storage for a rows x cols
+// block of feature values: column c occupies the half-open range
+// [data + c*stride, data + c*stride + rows), where `stride` is the row
+// capacity of the backing buffer.  Rows append in amortized O(cols)
+// (capacity doubles and the columns repack, like std::vector), columns
+// read as contiguous spans, and batches of rows travel through the
+// pipeline as BatchView / MutableBatchView — non-owning (base, rows,
+// cols, stride) descriptors that slice by row range without copying.
+//
+// Construction is where raggedness dies: the first row pushed into an
+// empty matrix fixes the width, every later row (and every from_rows()
+// input) must match it exactly, or the matrix throws.  Anything backed by
+// a FeatureMatrix — Dataset included — is rectangular by construction.
+//
+// View lifetime rule: views borrow the owning matrix's buffer.  Any
+// mutation that can reallocate (push_row, append, reserve_rows) or
+// reshape (clear, operator=) invalidates every outstanding view, exactly
+// like iterators into a std::vector.  Take views late, drop them early.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace drlhmd::ml {
+
+/// One feature column: contiguous, read-only.
+using ColumnView = std::span<const double>;
+
+/// Read-only view of a row range of a column-major feature block.
+class BatchView {
+ public:
+  BatchView() = default;
+  BatchView(const double* base, std::size_t rows, std::size_t cols,
+            std::size_t stride)
+      : base_(base), rows_(rows), cols_(cols), stride_(stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0; }
+
+  double at(std::size_t r, std::size_t c) const {
+    return base_[c * stride_ + r];
+  }
+  ColumnView col(std::size_t c) const { return {base_ + c * stride_, rows_}; }
+
+  /// Zero-copy sub-batch of rows [begin, begin + count).
+  BatchView rows_slice(std::size_t begin, std::size_t count) const {
+    return {base_ + begin, count, cols_, stride_};
+  }
+
+  /// Copy row r into `out` (out.size() must equal cols()).  The one
+  /// row-oriented escape hatch: compatibility adapters use it to feed
+  /// span-of-row consumers from columnar storage.
+  void gather_row(std::size_t r, std::span<double> out) const;
+  std::vector<double> row_copy(std::size_t r) const;
+
+ private:
+  const double* base_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+};
+
+/// Mutable counterpart: preprocessing stages write columns in place.
+class MutableBatchView {
+ public:
+  MutableBatchView() = default;
+  MutableBatchView(double* base, std::size_t rows, std::size_t cols,
+                   std::size_t stride)
+      : base_(base), rows_(rows), cols_(cols), stride_(stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+
+  double& at(std::size_t r, std::size_t c) { return base_[c * stride_ + r]; }
+  std::span<double> col(std::size_t c) { return {base_ + c * stride_, rows_}; }
+
+  MutableBatchView rows_slice(std::size_t begin, std::size_t count) {
+    return {base_ + begin, count, cols_, stride_};
+  }
+
+  operator BatchView() const { return {base_, rows_, cols_, stride_}; }
+
+ private:
+  double* base_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+};
+
+/// Owning column-major feature block.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  /// rows x cols, zero-filled.
+  FeatureMatrix(std::size_t rows, std::size_t cols);
+
+  /// Build from row vectors.  Throws std::invalid_argument if any row's
+  /// width differs from the first's — ragged input is rejected here, at
+  /// the source, not at some later validate() call.
+  static FeatureMatrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double at(std::size_t r, std::size_t c) const {
+    return data_[c * capacity_ + r];
+  }
+  double& at(std::size_t r, std::size_t c) { return data_[c * capacity_ + r]; }
+
+  ColumnView col(std::size_t c) const {
+    return {data_.data() + c * capacity_, rows_};
+  }
+  std::span<double> col(std::size_t c) {
+    return {data_.data() + c * capacity_, rows_};
+  }
+
+  BatchView view() const { return {data_.data(), rows_, cols_, capacity_}; }
+  MutableBatchView mutable_view() {
+    return {data_.data(), rows_, cols_, capacity_};
+  }
+
+  /// Append one row.  The first row pushed into an empty matrix fixes the
+  /// width; later rows must match it (throws std::invalid_argument).
+  void push_row(std::span<const double> row);
+  void push_row(std::initializer_list<double> row) {
+    push_row(std::span<const double>(row.begin(), row.size()));
+  }
+  /// Append row r of `src` without materializing it as a vector.
+  void push_row_from(const FeatureMatrix& src, std::size_t r);
+  /// Append every row of `other` (throws on width mismatch, unless one
+  /// side is empty).
+  void append(const FeatureMatrix& other);
+
+  void reserve_rows(std::size_t n);
+  void swap_rows(std::size_t a, std::size_t b);
+  void clear();
+
+  void gather_row(std::size_t r, std::span<double> out) const {
+    view().gather_row(r, out);
+  }
+  std::vector<double> row_copy(std::size_t r) const {
+    return view().row_copy(r);
+  }
+
+  /// New matrix keeping the listed columns in the given order (throws
+  /// std::out_of_range on a bad index).
+  FeatureMatrix select_columns(std::span<const std::size_t> indices) const;
+
+  /// Value equality: same shape and same feature values (capacity/stride
+  /// are layout details and do not participate).
+  friend bool operator==(const FeatureMatrix& a, const FeatureMatrix& b);
+
+ private:
+  void grow(std::size_t min_capacity);
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t capacity_ = 0;          // column stride of data_
+  std::vector<double> data_;          // cols_ * capacity_, column-major
+};
+
+}  // namespace drlhmd::ml

@@ -25,6 +25,10 @@ class Gbdt final : public Classifier {
 
   void fit(const Dataset& train) override;
   double predict_proba(std::span<const double> features) const override;
+  /// Tree-outer block traversal (16-lane lockstep); bitwise identical to
+  /// sigmoid(raw_score(row)) per row.
+  void predict_proba_batch(BatchView batch, std::span<double> out) const override;
+  using Classifier::predict_proba_batch;
   std::string name() const override { return "LightGBM"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -36,6 +40,8 @@ class Gbdt final : public Classifier {
 
   /// Raw additive score before the sigmoid (log-odds).
   double raw_score(std::span<const double> features) const;
+  /// out[r] = raw_score of batch row r (same accumulation order).
+  void raw_score_batch(BatchView batch, std::span<double> out) const;
 
  private:
   struct Node {
@@ -53,10 +59,26 @@ class Gbdt final : public Classifier {
                  std::span<const double> gradients, std::span<const double> hessians,
                  std::size_t n_rows) const;
 
+  /// Batch traversal mirror of one tree, rebuilt by fit/deserialize (never
+  /// serialized).  Children sit in an indexable pair so the descent is a
+  /// pure `idx = kid[v <= threshold ? 0 : 1]`, and leaves self-loop, so
+  /// the lockstep sweep needs no leaf test (see DecisionTree::FlatNode).
+  struct FlatNode {
+    std::uint32_t feature = 0;
+    std::uint32_t kid[2] = {0, 0};
+    double threshold = 0.0;
+  };
+
+  /// Rebuild flat_trees_ / flat_depths_ / required_width_ from trees_.
+  void build_flat();
+
   GbdtConfig config_;
   std::vector<Tree> trees_;
   double base_score_ = 0.0;  // prior log-odds
   bool trained_ = false;
+  std::vector<std::vector<FlatNode>> flat_trees_;
+  std::vector<std::size_t> flat_depths_;  // root->leaf transitions per tree
+  std::size_t required_width_ = 0;        // widest feature index + 1
 };
 
 }  // namespace drlhmd::ml

@@ -1,5 +1,6 @@
 #include "ml/logistic_regression.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,19 +39,29 @@ void LogisticRegression::fit(const Dataset& train) {
   weights_.assign(width, 0.0);
   bias_ = 0.0;
 
-  std::vector<double> grad(width);
+  // Column-sweep epochs over the columnar storage.  Every scalar sum below
+  // accumulates in the same element order as the old row-sweep (per-row
+  // logits add columns ascending, per-column gradients add rows ascending),
+  // so the fitted coefficients are bitwise identical — just cache-friendly.
+  std::vector<double> z(n), err(n), grad(width);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    std::fill(grad.begin(), grad.end(), 0.0);
+    std::fill(z.begin(), z.end(), bias_);
+    for (std::size_t c = 0; c < width; ++c) {
+      const ColumnView colc = train.col(c);
+      const double w = weights_[c];
+      for (std::size_t i = 0; i < n; ++i) z[i] += w * colc[i];
+    }
     double grad_bias = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      const double p = sigmoid(logit(train.X[i]));
-      const double err = p - static_cast<double>(train.y[i]);
-      for (std::size_t c = 0; c < width; ++c) grad[c] += err * train.X[i][c];
-      grad_bias += err;
+      err[i] = sigmoid(z[i]) - static_cast<double>(train.y[i]);
+      grad_bias += err[i];
     }
     const double inv_n = 1.0 / static_cast<double>(n);
     for (std::size_t c = 0; c < width; ++c) {
-      grad[c] = grad[c] * inv_n + config_.l2 * weights_[c];
+      const ColumnView colc = train.col(c);
+      double g = 0.0;
+      for (std::size_t i = 0; i < n; ++i) g += err[i] * colc[i];
+      grad[c] = g * inv_n + config_.l2 * weights_[c];
       weights_[c] -= config_.learning_rate * grad[c];
     }
     bias_ -= config_.learning_rate * grad_bias * inv_n;
@@ -68,6 +79,21 @@ double LogisticRegression::logit(std::span<const double> features) const {
 double LogisticRegression::predict_proba(std::span<const double> features) const {
   if (!trained()) throw std::logic_error("LogisticRegression: not trained");
   return sigmoid(logit(features));
+}
+
+void LogisticRegression::predict_proba_batch(BatchView batch,
+                                             std::span<double> out) const {
+  if (!trained()) throw std::logic_error("LogisticRegression: not trained");
+  check_batch_out(batch, out);
+  if (batch.cols() != weights_.size())
+    throw std::invalid_argument("LogisticRegression: feature width mismatch");
+  std::fill(out.begin(), out.end(), bias_);
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    const ColumnView colc = batch.col(c);
+    const double w = weights_[c];
+    for (std::size_t r = 0; r < batch.rows(); ++r) out[r] += w * colc[r];
+  }
+  for (double& v : out) v = sigmoid(v);
 }
 
 std::vector<double> LogisticRegression::probability_gradient(

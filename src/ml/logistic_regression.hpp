@@ -24,6 +24,11 @@ class LogisticRegression final : public Classifier {
 
   void fit(const Dataset& train) override;
   double predict_proba(std::span<const double> features) const override;
+  /// Column-sweep logits over the whole batch: out[r] starts at the bias
+  /// and adds w[c] * x[r][c] in ascending c, the exact order logit() uses,
+  /// so scores are bitwise identical to the row path.
+  void predict_proba_batch(BatchView batch, std::span<double> out) const override;
+  using Classifier::predict_proba_batch;
   std::string name() const override { return "LR"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;

@@ -66,30 +66,25 @@ Matrix Matrix::matmul(const Matrix& other) const {
     }
     return out;
   }
-  // Pack B^T once so every output element is a dot product of two
-  // contiguous arrays (unit-stride loads, accumulator in a register).
-  // Each out(i, j) still sums a(i, k) * b(k, j) over ascending k with the
-  // same zero-skip, so results are bitwise identical to the loop above.
+  // Large product: the same i-outer / k-middle / j-inner loop as above —
+  // each out(i, j) accumulates a(i, k) * b(k, j) over ascending k with the
+  // same whole-row zero-skip, so results are bitwise identical to the tiny
+  // path — parallelized over output rows.  The zero test sits on a(i, k)
+  // once per B row, leaving the contiguous j sweep free to vectorize; rows
+  // write only their own out slots, so the result is thread-count
+  // invariant.
   const std::size_t n = other.cols_;
   const std::size_t depth = cols_;
-  std::vector<double> bt(n * depth);
-  for (std::size_t k = 0; k < depth; ++k) {
-    const double* brow = other.data_.data() + k * n;
-    for (std::size_t j = 0; j < n; ++j) bt[j * depth + k] = brow[j];
-  }
   util::parallel_for("matrix.matmul", 0, rows_, kMatmulGrain,
                      [&](std::size_t i) {
                        const double* arow = data_.data() + i * depth;
                        double* orow = out.data_.data() + i * n;
-                       for (std::size_t j = 0; j < n; ++j) {
-                         const double* bcol = bt.data() + j * depth;
-                         double acc = 0.0;
-                         for (std::size_t k = 0; k < depth; ++k) {
-                           const double a = arow[k];
-                           if (a == 0.0) continue;
-                           acc += a * bcol[k];
-                         }
-                         orow[j] = acc;
+                       for (std::size_t k = 0; k < depth; ++k) {
+                         const double a = arow[k];
+                         if (a == 0.0) continue;
+                         const double* brow = other.data_.data() + k * n;
+                         for (std::size_t j = 0; j < n; ++j)
+                           orow[j] += a * brow[j];
                        }
                      });
   return out;

@@ -36,7 +36,7 @@ void MlpClassifier::fit(const Dataset& train) {
       for (std::size_t i = start; i < end; ++i) {
         const std::size_t row = order[i];
         for (std::size_t c = 0; c < in_features_; ++c)
-          batch.at(i - start, c) = train.X[row][c];
+          batch.at(i - start, c) = train.at(row, c);
         labels[i - start] = train.y[row];
       }
       net_.zero_grad();
@@ -55,6 +55,32 @@ double MlpClassifier::predict_proba(std::span<const double> features) const {
   const Matrix logits = net_.infer(Matrix::row_vector(features));
   const Matrix probs = nn::softmax(logits);
   return probs.at(0, 1);
+}
+
+void MlpClassifier::predict_proba_batch(BatchView batch,
+                                        std::span<double> out) const {
+  if (!trained()) throw std::logic_error("MlpClassifier: not trained");
+  check_batch_out(batch, out);
+  if (batch.cols() != in_features_)
+    throw std::invalid_argument("MlpClassifier: feature width mismatch");
+  if (batch.rows() == 0) return;
+  // Block-batched inference: matmul accumulates each output element over
+  // ascending k in every code path, and every layer plus softmax is
+  // row-local, so row r of a block's result is bitwise identical to
+  // inferring row r alone — and to any other block partition.  Blocks keep
+  // the per-layer activation matrices cache-resident instead of streaming
+  // rows() x hidden intermediates through memory.
+  constexpr std::size_t kBlockRows = 128;
+  for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, batch.rows() - r0);
+    Matrix rows(count, in_features_);
+    for (std::size_t c = 0; c < in_features_; ++c) {
+      const ColumnView colc = batch.col(c);
+      for (std::size_t r = 0; r < count; ++r) rows.at(r, c) = colc[r0 + r];
+    }
+    const Matrix probs = nn::softmax(net_.infer(rows));
+    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs.at(r, 1);
+  }
 }
 
 std::vector<std::uint8_t> MlpClassifier::serialize() const {

@@ -21,6 +21,9 @@ class MlpClassifier final : public Classifier {
 
   void fit(const Dataset& train) override;
   double predict_proba(std::span<const double> features) const override;
+  /// Whole-batch forward pass (one matmul per layer instead of N).
+  void predict_proba_batch(BatchView batch, std::span<double> out) const override;
+  using Classifier::predict_proba_batch;
   std::string name() const override { return "MLP"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;

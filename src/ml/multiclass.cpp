@@ -10,15 +10,18 @@ std::size_t MulticlassDataset::count_class(std::size_t c) const {
   return n;
 }
 
+void MulticlassDataset::push(std::span<const double> features,
+                             std::size_t label) {
+  X.push_row(features);
+  y.push_back(label);
+}
+
 void MulticlassDataset::validate() const {
-  if (X.size() != y.size())
+  if (X.rows() != y.size())
     throw std::invalid_argument("MulticlassDataset: X/y size mismatch");
   if (class_names.empty())
     throw std::invalid_argument("MulticlassDataset: no classes");
-  const std::size_t width = X.empty() ? 0 : X.front().size();
-  for (const auto& row : X)
-    if (row.size() != width)
-      throw std::invalid_argument("MulticlassDataset: ragged rows");
+  // Ragged rows cannot exist: FeatureMatrix rejects them at construction.
   for (std::size_t label : y)
     if (label >= class_names.size())
       throw std::invalid_argument("MulticlassDataset: label out of range");
@@ -73,9 +76,16 @@ MulticlassReport OneVsRestClassifier::evaluate(const MulticlassDataset& data) co
   MulticlassReport report;
   const std::size_t k = members_.size();
   report.confusion.assign(k, std::vector<std::size_t>(k, 0));
+  // Batch-score every member over the whole set, then take per-row argmax
+  // in member order — the same comparison sequence predict() runs per row.
+  std::vector<std::vector<double>> member_scores(k);
+  for (std::size_t c = 0; c < k; ++c)
+    member_scores[c] = members_[c]->predict_proba_batch(data.X.view());
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const std::size_t predicted = predict(data.X[i]);
+    std::size_t predicted = 0;
+    for (std::size_t c = 1; c < k; ++c)
+      if (member_scores[c][i] > member_scores[predicted][i]) predicted = c;
     ++report.confusion[data.y[i]][predicted];
     correct += predicted == data.y[i] ? 1 : 0;
   }

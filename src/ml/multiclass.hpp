@@ -17,13 +17,17 @@ namespace drlhmd::ml {
 
 /// Multiclass dataset: labels are class indices into `class_names`.
 struct MulticlassDataset {
-  std::vector<std::vector<double>> X;
+  FeatureMatrix X;  // columnar, like Dataset
   std::vector<std::size_t> y;
   std::vector<std::string> class_names;
 
-  std::size_t size() const { return X.size(); }
+  std::size_t size() const { return X.rows(); }
   std::size_t num_classes() const { return class_names.size(); }
   std::size_t count_class(std::size_t c) const;
+  void push(std::span<const double> features, std::size_t label);
+  void push(std::initializer_list<double> features, std::size_t label) {
+    push(std::span<const double>(features.begin(), features.size()), label);
+  }
   void validate() const;
 };
 

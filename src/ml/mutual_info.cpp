@@ -12,18 +12,18 @@ namespace {
 std::vector<std::size_t> discretize(const Dataset& data, std::size_t feature,
                                     std::size_t bins) {
   const std::size_t n = data.size();
+  const ColumnView values = data.col(feature);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return data.X[a][feature] < data.X[b][feature];
+    return values[a] < values[b];
   });
   std::vector<std::size_t> bin_of(n);
   for (std::size_t rank = 0; rank < n; ++rank) {
     std::size_t b = rank * bins / n;
     // Ties must land in the same bin or the estimate becomes order-dependent:
     // inherit the bin of an equal-valued predecessor.
-    if (rank > 0 &&
-        data.X[order[rank]][feature] == data.X[order[rank - 1]][feature]) {
+    if (rank > 0 && values[order[rank]] == values[order[rank - 1]]) {
       b = bin_of[order[rank - 1]];
     }
     bin_of[order[rank]] = b;

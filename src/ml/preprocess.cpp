@@ -13,14 +13,13 @@ void StandardScaler::fit(const Dataset& data) {
   data.validate();
   if (data.size() == 0) throw std::invalid_argument("StandardScaler::fit: empty data");
   const std::size_t width = data.num_features();
-  std::vector<util::RunningStats> stats(width);
-  for (const auto& row : data.X)
-    for (std::size_t c = 0; c < width; ++c) stats[c].add(row[c]);
   mean_.resize(width);
   scale_.resize(width);
   for (std::size_t c = 0; c < width; ++c) {
-    mean_[c] = stats[c].mean();
-    const double sd = stats[c].stddev();
+    util::RunningStats stats;
+    for (double v : data.col(c)) stats.add(v);
+    mean_[c] = stats.mean();
+    const double sd = stats.stddev();
     scale_[c] = sd > 0.0 ? sd : 1.0;
   }
 }
@@ -34,12 +33,24 @@ std::vector<double> StandardScaler::transform(std::span<const double> row) const
   return out;
 }
 
+void StandardScaler::transform_inplace(MutableBatchView batch) const {
+  if (batch.cols() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform_inplace: width mismatch");
+  for (std::size_t c = 0; c < batch.cols(); ++c) {
+    const double m = mean_[c];
+    const double s = scale_[c];
+    for (double& v : batch.col(c)) v = (v - m) / s;
+  }
+}
+
 Dataset StandardScaler::transform(const Dataset& data) const {
+  if (data.num_features() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform: width mismatch");
   Dataset out;
   out.y = data.y;
   out.feature_names = data.feature_names;
-  out.X.reserve(data.size());
-  for (const auto& row : data.X) out.X.push_back(transform(row));
+  out.X = data.X;
+  transform_inplace(out.X.mutable_view());
   return out;
 }
 
@@ -81,34 +92,34 @@ Dataset clean(const Dataset& data, double q_low, double q_high) {
     throw std::invalid_argument("clean: q_low must be < q_high");
   Dataset out;
   out.feature_names = data.feature_names;
+  const std::size_t width = data.num_features();
 
-  // Pass 1: drop non-finite rows.
-  std::vector<const std::vector<double>*> keep;
-  std::vector<int> keep_y;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    bool finite = true;
-    for (double v : data.X[i])
-      if (!std::isfinite(v)) { finite = false; break; }
-    if (finite) {
-      keep.push_back(&data.X[i]);
-      keep_y.push_back(data.y[i]);
-    }
+  // Pass 1: find rows whose every entry is finite (column sweep).
+  std::vector<char> finite(data.size(), 1);
+  for (std::size_t c = 0; c < width; ++c) {
+    const ColumnView colc = data.col(c);
+    for (std::size_t i = 0; i < colc.size(); ++i)
+      if (!std::isfinite(colc[i])) finite[i] = 0;
   }
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (finite[i]) keep.push_back(i);
   if (keep.empty()) return out;
 
-  // Pass 2: winsorize each feature to its quantile range.
-  const std::size_t width = keep.front()->size();
-  std::vector<double> lo(width), hi(width);
+  // Pass 2: winsorize each feature to its quantile range, writing output
+  // columns directly.
+  out.X = FeatureMatrix(keep.size(), width);
+  out.y.reserve(keep.size());
+  for (std::size_t i : keep) out.y.push_back(data.y[i]);
   std::vector<double> col(keep.size());
   for (std::size_t c = 0; c < width; ++c) {
-    for (std::size_t i = 0; i < keep.size(); ++i) col[i] = (*keep[i])[c];
-    lo[c] = util::quantile(col, q_low);
-    hi[c] = util::quantile(col, q_high);
-  }
-  for (std::size_t i = 0; i < keep.size(); ++i) {
-    std::vector<double> row = *keep[i];
-    for (std::size_t c = 0; c < width; ++c) row[c] = std::clamp(row[c], lo[c], hi[c]);
-    out.push(std::move(row), keep_y[i]);
+    const ColumnView src = data.col(c);
+    for (std::size_t k = 0; k < keep.size(); ++k) col[k] = src[keep[k]];
+    const double lo = util::quantile(col, q_low);
+    const double hi = util::quantile(col, q_high);
+    const std::span<double> dst = out.X.col(c);
+    for (std::size_t k = 0; k < keep.size(); ++k)
+      dst[k] = std::clamp(col[k], lo, hi);
   }
   return out;
 }
@@ -121,12 +132,11 @@ FeatureBounds feature_bounds(const Dataset& data) {
   b.lo.assign(width, 0.0);
   b.hi.assign(width, 0.0);
   for (std::size_t c = 0; c < width; ++c) {
-    b.lo[c] = b.hi[c] = data.X.front()[c];
-  }
-  for (const auto& row : data.X) {
-    for (std::size_t c = 0; c < width; ++c) {
-      b.lo[c] = std::min(b.lo[c], row[c]);
-      b.hi[c] = std::max(b.hi[c], row[c]);
+    const ColumnView colc = data.col(c);
+    b.lo[c] = b.hi[c] = colc[0];
+    for (double v : colc) {
+      b.lo[c] = std::min(b.lo[c], v);
+      b.hi[c] = std::max(b.hi[c], v);
     }
   }
   return b;

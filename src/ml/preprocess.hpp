@@ -18,6 +18,9 @@ class StandardScaler {
 
   std::vector<double> transform(std::span<const double> row) const;
   Dataset transform(const Dataset& data) const;
+  /// Scale a columnar batch in place (column sweep; the fused batch path —
+  /// Dataset transform is a copy plus this).
+  void transform_inplace(MutableBatchView batch) const;
   std::vector<double> inverse_transform(std::span<const double> row) const;
 
   const std::vector<double>& mean() const { return mean_; }

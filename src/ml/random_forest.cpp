@@ -1,5 +1,6 @@
 #include "ml/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -62,6 +63,16 @@ double RandomForest::predict_proba(std::span<const double> features) const {
   double total = 0.0;
   for (const auto& tree : trees_) total += tree.predict_proba(features);
   return total / static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_proba_batch(BatchView batch,
+                                       std::span<double> out) const {
+  if (!trained()) throw std::logic_error("RandomForest: not trained");
+  check_batch_out(batch, out);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const auto& tree : trees_) tree.accumulate_proba_batch(batch, out);
+  const auto n = static_cast<double>(trees_.size());
+  for (double& v : out) v = v / n;
 }
 
 std::vector<std::uint8_t> RandomForest::serialize() const {

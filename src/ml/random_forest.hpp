@@ -21,6 +21,11 @@ class RandomForest final : public Classifier {
 
   void fit(const Dataset& train) override;
   double predict_proba(std::span<const double> features) const override;
+  /// Tree-outer, block-inner: each tree sweeps the whole batch with
+  /// 16-lane lockstep traversal; per-row tree sums accumulate in the same
+  /// order as the row path, so scores are bitwise identical.
+  void predict_proba_batch(BatchView batch, std::span<double> out) const override;
+  using Classifier::predict_proba_batch;
   std::string name() const override { return "RF"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;

@@ -48,6 +48,21 @@ double A2C::value(std::span<const double> observation) const {
   return critic_.infer(Matrix::row_vector(observation)).at(0, 0);
 }
 
+void A2C::value_batch(ml::BatchView batch, std::span<double> out) const {
+  if (batch.cols() != obs_size_)
+    throw std::invalid_argument("A2C::value_batch: observation width mismatch");
+  if (out.size() != batch.rows())
+    throw std::invalid_argument("A2C::value_batch: out size mismatch");
+  if (batch.rows() == 0) return;
+  Matrix rows(batch.rows(), obs_size_);
+  for (std::size_t c = 0; c < obs_size_; ++c) {
+    const ml::ColumnView colc = batch.col(c);
+    for (std::size_t r = 0; r < batch.rows(); ++r) rows.at(r, c) = colc[r];
+  }
+  const Matrix values = critic_.infer(rows);
+  for (std::size_t r = 0; r < batch.rows(); ++r) out[r] = values.at(r, 0);
+}
+
 void A2C::update(std::span<const double> observation, std::size_t action,
                  double reward, double next_value, bool done) {
   if (action >= n_actions_) throw std::invalid_argument("A2C::update: bad action");

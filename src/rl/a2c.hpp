@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/feature_matrix.hpp"
 #include "ml/nn.hpp"
 #include "rl/env.hpp"
 
@@ -43,6 +44,9 @@ class A2C {
   std::vector<double> policy(std::span<const double> observation) const;
   /// Critic value estimate V(s).
   double value(std::span<const double> observation) const;
+  /// V(s) for every row of a columnar batch: one critic pass, bitwise
+  /// identical to value() per row (the critic's layers are row-local).
+  void value_batch(ml::BatchView batch, std::span<double> out) const;
 
   /// One actor-critic update from a single transition.
   /// `next_value` must be 0 for terminal transitions.

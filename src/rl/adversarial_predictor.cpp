@@ -1,5 +1,6 @@
 #include "rl/adversarial_predictor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace drlhmd::rl {
@@ -25,15 +26,19 @@ void AdversarialPredictor::train(const ml::Dataset& adversarial,
       (unlabeled.size() > 0 && unlabeled.num_features() != feature_count_))
     throw std::invalid_argument("AdversarialPredictor::train: feature width mismatch");
 
-  // Build the training stream: (sample, is_adversarial) pairs.
+  // Build the training stream: (sample, is_adversarial) pairs, gathered
+  // out of the columnar storage in the same adversarial-then-unlabeled
+  // order as before so the shuffle permutes an identical sequence.
   struct Item {
-    const std::vector<double>* x;
+    std::vector<double> x;
     bool adversarial;
   };
   std::vector<Item> stream;
   stream.reserve(adversarial.size() + unlabeled.size());
-  for (const auto& row : adversarial.X) stream.push_back({&row, true});
-  for (const auto& row : unlabeled.X) stream.push_back({&row, false});
+  for (std::size_t i = 0; i < adversarial.size(); ++i)
+    stream.push_back({adversarial.row_copy(i), true});
+  for (std::size_t i = 0; i < unlabeled.size(); ++i)
+    stream.push_back({unlabeled.row_copy(i), false});
 
   util::Rng rng(config_.seed);
   double reward_sum = 0.0;
@@ -45,13 +50,13 @@ void AdversarialPredictor::train(const ml::Dataset& adversarial,
       // Single-step episode: the environment pays the adversarial reward
       // only when a truly adversarial sample is flagged as such; unlabeled
       // ("None") samples always pay reward_none.
-      const std::size_t action = agent_.act(*item.x, rng);
+      const std::size_t action = agent_.act(item.x, rng);
       const bool flagged =
           action == static_cast<std::size_t>(PredictorAction::kFlagAdversarial);
       const double reward = (item.adversarial && flagged)
                                 ? config_.reward_adversarial
                                 : config_.reward_none;
-      agent_.update(*item.x, action, reward, /*next_value=*/0.0, /*done=*/true);
+      agent_.update(item.x, action, reward, /*next_value=*/0.0, /*done=*/true);
       reward_sum += reward;
       ++episodes;
     }
@@ -72,18 +77,32 @@ bool AdversarialPredictor::is_adversarial(std::span<const double> features) cons
   return feedback_reward(features) > config_.reward_threshold;
 }
 
+void AdversarialPredictor::feedback_reward_batch(ml::BatchView batch,
+                                                 std::span<double> out) const {
+  if (!trained_) throw std::logic_error("AdversarialPredictor: not trained");
+  agent_.value_batch(batch, out);
+}
+
+void AdversarialPredictor::is_adversarial_batch(
+    ml::BatchView batch, std::span<std::uint8_t> out) const {
+  if (out.size() != batch.rows())
+    throw std::invalid_argument(
+        "AdversarialPredictor::is_adversarial_batch: out size mismatch");
+  std::vector<double> rewards(batch.rows());
+  feedback_reward_batch(batch, rewards);
+  for (std::size_t r = 0; r < batch.rows(); ++r)
+    out[r] = rewards[r] > config_.reward_threshold ? 1 : 0;
+}
+
 ml::MetricReport AdversarialPredictor::evaluate(const ml::Dataset& adversarial,
                                                 const ml::Dataset& legitimate) const {
-  std::vector<int> truth;
-  std::vector<double> scores;
-  for (const auto& row : adversarial.X) {
-    truth.push_back(1);
-    scores.push_back(feedback_reward(row));
-  }
-  for (const auto& row : legitimate.X) {
-    truth.push_back(0);
-    scores.push_back(feedback_reward(row));
-  }
+  std::vector<int> truth(adversarial.size() + legitimate.size());
+  std::vector<double> scores(truth.size());
+  std::fill(truth.begin(),
+            truth.begin() + static_cast<std::ptrdiff_t>(adversarial.size()), 1);
+  const std::span<double> all(scores);
+  feedback_reward_batch(adversarial.view(), all.subspan(0, adversarial.size()));
+  feedback_reward_batch(legitimate.view(), all.subspan(adversarial.size()));
   return ml::evaluate_scores(truth, scores, config_.reward_threshold);
 }
 

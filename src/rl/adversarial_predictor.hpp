@@ -42,9 +42,13 @@ class AdversarialPredictor {
 
   /// Expected feedback reward for a sample (critic value).
   double feedback_reward(std::span<const double> features) const;
+  /// Feedback rewards for a whole columnar batch (one critic pass).
+  void feedback_reward_batch(ml::BatchView batch, std::span<double> out) const;
 
   /// Positive-feedback decision: adversarial iff reward > threshold.
   bool is_adversarial(std::span<const double> features) const;
+  /// Batch decisions: out[r] != 0 iff batch row r is flagged adversarial.
+  void is_adversarial_batch(ml::BatchView batch, std::span<std::uint8_t> out) const;
 
   /// Evaluate as a binary classifier: `adversarial` rows are positives,
   /// `legitimate` rows negatives.

@@ -82,11 +82,13 @@ void ConstraintController::train(const ml::Dataset& stream) {
   util::Rng rng(config_.seed);
   std::vector<std::size_t> order(stream.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> features(stream.num_features());
   for (std::size_t epoch = 0; epoch < config_.training_epochs; ++epoch) {
     rng.shuffle(order);
     for (std::size_t row : order) {
       const std::size_t arm = bandit_.select();
-      const int pred = models_[arm]->predict(stream.X[row]);
+      stream.gather_row(row, features);
+      const int pred = models_[arm]->predict(features);
       bandit_.update(arm, reward(arm, pred == stream.y[row]));
     }
   }
@@ -123,6 +125,17 @@ int ConstraintController::predict(std::span<const double> features) const {
 
 double ConstraintController::predict_proba(std::span<const double> features) const {
   return models_[selected_model()]->predict_proba(features);
+}
+
+void ConstraintController::predict_batch(ml::BatchView batch,
+                                         std::span<int> out) const {
+  if (out.size() != batch.rows())
+    throw std::invalid_argument(
+        "ConstraintController::predict_batch: out size mismatch");
+  std::vector<double> scores(batch.rows());
+  models_[selected_model()]->predict_proba_batch(batch, scores);
+  for (std::size_t r = 0; r < batch.rows(); ++r)
+    out[r] = scores[r] >= 0.5 ? 1 : 0;
 }
 
 int ConstraintController::observe(std::span<const double> features, int truth) {

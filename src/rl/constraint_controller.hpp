@@ -58,6 +58,9 @@ class ConstraintController {
   /// Route one sample through the scheduled model.
   int predict(std::span<const double> features) const;
   double predict_proba(std::span<const double> features) const;
+  /// Route a whole columnar batch through the scheduled model's vectorized
+  /// path; out[r] equals predict(row r).
+  void predict_batch(ml::BatchView batch, std::span<int> out) const;
 
   /// Online adaptation: route, observe ground truth, update the bandit.
   int observe(std::span<const double> features, int truth);

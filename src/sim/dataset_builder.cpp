@@ -78,6 +78,17 @@ HpcCorpus build_corpus(const CorpusConfig& config) {
   return corpus;
 }
 
+ml::Dataset corpus_to_dataset(const HpcCorpus& corpus) {
+  ml::Dataset data;
+  data.feature_names = corpus.feature_names;
+  data.X = ml::FeatureMatrix(0, corpus.feature_names.size());
+  data.X.reserve_rows(corpus.records.size());
+  data.y.reserve(corpus.records.size());
+  for (const auto& rec : corpus.records)
+    data.push(rec.features, rec.malware ? 1 : 0);
+  return data;
+}
+
 util::CsvDocument corpus_to_csv(const HpcCorpus& corpus) {
   util::CsvDocument doc;
   doc.header = {"app", "family", "label"};

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/dataset.hpp"
 #include "sim/core.hpp"
 #include "sim/perf_monitor.hpp"
 #include "sim/workload_profiles.hpp"
@@ -44,6 +45,13 @@ struct HpcCorpus {
 
 /// Build the full labeled corpus. Deterministic in `config.seed`.
 HpcCorpus build_corpus(const CorpusConfig& config);
+
+/// Labeled columnar dataset over all HPC events (label 1 = malware).  The
+/// entry point into the ml data plane: rows land in contiguous column-major
+/// FeatureMatrix storage with a single up-front reservation, so everything
+/// downstream (selection, scaling, training, attacks, runtime) can run on
+/// zero-copy BatchViews.
+ml::Dataset corpus_to_dataset(const HpcCorpus& corpus);
 
 /// Export/import CSV (one row per record: app, family, label, features...).
 util::CsvDocument corpus_to_csv(const HpcCorpus& corpus);

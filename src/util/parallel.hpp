@@ -133,4 +133,21 @@ auto parallel_map(std::size_t begin, std::size_t end, std::size_t grain,
   return parallel_map(nullptr, begin, end, grain, std::forward<Fn>(fn));
 }
 
+/// Two-stage pipelined loop.  Each statically-assigned chunk of
+/// [begin, end) runs stage1(chunk, b, e) immediately followed by
+/// stage2(chunk, b, e) on the same worker, with no barrier between the
+/// stages: while one chunk is in stage2 (e.g. scoring), other workers run
+/// stage1 (e.g. preprocessing) of later chunks.  Chunk layout depends only
+/// on (range size, grain), and each chunk must touch only its own slots,
+/// so results are bitwise identical at any DRLHMD_THREADS.
+template <typename Stage1, typename Stage2>
+void parallel_pipeline(const char* label, std::size_t begin, std::size_t end,
+                       std::size_t grain, Stage1&& stage1, Stage2&& stage2) {
+  parallel_for_chunks(label, begin, end, grain,
+                      [&](std::size_t c, std::size_t b, std::size_t e) {
+                        stage1(c, b, e);
+                        stage2(c, b, e);
+                      });
+}
+
 }  // namespace drlhmd::util

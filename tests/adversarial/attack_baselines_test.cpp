@@ -31,7 +31,7 @@ struct BaselineFixture {
   ml::Dataset malware_rows() const {
     ml::Dataset out;
     for (std::size_t i = 0; i < train.size(); ++i)
-      if (train.y[i] == 1) out.push(train.X[i], 1);
+      if (train.y[i] == 1) out.push(train.row_copy(i), 1);
     return out;
   }
 };
@@ -71,7 +71,7 @@ TEST(FgsmTest, PerturbationIsSignedUniform) {
   FgsmConfig cfg;
   cfg.epsilon = 1.0;
   FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
-  const auto result = attack.attack(fx.malware_rows().X[0]);
+  const auto result = attack.attack(fx.malware_rows().row_copy(0));
   // Without clipping, every component would be exactly +-epsilon; with
   // clipping it can only shrink.
   for (double r : result.perturbation) EXPECT_LE(std::abs(r), 1.0 + 1e-12);
@@ -83,7 +83,7 @@ TEST(FgsmTest, RespectsClipBounds) {
   FgsmConfig cfg;
   cfg.epsilon = 50.0;  // would fly far out of range without clipping
   FgsmAttack attack(fx.surrogate, fx.bounds, cfg);
-  const auto result = attack.attack(fx.malware_rows().X[0]);
+  const auto result = attack.attack(fx.malware_rows().row_copy(0));
   for (std::size_t c = 0; c < 4; ++c) {
     EXPECT_GE(result.adversarial[c], fx.bounds.lo[c] - 1e-9);
     EXPECT_LE(result.adversarial[c], fx.bounds.hi[c] + 1e-9);
@@ -115,7 +115,7 @@ TEST(RandomNoiseTest, PerturbationBounded) {
   cfg.epsilon = 0.5;
   RandomNoiseAttack attack(fx.surrogate, fx.bounds, cfg);
   for (int i = 0; i < 10; ++i) {
-    const auto result = attack.attack(fx.malware_rows().X[i]);
+    const auto result = attack.attack(fx.malware_rows().row_copy(i));
     for (double r : result.perturbation) EXPECT_LE(std::abs(r), 0.5 + 1e-12);
   }
 }

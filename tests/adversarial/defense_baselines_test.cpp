@@ -81,7 +81,7 @@ TEST(DefenseComparisonTest, RandomizationBluntsSurrogateAttacks) {
 
   ml::Dataset malware;
   for (std::size_t i = 0; i < train.size(); ++i)
-    if (train.y[i] == 1) malware.push(train.X[i], 1);
+    if (train.y[i] == 1) malware.push(train.row_copy(i), 1);
 
   LowProFool attacker(surrogate, ml::feature_bounds(train),
                       importance_from_lr(surrogate));

@@ -38,7 +38,7 @@ struct AttackFixture {
   ml::Dataset malware_rows() const {
     ml::Dataset out;
     for (std::size_t i = 0; i < train.size(); ++i)
-      if (train.y[i] == 1) out.push(train.X[i], 1);
+      if (train.y[i] == 1) out.push(train.row_copy(i), 1);
     return out;
   }
 };
@@ -47,7 +47,7 @@ TEST(LowProFoolTest, AttackFlipsSurrogatePrediction) {
   const AttackFixture fx;
   const LowProFool attacker = fx.make_attacker();
   const ml::Dataset malware = fx.malware_rows();
-  const AttackResult result = attacker.attack(malware.X[0]);
+  const AttackResult result = attacker.attack(malware.row_copy(0));
   EXPECT_TRUE(result.success);
   EXPECT_EQ(fx.surrogate.predict(result.adversarial), 0);
   // And with high confidence (margin).
@@ -57,7 +57,7 @@ TEST(LowProFoolTest, AttackFlipsSurrogatePrediction) {
 TEST(LowProFoolTest, PerturbationConsistentWithAdversarial) {
   const AttackFixture fx;
   const LowProFool attacker = fx.make_attacker();
-  const auto x = fx.malware_rows().X[0];
+  const auto x = fx.malware_rows().row_copy(0);
   const AttackResult result = attacker.attack(x);
   for (std::size_t i = 0; i < x.size(); ++i)
     EXPECT_NEAR(result.adversarial[i], x[i] + result.perturbation[i], 1e-9);
@@ -67,7 +67,7 @@ TEST(LowProFoolTest, RespectsClipBounds) {
   const AttackFixture fx;
   const LowProFool attacker = fx.make_attacker();
   for (std::size_t i = 0; i < 20; ++i) {
-    const AttackResult result = attacker.attack(fx.malware_rows().X[i]);
+    const AttackResult result = attacker.attack(fx.malware_rows().row_copy(i));
     for (std::size_t c = 0; c < 4; ++c) {
       EXPECT_GE(result.adversarial[c], fx.bounds.lo[c] - 1e-9);
       EXPECT_LE(result.adversarial[c], fx.bounds.hi[c] + 1e-9);
@@ -105,9 +105,9 @@ TEST(LowProFoolTest, AttackDatasetPerturbsOnlyMalware) {
   for (std::size_t i = 0; i < attacked.size(); ++i) {
     EXPECT_EQ(attacked.y[i], fx.train.y[i]);  // ground truth preserved
     if (fx.train.y[i] == 0) {
-      EXPECT_EQ(attacked.X[i], fx.train.X[i]);  // benign untouched
+      EXPECT_EQ(attacked.row_copy(i), fx.train.row_copy(i));  // benign untouched
     } else {
-      EXPECT_NE(attacked.X[i], fx.train.X[i]);  // malware perturbed
+      EXPECT_NE(attacked.row_copy(i), fx.train.row_copy(i));  // malware perturbed
     }
   }
 }
@@ -129,7 +129,7 @@ TEST(LowProFoolTest, MinimalNormOnBestStep) {
   LowProFoolConfig cfg;
   cfg.max_steps = 200;
   const LowProFool attacker = fx.make_attacker(cfg);
-  const AttackResult result = attacker.attack(fx.malware_rows().X[3]);
+  const AttackResult result = attacker.attack(fx.malware_rows().row_copy(3));
   EXPECT_TRUE(result.success);
   EXPECT_LE(result.steps_used, 200u);
   EXPECT_NEAR(result.weighted_norm,

@@ -1,0 +1,197 @@
+// Row-vs-batch exact parity for the columnar data plane.
+//
+// The batch-first Classifier API promises that predict_proba_batch is a
+// pure vectorization: for every detector, batch scores must be bit-for-bit
+// identical to calling predict_proba on each row — at any DRLHMD_THREADS
+// width, over the full view, over offset row slices (non-zero view base),
+// and through the runtime's pipelined batch path.  Any drift here means a
+// batch override reordered floating-point work, which would silently break
+// the repo-wide determinism guarantee.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ml/model_zoo.hpp"
+#include "rl/adversarial_predictor.hpp"
+#include "rl/constraint_controller.hpp"
+#include "rl/model_profile.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace drlhmd {
+namespace {
+
+/// Two overlapping Gaussian blobs in 4-D (the engineered feature width).
+ml::Dataset blobs(std::size_t n_per_class, double gap, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(gap, 1.0);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+/// Bitwise equality of doubles (NaN-safe, -0.0 != +0.0 on purpose: the
+/// parity claim is "same bits", not "same value").
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(same_bits(a[i], b[i]))
+        << what << ": row " << i << " batch=" << b[i] << " row-path=" << a[i];
+}
+
+const std::vector<std::size_t> kWidths = {1, 2, 8};
+
+class BatchParity : public ::testing::TestWithParam<ml::ModelKind> {
+ protected:
+  void TearDown() override { util::set_parallel_threads(saved_); }
+
+ private:
+  std::size_t saved_ = util::parallel_thread_count();
+};
+
+TEST_P(BatchParity, BatchMatchesRowPathBitForBit) {
+  auto model = ml::make_model(GetParam());
+  model->fit(blobs(150, 1.5, 17));
+  const ml::Dataset test = blobs(101, 1.5, 91);  // odd count: partial block
+
+  std::vector<double> row_scores(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i)
+    row_scores[i] = model->predict_proba(test.row_copy(i));
+
+  for (const std::size_t width : kWidths) {
+    util::set_parallel_threads(width);
+    std::vector<double> batch_scores(test.size());
+    model->predict_proba_batch(test.view(), batch_scores);
+    expect_bitwise_equal(row_scores, batch_scores, model->name().c_str());
+  }
+}
+
+TEST_P(BatchParity, OffsetSlicesMatchRowPathBitForBit) {
+  auto model = ml::make_model(GetParam());
+  model->fit(blobs(120, 1.5, 23));
+  const ml::Dataset test = blobs(80, 1.5, 29);
+
+  // Slices with non-zero base exercise the (base + begin, stride) indexing
+  // that the runtime's mid-batch re-score path depends on.
+  const struct {
+    std::size_t begin, count;
+  } slices[] = {{0, 37}, {1, 64}, {33, 127}, {159, 1}, {7, 0}};
+  for (const auto& s : slices) {
+    std::vector<double> row_scores(s.count);
+    for (std::size_t i = 0; i < s.count; ++i)
+      row_scores[i] = model->predict_proba(test.row_copy(s.begin + i));
+    std::vector<double> batch_scores(s.count);
+    model->predict_proba_batch(test.view().rows_slice(s.begin, s.count),
+                               batch_scores);
+    expect_bitwise_equal(row_scores, batch_scores, model->name().c_str());
+  }
+}
+
+TEST_P(BatchParity, OutSizeMismatchThrows) {
+  auto model = ml::make_model(GetParam());
+  model->fit(blobs(60, 2.0, 31));
+  const ml::Dataset test = blobs(10, 2.0, 37);
+  std::vector<double> wrong(test.size() + 1);
+  EXPECT_THROW(model->predict_proba_batch(test.view(), wrong),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, BatchParity,
+                         ::testing::Values(ml::ModelKind::kRf,
+                                           ml::ModelKind::kDt,
+                                           ml::ModelKind::kLr,
+                                           ml::ModelKind::kMlp,
+                                           ml::ModelKind::kLightGbm,
+                                           ml::ModelKind::kNn),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ml::ModelKind::kRf: return "RF";
+                             case ml::ModelKind::kDt: return "DT";
+                             case ml::ModelKind::kLr: return "LR";
+                             case ml::ModelKind::kMlp: return "MLP";
+                             case ml::ModelKind::kLightGbm: return "LightGBM";
+                             case ml::ModelKind::kNn: return "NN";
+                           }
+                           return "unknown";
+                         });
+
+// ------------------------------------------------- RL batch consumers --
+
+class RlBatchParity : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_parallel_threads(saved_); }
+
+ private:
+  std::size_t saved_ = util::parallel_thread_count();
+};
+
+TEST_F(RlBatchParity, PredictorFeedbackRewardBatchMatchesRowPath) {
+  const ml::Dataset adversarial = blobs(40, 3.0, 41);
+  const ml::Dataset legitimate = blobs(40, 0.5, 43);
+  rl::AdversarialPredictorConfig cfg;
+  cfg.epochs = 2;
+  rl::AdversarialPredictor predictor(4, cfg);
+  predictor.train(adversarial, legitimate);
+
+  const ml::Dataset probe = blobs(33, 1.0, 47);
+  std::vector<double> row_rewards(probe.size());
+  std::vector<std::uint8_t> row_flags(probe.size());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const std::vector<double> row = probe.row_copy(i);
+    row_rewards[i] = predictor.feedback_reward(row);
+    row_flags[i] = predictor.is_adversarial(row) ? 1 : 0;
+  }
+  for (const std::size_t width : kWidths) {
+    util::set_parallel_threads(width);
+    std::vector<double> batch_rewards(probe.size());
+    predictor.feedback_reward_batch(probe.view(), batch_rewards);
+    expect_bitwise_equal(row_rewards, batch_rewards, "predictor");
+    std::vector<std::uint8_t> batch_flags(probe.size());
+    predictor.is_adversarial_batch(probe.view(), batch_flags);
+    EXPECT_EQ(row_flags, batch_flags);
+  }
+}
+
+TEST_F(RlBatchParity, ControllerPredictBatchMatchesRowPath) {
+  const ml::Dataset train = blobs(150, 2.0, 53);
+  auto models = ml::make_classical_models();
+  std::vector<ml::Classifier*> raw;
+  std::vector<rl::ModelProfile> profiles;
+  for (auto& m : models) {
+    m->fit(train);
+    raw.push_back(m.get());
+    profiles.push_back(rl::profile_model(*m, train));
+  }
+  rl::ConstraintControllerConfig cfg;
+  cfg.training_epochs = 1;
+  rl::ConstraintController controller(raw, profiles, cfg);
+  controller.train(train);
+
+  const ml::Dataset probe = blobs(60, 2.0, 59);
+  std::vector<int> row_preds(probe.size());
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    row_preds[i] = controller.predict(probe.row_copy(i));
+  for (const std::size_t width : kWidths) {
+    util::set_parallel_threads(width);
+    std::vector<int> batch_preds(probe.size());
+    controller.predict_batch(probe.view(), batch_preds);
+    EXPECT_EQ(row_preds, batch_preds);
+  }
+}
+
+}  // namespace
+}  // namespace drlhmd

@@ -139,7 +139,7 @@ TEST_F(ThreadSweep, LowProFoolAttacksIdentical) {
   ASSERT_EQ(serial.size(), parallel.size());
   EXPECT_EQ(serial.y, parallel.y);
   for (std::size_t i = 0; i < serial.size(); ++i)
-    EXPECT_EQ(serial.X[i], parallel.X[i]);  // vector<double> exact compare
+    EXPECT_EQ(serial.row_copy(i), parallel.row_copy(i));  // vector<double> exact compare
 
   const auto [report1, report4] =
       at_widths([&] { return attacker.evaluate_campaign(train); });

@@ -81,7 +81,7 @@ TEST_F(FrameworkPipeline, FeaturesAreStandardScaled) {
   const auto& train = framework_->train_set();
   for (std::size_t c = 0; c < train.num_features(); ++c) {
     double sum = 0.0, sum_sq = 0.0;
-    for (const auto& row : train.X) {
+    for (const auto& row : train.rows_copy()) {
       sum += row[c];
       sum_sq += row[c] * row[c];
     }

@@ -49,7 +49,7 @@ TEST_F(RuntimeFixture, FlagsAdversarialTraffic) {
   DetectionRuntime runtime(*framework_);
   std::size_t flagged = 0;
   const auto& adv = framework_->adversarial_test();
-  for (const auto& row : adv.X)
+  for (const auto& row : adv.rows_copy())
     flagged += runtime.process(row) == TrafficVerdict::kAdversarialMalware ? 1 : 0;
   EXPECT_GT(static_cast<double>(flagged) / static_cast<double>(adv.size()), 0.9);
   EXPECT_EQ(runtime.stats().adversarial, flagged);
@@ -61,7 +61,7 @@ TEST_F(RuntimeFixture, RoutesLegitimateTrafficToDetectors) {
   const auto& test = framework_->test_set();
   std::size_t correct = 0, routed = 0;
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const TrafficVerdict v = runtime.process(test.X[i]);
+    const TrafficVerdict v = runtime.process(test.row_copy(i));
     if (v == TrafficVerdict::kAdversarialMalware) continue;  // predictor FP
     ++routed;
     const int pred = v == TrafficVerdict::kMalware ? 1 : 0;
@@ -85,10 +85,10 @@ TEST_F(RuntimeFixture, BatchVerdictsMatchSequentialProcess) {
   DetectionRuntime sequential(*framework_);
   std::vector<TrafficVerdict> expected;
   expected.reserve(mix.size());
-  for (const auto& row : mix.X) expected.push_back(sequential.process(row));
+  for (const auto& row : mix.rows_copy()) expected.push_back(sequential.process(row));
 
   DetectionRuntime batched(*framework_);
-  const std::vector<TrafficVerdict> got = batched.process_batch(mix.X);
+  const std::vector<TrafficVerdict> got = batched.process_batch(mix.X.view());
   EXPECT_EQ(got, expected);
   EXPECT_EQ(batched.stats().processed, sequential.stats().processed);
   EXPECT_EQ(batched.stats().adversarial, sequential.stats().adversarial);
@@ -110,7 +110,7 @@ TEST_F(RuntimeFixture, PeriodicIntegrityChecksFire) {
   DetectionRuntime runtime(*framework_, cfg);
   const auto& test = framework_->test_set();
   for (std::size_t i = 0; i < 35 && i < test.size(); ++i)
-    runtime.process(test.X[i]);
+    runtime.process(test.row_copy(i));
   EXPECT_GE(runtime.stats().integrity_checks, 3u);
 }
 
@@ -121,7 +121,7 @@ TEST_F(RuntimeFixture, AdaptiveRetrainingTriggersAndResetsQuarantine) {
   DetectionRuntime runtime(*framework_, cfg);
   const auto& adv = framework_->adversarial_test();
   for (std::size_t i = 0; i < 30 && i < adv.size(); ++i)
-    runtime.process(adv.X[i]);
+    runtime.process(adv.row_copy(i));
   EXPECT_GE(runtime.stats().retrains, 1u);
   EXPECT_LT(runtime.quarantine_size(), 25u);
   // After the retrain the defended models stay functional and vaulted.
@@ -163,7 +163,7 @@ TEST_F(RuntimeFixture, StageLatencyHistogramsRecordWhenTelemetryEnabled) {
   DetectionRuntime runtime(*framework_);
   const auto& mix = framework_->attacked_test_mix();
   const std::size_t n = std::min<std::size_t>(mix.size(), 40);
-  for (std::size_t i = 0; i < n; ++i) runtime.process(mix.X[i]);
+  for (std::size_t i = 0; i < n; ++i) runtime.process(mix.row_copy(i));
   obs::Telemetry::set_enabled(false);
 
   const obs::MetricsSnapshot snap = runtime.metrics().snapshot();
@@ -180,7 +180,7 @@ TEST_F(RuntimeFixture, StageLatencyHistogramsRecordWhenTelemetryEnabled) {
   EXPECT_GT(total->data.max, 0.0);
 
   // With telemetry off, further samples bump counters but not histograms.
-  runtime.process(mix.X[0]);
+  runtime.process(mix.row_copy(0));
   const auto after = runtime.metrics().snapshot();
   EXPECT_EQ(after.find_histogram("drlhmd.runtime.stage_latency_us",
                                  {{"stage", "total"}})

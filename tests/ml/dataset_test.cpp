@@ -29,9 +29,10 @@ TEST(DatasetTest, ValidateCatchesProblems) {
   Dataset d = make_data(2, 2);
   EXPECT_NO_THROW(d.validate());
 
+  // Ragged rows can no longer be constructed: the columnar storage rejects
+  // them at push time instead of at validate time.
   Dataset ragged = d;
-  ragged.X[1].push_back(7.0);
-  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+  EXPECT_THROW(ragged.push({1.0, 2.0, 3.0}, 0), std::invalid_argument);
 
   Dataset bad_label = d;
   bad_label.y[0] = 2;
@@ -69,7 +70,7 @@ TEST(DatasetTest, ShuffleKeepsPairsAligned) {
   d.shuffle(rng);
   for (std::size_t i = 0; i < d.size(); ++i) {
     // Feature value parity must still match the label.
-    EXPECT_EQ(static_cast<int>(d.X[i][0]) % 2, d.y[i]);
+    EXPECT_EQ(static_cast<int>(d.at(i, 0)) % 2, d.y[i]);
   }
 }
 
@@ -79,7 +80,7 @@ TEST(DatasetTest, SelectFeaturesReordersColumns) {
   const Dataset sel = d.select_features(idx);
   EXPECT_EQ(sel.num_features(), 2u);
   EXPECT_EQ(sel.feature_names[0], "f1");
-  EXPECT_EQ(sel.X[0][0], d.X[0][1]);
+  EXPECT_EQ(sel.at(0, 0), d.at(0, 1));
   const std::vector<std::size_t> bad = {5};
   EXPECT_THROW(d.select_features(bad), std::out_of_range);
 }
@@ -100,8 +101,8 @@ TEST(StratifiedSplitTest, NoRowLostOrDuplicated) {
   util::Rng rng(7);
   const TrainTestSplit split = stratified_split(d, 0.3, rng);
   std::set<double> seen;
-  for (const auto& row : split.train.X) seen.insert(row[0]);
-  for (const auto& row : split.test.X) seen.insert(row[0]);
+  for (const double v : split.train.col(0)) seen.insert(v);
+  for (const double v : split.test.col(0)) seen.insert(v);
   EXPECT_EQ(seen.size(), 50u);
   EXPECT_EQ(split.train.size() + split.test.size(), 50u);
 }

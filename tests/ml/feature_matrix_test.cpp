@@ -1,0 +1,200 @@
+#include "ml/feature_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+
+namespace drlhmd::ml {
+namespace {
+
+FeatureMatrix iota_matrix(std::size_t rows, std::size_t cols) {
+  FeatureMatrix m;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+      row[c] = static_cast<double>(r * cols + c);
+    m.push_row(row);
+  }
+  return m;
+}
+
+TEST(FeatureMatrixTest, PushRowFixesWidthAndRejectsRagged) {
+  FeatureMatrix m;
+  m.push_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_THROW(m.push_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(m.push_row({1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
+  m.push_row({4.0, 5.0, 6.0});
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(FeatureMatrixTest, FromRowsRejectsRaggedAtTheSource) {
+  EXPECT_THROW(FeatureMatrix::from_rows({{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+  const FeatureMatrix m = FeatureMatrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(FeatureMatrixTest, ColumnsAreContiguousSpans) {
+  const FeatureMatrix m = iota_matrix(5, 3);
+  const ColumnView c1 = m.col(1);
+  ASSERT_EQ(c1.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(c1[r], static_cast<double>(r * 3 + 1));
+    // Contiguity: span indexing and pointer arithmetic agree.
+    EXPECT_EQ(&c1[r], c1.data() + r);
+  }
+}
+
+TEST(FeatureMatrixTest, ViewIsZeroCopy) {
+  const FeatureMatrix m = iota_matrix(4, 2);
+  const BatchView v = m.view();
+  EXPECT_EQ(v.rows(), 4u);
+  EXPECT_EQ(v.cols(), 2u);
+  // The view aliases the matrix storage, it does not copy it.
+  EXPECT_EQ(v.col(0).data(), m.col(0).data());
+  EXPECT_EQ(v.at(2, 1), m.at(2, 1));
+}
+
+TEST(FeatureMatrixTest, RowsSliceSharesStorageAndOffsetsRows) {
+  const FeatureMatrix m = iota_matrix(8, 3);
+  const BatchView slice = m.view().rows_slice(2, 4);
+  EXPECT_EQ(slice.rows(), 4u);
+  EXPECT_EQ(slice.cols(), 3u);
+  EXPECT_EQ(slice.stride(), m.view().stride());
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(slice.at(r, c), m.at(r + 2, c));
+  // Slicing a slice composes.
+  const BatchView inner = slice.rows_slice(1, 2);
+  EXPECT_EQ(inner.at(0, 0), m.at(3, 0));
+}
+
+TEST(FeatureMatrixTest, GatherRowAndRowCopyMatchColumnAccess) {
+  const FeatureMatrix m = iota_matrix(3, 4);
+  const std::vector<double> row = m.row_copy(1);
+  ASSERT_EQ(row.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(row[c], m.at(1, c));
+  std::vector<double> out(3);
+  EXPECT_THROW(m.gather_row(0, out), std::invalid_argument);
+}
+
+TEST(FeatureMatrixTest, AppendBulkCopiesColumns) {
+  FeatureMatrix a = iota_matrix(3, 2);
+  const FeatureMatrix b = iota_matrix(2, 2);
+  a.append(b);
+  EXPECT_EQ(a.rows(), 5u);
+  EXPECT_EQ(a.at(3, 0), b.at(0, 0));
+  EXPECT_EQ(a.at(4, 1), b.at(1, 1));
+  const FeatureMatrix wide = iota_matrix(1, 3);
+  EXPECT_THROW(a.append(wide), std::invalid_argument);
+}
+
+TEST(FeatureMatrixTest, SelectColumnsReordersAndBoundsChecks) {
+  const FeatureMatrix m = iota_matrix(3, 3);
+  const std::vector<std::size_t> idx = {2, 0};
+  const FeatureMatrix sel = m.select_columns(idx);
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_EQ(sel.at(1, 0), m.at(1, 2));
+  EXPECT_EQ(sel.at(1, 1), m.at(1, 0));
+  const std::vector<std::size_t> bad = {9};
+  EXPECT_THROW(m.select_columns(bad), std::out_of_range);
+}
+
+TEST(FeatureMatrixTest, GrowthPreservesValuesAcrossRepacks) {
+  FeatureMatrix m;
+  for (std::size_t r = 0; r < 100; ++r)  // forces several capacity doublings
+    m.push_row({static_cast<double>(r), static_cast<double>(2 * r)});
+  for (std::size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(m.at(r, 0), static_cast<double>(r));
+    EXPECT_EQ(m.at(r, 1), static_cast<double>(2 * r));
+  }
+}
+
+TEST(FeatureMatrixTest, EqualityIgnoresCapacity) {
+  // a grew incrementally (capacity 8 for 4 rows); b was built tight
+  // (capacity == rows).  Same values => equal despite different strides.
+  FeatureMatrix a = iota_matrix(4, 2);
+  FeatureMatrix b = FeatureMatrix::from_rows(
+      {a.row_copy(0), a.row_copy(1), a.row_copy(2), a.row_copy(3)});
+  EXPECT_TRUE(a == b);
+  b.push_row({0.0, 0.0});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FeatureMatrixTest, MutableViewWritesThrough) {
+  FeatureMatrix m = iota_matrix(3, 2);
+  MutableBatchView v = m.mutable_view();
+  v.at(1, 1) = -7.0;
+  for (double& x : v.col(0)) x *= 2.0;
+  EXPECT_EQ(m.at(1, 1), -7.0);
+  EXPECT_EQ(m.at(2, 0), 8.0);
+}
+
+// ------------------------------------------ Dataset::append regressions --
+
+Dataset named_data(std::vector<std::string> names) {
+  Dataset d;
+  d.feature_names = std::move(names);
+  d.push({1.0, 2.0}, 0);
+  d.push({3.0, 4.0}, 1);
+  return d;
+}
+
+TEST(DatasetAppendTest, RejectsMismatchedFeatureNames) {
+  Dataset a = named_data({"f0", "f1"});
+  const Dataset b = named_data({"g0", "g1"});
+  // Regression: this used to merge silently, leaving rows whose columns
+  // mean different things under one header.
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+  EXPECT_EQ(a.size(), 2u);  // target unchanged on failure
+}
+
+TEST(DatasetAppendTest, RejectsWidthMismatchEvenUnnamed) {
+  Dataset a = named_data({"f0", "f1"});
+  Dataset narrow;
+  narrow.push({1.0}, 0);
+  EXPECT_THROW(a.append(narrow), std::invalid_argument);
+}
+
+TEST(DatasetAppendTest, UnnamedSideIsCompatibleAndAdoptsNames) {
+  // Runtime quarantine datasets carry no names; appending them into a named
+  // DB (and vice versa) must keep working.
+  Dataset named = named_data({"f0", "f1"});
+  Dataset unnamed;
+  unnamed.push({5.0, 6.0}, 1);
+  EXPECT_NO_THROW(named.append(unnamed));
+  EXPECT_EQ(named.size(), 3u);
+
+  Dataset empty_names;
+  empty_names.push({7.0, 8.0}, 0);
+  const Dataset donor = named_data({"f0", "f1"});
+  empty_names.append(donor);
+  EXPECT_EQ(empty_names.feature_names, donor.feature_names);
+}
+
+TEST(DatasetAppendTest, MatchingNamesStillMerge) {
+  Dataset a = named_data({"f0", "f1"});
+  const Dataset b = named_data({"f0", "f1"});
+  EXPECT_NO_THROW(a.append(b));
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(DatasetTest, NumFeaturesTrustworthyByConstruction) {
+  // Regression: num_features() used to trust X.front() on possibly-ragged
+  // row storage.  Raggedness now dies in FeatureMatrix at push time, so
+  // num_features() is always the true rectangular width.
+  Dataset d;
+  EXPECT_EQ(d.num_features(), 0u);
+  d.push({1.0, 2.0, 3.0}, 0);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_THROW(d.push({1.0}, 0), std::invalid_argument);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+}  // namespace
+}  // namespace drlhmd::ml

@@ -63,7 +63,7 @@ TEST_P(ModelSweep, ProbabilitiesAreProbabilities) {
   auto model = make_model(GetParam());
   model->fit(blobs(100));
   const Dataset test = blobs(50, 3.0, 123);
-  for (const auto& row : test.X) {
+  for (const auto& row : test.rows_copy()) {
     const double p = model->predict_proba(row);
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -77,7 +77,7 @@ TEST_P(ModelSweep, DeterministicRetraining) {
   a->fit(train);
   b->fit(train);
   const Dataset test = blobs(20, 3.0, 321);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(a->predict_proba(row), b->predict_proba(row)) << a->name();
 }
 
@@ -89,7 +89,7 @@ TEST_P(ModelSweep, CloneUntrainedIsFreshAndEquivalent) {
   EXPECT_FALSE(clone->trained());
   clone->fit(train);
   const Dataset test = blobs(20, 3.0, 456);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(model->predict_proba(row), clone->predict_proba(row));
 }
 
@@ -136,7 +136,7 @@ TEST(LogisticRegressionTest, SerializeRoundTrip) {
   lr.fit(blobs(100));
   const LogisticRegression restored = LogisticRegression::deserialize(lr.serialize());
   const Dataset test = blobs(20, 3.0, 11);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(lr.predict_proba(row), restored.predict_proba(row));
 }
 
@@ -227,7 +227,7 @@ TEST(DecisionTreeTest, SerializeRoundTrip) {
   tree.fit(xor_data(200));
   const DecisionTree restored = DecisionTree::deserialize(tree.serialize());
   const Dataset test = xor_data(50, 3);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(tree.predict_proba(row), restored.predict_proba(row));
 }
 
@@ -249,7 +249,7 @@ TEST(RandomForestTest, SerializeRoundTrip) {
   forest.fit(blobs(100));
   const RandomForest restored = RandomForest::deserialize(forest.serialize());
   const Dataset test = blobs(20, 3.0, 77);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(forest.predict_proba(row), restored.predict_proba(row));
 }
 
@@ -276,7 +276,7 @@ TEST(GbdtTest, RawScoreIsLogOdds) {
   Gbdt model;
   const Dataset train = blobs(150);
   model.fit(train);
-  const std::vector<double> x = train.X[0];
+  const std::vector<double> x = train.row_copy(0);
   const double raw = model.raw_score(x);
   const double p = model.predict_proba(x);
   EXPECT_NEAR(p, 1.0 / (1.0 + std::exp(-raw)), 1e-12);
@@ -289,7 +289,7 @@ TEST(GbdtTest, SerializeRoundTrip) {
   model.fit(blobs(100));
   const Gbdt restored = Gbdt::deserialize(model.serialize());
   const Dataset test = blobs(20, 3.0, 88);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(model.predict_proba(row), restored.predict_proba(row));
 }
 
@@ -315,7 +315,7 @@ TEST(MlpTest, SerializeRoundTrip) {
   mlp.fit(blobs(100));
   const MlpClassifier restored = MlpClassifier::deserialize(mlp.serialize());
   const Dataset test = blobs(20, 3.0, 55);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(mlp.predict_proba(row), restored.predict_proba(row));
 }
 
@@ -341,7 +341,7 @@ TEST(ConvNetTest, SerializeRoundTrip) {
   nn.fit(blobs(80));
   const ConvNetClassifier restored = ConvNetClassifier::deserialize(nn.serialize());
   const Dataset test = blobs(20, 3.0, 66);
-  for (const auto& row : test.X)
+  for (const auto& row : test.rows_copy())
     EXPECT_DOUBLE_EQ(nn.predict_proba(row), restored.predict_proba(row));
 }
 

@@ -17,9 +17,9 @@ MulticlassDataset clusters(std::size_t n_per_class, double gap, std::uint64_t se
   const double centers[3][2] = {{0, 0}, {gap, 0}, {0, gap}};
   for (std::size_t c = 0; c < 3; ++c) {
     for (std::size_t i = 0; i < n_per_class; ++i) {
-      d.X.push_back({centers[c][0] + rng.normal(0, 0.7),
-                     centers[c][1] + rng.normal(0, 0.7)});
-      d.y.push_back(c);
+      d.push({centers[c][0] + rng.normal(0, 0.7),
+              centers[c][1] + rng.normal(0, 0.7)},
+             c);
     }
   }
   return d;
@@ -34,9 +34,10 @@ TEST(MulticlassDatasetTest, Validation) {
   bad_label.y[0] = 9;
   EXPECT_THROW(bad_label.validate(), std::invalid_argument);
 
+  // Ragged rows cannot be constructed: columnar storage rejects them at
+  // push time rather than at validate time.
   MulticlassDataset ragged = d;
-  ragged.X[0].push_back(1.0);
-  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+  EXPECT_THROW(ragged.push({1.0, 2.0, 3.0}, 0), std::invalid_argument);
 
   MulticlassDataset no_classes = d;
   no_classes.class_names.clear();

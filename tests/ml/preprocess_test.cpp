@@ -24,7 +24,7 @@ TEST(StandardScalerTest, TransformsToZeroMeanUnitVariance) {
   const Dataset scaled = scaler.transform(d);
   for (std::size_t c = 0; c < 2; ++c) {
     double sum = 0.0, sum_sq = 0.0;
-    for (const auto& row : scaled.X) {
+    for (const auto& row : scaled.rows_copy()) {
       sum += row[c];
       sum_sq += row[c] * row[c];
     }
@@ -67,7 +67,7 @@ TEST(CleanTest, DropsNonFiniteRows) {
   d.push({std::numeric_limits<double>::infinity(), 1.0}, 0);
   const Dataset cleaned = clean(d);
   EXPECT_EQ(cleaned.size(), 3u);
-  for (const auto& row : cleaned.X)
+  for (const auto& row : cleaned.rows_copy())
     for (double v : row) EXPECT_TRUE(std::isfinite(v));
 }
 
@@ -77,7 +77,7 @@ TEST(CleanTest, WinsorizesOutliers) {
   d.push({1e9}, 0);  // counter glitch
   const Dataset cleaned = clean(d, 0.001, 0.99);
   double max_val = 0.0;
-  for (const auto& row : cleaned.X) max_val = std::max(max_val, row[0]);
+  for (const auto& row : cleaned.rows_copy()) max_val = std::max(max_val, row[0]);
   EXPECT_LT(max_val, 100.0);
   EXPECT_EQ(cleaned.size(), 1000u);
 }

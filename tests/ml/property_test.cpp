@@ -84,7 +84,7 @@ TEST_P(SeedSweep, ScalerRoundTrip) {
     d.push({rng.normal(5, 2), rng.normal(-3, 0.5), rng.uniform(0, 100)}, i % 2);
   StandardScaler scaler;
   scaler.fit(d);
-  for (const auto& row : d.X) {
+  for (const auto& row : d.rows_copy()) {
     const auto restored = scaler.inverse_transform(scaler.transform(row));
     for (std::size_t c = 0; c < row.size(); ++c)
       EXPECT_NEAR(restored[c], row[c], 1e-9);

@@ -60,7 +60,7 @@ TEST_P(DetectorRoundTrip, SerializeDeserializeSerializeIsByteIdentical) {
 
   // The restored model must also score identically.
   const ml::Dataset probe = blobs(20, 3.0, 77);
-  for (const auto& row : probe.X)
+  for (const auto& row : probe.rows_copy())
     EXPECT_EQ(restored->predict_proba(row), model->predict_proba(row));
 }
 
@@ -125,7 +125,7 @@ TEST(PredictorRoundTrip, ByteIdenticalAndSameRewards) {
   EXPECT_EQ(restored.serialize(), first);
   EXPECT_TRUE(restored.trained());
   const ml::Dataset probe = blobs(10, 4.0, 23);
-  for (const auto& row : probe.X) {
+  for (const auto& row : probe.rows_copy()) {
     EXPECT_EQ(restored.feedback_reward(row), predictor.feedback_reward(row));
     EXPECT_EQ(restored.is_adversarial(row), predictor.is_adversarial(row));
   }
@@ -181,7 +181,7 @@ TEST_F(ControllerRoundTrip, AllThreePoliciesByteIdentical) {
     EXPECT_EQ(restored.selected_model(), controller.selected_model());
     for (std::size_t arm = 0; arm < classical_.size(); ++arm)
       EXPECT_EQ(restored.constraint_score(arm), controller.constraint_score(arm));
-    const std::vector<double> probe = train_.X.front();
+    const std::vector<double> probe = train_.row_copy(0);
     EXPECT_EQ(restored.predict(probe), controller.predict(probe));
   }
 }

@@ -75,9 +75,9 @@ TEST(AdversarialPredictorTest, FeedbackRewardSeparatesClasses) {
   predictor.train(fx.adversarial, fx.legitimate);
 
   double adv_mean = 0.0, legit_mean = 0.0;
-  for (const auto& row : fx.adversarial.X)
+  for (const auto& row : fx.adversarial.rows_copy())
     adv_mean += predictor.feedback_reward(row);
-  for (const auto& row : fx.legitimate.X)
+  for (const auto& row : fx.legitimate.rows_copy())
     legit_mean += predictor.feedback_reward(row);
   adv_mean /= static_cast<double>(fx.adversarial.size());
   legit_mean /= static_cast<double>(fx.legitimate.size());
@@ -93,8 +93,8 @@ TEST(AdversarialPredictorTest, RewardTraceShapeMatchesStream) {
   predictor.train(fx.adversarial, fx.legitimate);
 
   std::vector<std::vector<double>> stream;
-  for (std::size_t i = 0; i < 10; ++i) stream.push_back(fx.adversarial.X[i]);
-  for (std::size_t i = 0; i < 10; ++i) stream.push_back(fx.legitimate.X[i]);
+  for (std::size_t i = 0; i < 10; ++i) stream.push_back(fx.adversarial.row_copy(i));
+  for (std::size_t i = 0; i < 10; ++i) stream.push_back(fx.legitimate.row_copy(i));
   const auto trace = predictor.reward_trace(stream);
   ASSERT_EQ(trace.size(), 20u);
   // First half (adversarial) must sit well above the second half.

@@ -139,7 +139,7 @@ TEST(ConstraintControllerTest, StateIs14TupleWithFiveModels) {
   }
   const auto profiles = profile_models(models, train);
   ConstraintController controller(models, profiles);
-  const auto state = controller.build_state(train.X[0]);
+  const auto state = controller.build_state(train.row_copy(0));
   EXPECT_EQ(state.size(), 14u);
   // Predictions and flags are binary.
   for (std::size_t i = 4; i < 14; ++i)
@@ -154,7 +154,7 @@ TEST(ConstraintControllerTest, PredictRoutesThroughSelectedModel) {
   controller.train(fx.train);
   const ml::Dataset test = blobs(50, 2.0, 9);
   const std::size_t sel = controller.selected_model();
-  for (const auto& row : test.X) {
+  for (const auto& row : test.rows_copy()) {
     EXPECT_EQ(controller.predict(row), fx.models[sel]->predict(row));
     EXPECT_DOUBLE_EQ(controller.predict_proba(row),
                      fx.models[sel]->predict_proba(row));
@@ -176,7 +176,7 @@ TEST(ConstraintControllerTest, ObserveUpdatesBandit) {
   const ControllerFixture fx;
   ConstraintController controller(fx.models, fx.profiles);
   const auto pulls_before = controller.bandit().total_pulls();
-  controller.observe(fx.train.X[0], fx.train.y[0]);
+  controller.observe(fx.train.row_copy(0), fx.train.y[0]);
   EXPECT_EQ(controller.bandit().total_pulls(), pulls_before + 1);
 }
 

@@ -13,10 +13,7 @@ int main() {
   sim::CorpusConfig cc;
   cc.benign_apps = 120; cc.malware_apps = 120; cc.windows_per_app = 4;
   auto corpus = sim::build_corpus(cc);
-  ml::Dataset raw;
-  raw.feature_names = corpus.feature_names;
-  for (const auto& r : corpus.records) raw.push(r.features, r.malware ? 1 : 0);
-  raw = ml::clean(raw);
+  ml::Dataset raw = ml::clean(sim::corpus_to_dataset(corpus));
   auto mi = ml::mutual_information(raw, 16);
   std::printf("MI ranking:\n");
   for (size_t k = 0; k < 12; ++k) {

@@ -97,10 +97,7 @@ int cmd_features(const Args& args) {
   const auto bins = static_cast<std::size_t>(args.get_int("bins", 16));
   const auto top = static_cast<std::size_t>(args.get_int("top", 10));
   const sim::HpcCorpus corpus = sim::corpus_from_csv(util::read_csv_file(in));
-  ml::Dataset data;
-  data.feature_names = corpus.feature_names;
-  for (const auto& rec : corpus.records)
-    data.push(rec.features, rec.malware ? 1 : 0);
+  const ml::Dataset data = sim::corpus_to_dataset(corpus);
   const auto mi = ml::mutual_information(data, bins);
   util::Table table({"rank", "event", "MI (nats)"});
   for (std::size_t k = 0; k < std::min(top, mi.ranking.size()); ++k) {
