@@ -7,13 +7,14 @@
 // identical by construction (see tests/batch), so this measures pure
 // mechanical win: no per-row virtual dispatch or row gather, lockstep
 // multi-lane tree traversal for the ensembles, whole-batch matmuls for the
-// neural models.  Emits BENCH_batch.json on stdout.
+// neural models.  Emits BENCH_batch.json (drlhmd-bench/1 schema) as the
+// last stdout line, which is what the benchdiff regression gate consumes.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "ml/model_zoo.hpp"
-#include "obs/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -64,11 +65,9 @@ int main() {
 
   util::Table table(
       {"model", "row ns/sample", "batch ns/sample", "batch speedup"});
-  obs::JsonWriter json;
-  json.begin_object();
-  json.kv("test_rows", static_cast<std::uint64_t>(n));
-  json.kv("features", static_cast<std::uint64_t>(test.num_features()));
-  json.key("models").begin_array();
+  bench::BenchWriter json("batch_inference");
+  json.context("test_rows", static_cast<std::uint64_t>(n));
+  json.context("features", static_cast<std::uint64_t>(test.num_features()));
 
   double sink = 0.0;  // defeat dead-code elimination
   for (const auto kind :
@@ -96,15 +95,10 @@ int main() {
     std::fprintf(stderr, "[batch] %-8s row=%.1fns batch=%.1fns x%.2f\n",
                  model->name().c_str(), row_ns, batch_ns, speedup);
 
-    json.begin_object();
-    json.kv("model", model->name());
-    json.kv("row_ns_per_sample", row_ns);
-    json.kv("batch_ns_per_sample", batch_ns);
-    json.kv("batch_speedup", speedup);
-    json.end_object();
+    json.metric(model->name() + ".row_ns_per_sample", row_ns, "ns", false);
+    json.metric(model->name() + ".batch_ns_per_sample", batch_ns, "ns", false);
+    json.metric(model->name() + ".batch_speedup", speedup, "x", true);
   }
-  json.end_array();
-  json.end_object();
 
   std::printf("%s\n%s\n", table.to_string().c_str(), json.str().c_str());
   return sink == -1.0 ? 1 : 0;

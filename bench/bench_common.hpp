@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/framework.hpp"
 #include "obs/json.hpp"
@@ -18,6 +20,69 @@
 #include "util/timer.hpp"
 
 namespace drlhmd::bench {
+
+/// Unified BENCH_*.json writer (schema "drlhmd-bench/1"): machine-run
+/// context plus a flat list of named metrics, each carrying its unit and
+/// direction so tools/benchdiff can compare documents without guessing.
+///
+///   {"schema":"drlhmd-bench/1","bench":"batch_inference",
+///    "context":{"test_rows":8000,...},
+///    "metrics":[{"name":"RF.batch_speedup","value":3.7,"unit":"x",
+///                "higher_is_better":true},...]}
+class BenchWriter {
+ public:
+  explicit BenchWriter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  void context(const std::string& key, std::uint64_t v) {
+    context_.emplace_back(key, std::to_string(v));
+  }
+  void context(const std::string& key, const std::string& v) {
+    obs::JsonWriter w;
+    w.value(std::string_view(v));
+    context_.emplace_back(key, w.str());
+  }
+
+  void metric(std::string name, double value, std::string unit,
+              bool higher_is_better) {
+    metrics_.push_back(
+        {std::move(name), value, std::move(unit), higher_is_better});
+  }
+
+  /// Render the complete document.
+  std::string str() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", std::string_view("drlhmd-bench/1"));
+    w.kv("bench", std::string_view(bench_));
+    w.key("context").begin_object();
+    for (const auto& [k, v] : context_) w.key(k).raw(v);
+    w.end_object();
+    w.key("metrics").begin_array();
+    for (const auto& m : metrics_) {
+      w.begin_object()
+          .kv("name", std::string_view(m.name))
+          .kv("value", m.value)
+          .kv("unit", std::string_view(m.unit))
+          .kv("higher_is_better", m.higher_is_better)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    bool higher_is_better;
+  };
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> context_;  // key -> raw JSON
+  std::vector<Metric> metrics_;
+};
 
 inline double bench_scale() {
   if (const char* env = std::getenv("DRLHMD_BENCH_SCALE")) {

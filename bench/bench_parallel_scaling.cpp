@@ -16,10 +16,10 @@
 
 #include "adversarial/feature_importance.hpp"
 #include "adversarial/lowprofool.hpp"
+#include "bench_common.hpp"
 #include "ml/logistic_regression.hpp"
 #include "ml/preprocess.hpp"
 #include "ml/random_forest.hpp"
-#include "obs/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -88,13 +88,11 @@ int main() {
 
   util::Table table({"threads", "rf_fit_s", "rf_speedup", "attack_s",
                      "attack_speedup"});
-  obs::JsonWriter json;
-  json.begin_object();
-  json.kv("hardware_concurrency",
-          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
-  json.kv("rf_trees", static_cast<std::uint64_t>(rf_cfg.n_trees));
-  json.kv("dataset_rows", static_cast<std::uint64_t>(train.size()));
-  json.key("points").begin_array();
+  bench::BenchWriter json("parallel_scaling");
+  json.context("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.context("rf_trees", static_cast<std::uint64_t>(rf_cfg.n_trees));
+  json.context("dataset_rows", static_cast<std::uint64_t>(train.size()));
   for (std::size_t i = 0; i < widths.size(); ++i) {
     const double rf_speedup = rf_seconds[0] / rf_seconds[i];
     const double attack_speedup = attack_seconds[0] / attack_seconds[i];
@@ -103,16 +101,12 @@ int main() {
                    util::Table::fmt(rf_speedup, 2),
                    util::Table::fmt(attack_seconds[i], 4),
                    util::Table::fmt(attack_speedup, 2)});
-    json.begin_object();
-    json.kv("threads", static_cast<std::uint64_t>(widths[i]));
-    json.kv("rf_fit_seconds", rf_seconds[i]);
-    json.kv("rf_speedup", rf_speedup);
-    json.kv("attack_seconds", attack_seconds[i]);
-    json.kv("attack_speedup", attack_speedup);
-    json.end_object();
+    const std::string prefix = "threads" + std::to_string(widths[i]);
+    json.metric(prefix + ".rf_fit_seconds", rf_seconds[i], "s", false);
+    json.metric(prefix + ".rf_speedup", rf_speedup, "x", true);
+    json.metric(prefix + ".attack_seconds", attack_seconds[i], "s", false);
+    json.metric(prefix + ".attack_speedup", attack_speedup, "x", true);
   }
-  json.end_array();
-  json.end_object();
 
   std::printf("%s\n%s\n", table.to_string().c_str(), json.str().c_str());
   return 0;

@@ -1,0 +1,51 @@
+# ctest perf gate: run the batch-inference bench, take its BENCH_*.json
+# (last stdout line), and diff it against the checked-in baseline with
+# tools/benchdiff.  Fails when a compared metric regresses past TOLERANCE.
+#
+# Invoked as:
+#   cmake -DBENCH=<bench_batch_inference> -DBENCHDIFF=<benchdiff>
+#         -DBASELINE=<BENCH_batch.json> -P benchdiff_gate.cmake
+foreach(var IN ITEMS BENCH BENCHDIFF BASELINE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "benchdiff_gate: pass -D${var}=...")
+  endif()
+endforeach()
+if(NOT DEFINED TOLERANCE)
+  # Speedup ratios are dimensionless but still noisy on a loaded or
+  # differently-shaped host; the gate exists to catch real collapses
+  # (pipeline falls back to the row path, vectorization lost), not 10%
+  # jitter.
+  set(TOLERANCE 0.75)
+endif()
+
+execute_process(
+  COMMAND ${BENCH}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "bench exited ${status}:\n${err}")
+endif()
+
+# The bench prints tables first and the JSON document as the last line.
+string(STRIP "${out}" out)
+string(REGEX REPLACE ".*\n" "" candidate_json "${out}")
+if(candidate_json STREQUAL "")
+  message(FATAL_ERROR "bench produced no JSON document")
+endif()
+set(candidate_file "${CMAKE_CURRENT_BINARY_DIR}/benchdiff_candidate.json")
+file(WRITE "${candidate_file}" "${candidate_json}\n")
+
+execute_process(
+  COMMAND ${BENCHDIFF} ${BASELINE} ${candidate_file}
+          --metric speedup --tolerance ${TOLERANCE}
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err
+  RESULT_VARIABLE diff_status)
+message(STATUS "benchdiff report:\n${diff_out}")
+if(NOT diff_status EQUAL 0)
+  message(FATAL_ERROR
+    "benchdiff gate failed (exit ${diff_status}):\n${diff_out}${diff_err}")
+endif()
+
+message(STATUS "benchdiff gate ok (tolerance ${TOLERANCE})")

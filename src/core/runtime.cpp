@@ -45,6 +45,16 @@ DetectionRuntime::DetectionRuntime(Framework& framework, RuntimeConfig config)
       &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "integrity"}});
   latency_total_ =
       &reg.histogram("drlhmd.runtime.stage_latency_us", {}, {{"stage", "total"}});
+  const obs::TailConfig& tail_cfg = obs::default_latency_tail_config();
+  tail_predictor_ = &reg.tail("drlhmd.runtime.stage_tail_us", tail_cfg,
+                              {{"stage", "predictor"}});
+  tail_detector_ = &reg.tail("drlhmd.runtime.stage_tail_us", tail_cfg,
+                             {{"stage", "detector"}});
+  tail_integrity_ = &reg.tail("drlhmd.runtime.stage_tail_us", tail_cfg,
+                              {{"stage", "integrity"}});
+  tail_total_ =
+      &reg.tail("drlhmd.runtime.stage_tail_us", tail_cfg, {{"stage", "total"}});
+  tail_batch_ = &reg.tail("drlhmd.runtime.batch_tail_us", tail_cfg);
 }
 
 RuntimeStats DetectionRuntime::stats() const {
@@ -61,13 +71,15 @@ RuntimeStats DetectionRuntime::stats() const {
 
 TrafficVerdict DetectionRuntime::process(std::span<const double> features) {
   const bool timed = obs::Telemetry::enabled();
-  const obs::ScopedLatency total(timed ? latency_total_ : nullptr);
+  const obs::ScopedLatency total(timed ? latency_total_ : nullptr,
+                                 timed ? tail_total_ : nullptr);
   processed_->inc();
 
   // Line of defense 1: the DRL predictor's feedback reward.
   bool flagged;
   {
-    const obs::ScopedLatency t(timed ? latency_predictor_ : nullptr);
+    const obs::ScopedLatency t(timed ? latency_predictor_ : nullptr,
+                               timed ? tail_predictor_ : nullptr);
     flagged = framework_.predictor().is_adversarial(features);
   }
   if (flagged) {
@@ -84,7 +96,8 @@ TrafficVerdict DetectionRuntime::process(std::span<const double> features) {
   // Line of defense 2: the constraint-aware controller's scheduled model.
   int prediction;
   {
-    const obs::ScopedLatency t(timed ? latency_detector_ : nullptr);
+    const obs::ScopedLatency t(timed ? latency_detector_ : nullptr,
+                               timed ? tail_detector_ : nullptr);
     prediction = framework_.controller(config_.policy).predict(features);
   }
   if (prediction == 1) {
@@ -115,8 +128,9 @@ void DetectionRuntime::maybe_validate_integrity() {
 }
 
 bool DetectionRuntime::validate_integrity() {
-  const obs::ScopedLatency t(
-      obs::Telemetry::enabled() ? latency_integrity_ : nullptr);
+  const bool timed = obs::Telemetry::enabled();
+  const obs::ScopedLatency t(timed ? latency_integrity_ : nullptr,
+                             timed ? tail_integrity_ : nullptr);
   integrity_checks_->inc();
   bool all_intact = true;
   for (const auto& model : framework_.defended_models()) {
@@ -133,6 +147,10 @@ bool DetectionRuntime::validate_integrity() {
 }
 
 std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch) {
+  // Whole-batch wall time into the exact tail histogram (the per-stage
+  // histograms cannot be recorded inside the parallel scoring region).
+  const obs::ScopedLatency batch_timer(
+      nullptr, obs::Telemetry::enabled() ? tail_batch_ : nullptr);
   std::vector<TrafficVerdict> verdicts;
   verdicts.reserve(batch.rows());
   std::vector<double> row(batch.cols());

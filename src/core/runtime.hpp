@@ -126,6 +126,14 @@ class DetectionRuntime {
   obs::Histogram* latency_detector_;
   obs::Histogram* latency_integrity_;
   obs::Histogram* latency_total_;
+  // Exact tail histograms alongside the legacy P² stage histograms:
+  // drlhmd.runtime.stage_tail_us{stage=} per stage, and per-batch wall
+  // time in drlhmd.runtime.batch_tail_us.
+  obs::ShardedTailHistogram* tail_predictor_;
+  obs::ShardedTailHistogram* tail_detector_;
+  obs::ShardedTailHistogram* tail_integrity_;
+  obs::ShardedTailHistogram* tail_total_;
+  obs::ShardedTailHistogram* tail_batch_;
 };
 
 /// A framework plus serving runtime reconstructed from a checkpoint.

@@ -1,0 +1,200 @@
+#include "obs/benchdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace drlhmd::obs {
+
+namespace {
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Array elements are keyed by a distinguishing member when one exists, so
+/// reordering models in a bench file does not rename its metrics.
+std::string element_key(const JsonValue& element, std::size_t index) {
+  for (const char* member : {"model", "name", "bench", "label", "threads"}) {
+    if (const JsonValue* v = element.find(member)) {
+      if (v->is_string() && !v->string.empty()) return v->string;
+      if (v->is_number()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.9g", v->number);
+        return std::string(member) + buf;
+      }
+    }
+  }
+  return std::to_string(index);
+}
+
+void flatten(const JsonValue& node, const std::string& prefix,
+             std::vector<BenchMetric>& out) {
+  switch (node.kind) {
+    case JsonValue::Kind::kNumber:
+      out.push_back({prefix, node.number, direction_for_path(prefix)});
+      return;
+    case JsonValue::Kind::kObject: {
+      // Unified-schema metric: {"name":..,"value":..,"higher_is_better":..}
+      // collapses to one metric with an explicit direction.
+      const JsonValue* name = node.find("name");
+      const JsonValue* value = node.find("value");
+      if (name != nullptr && name->is_string() && value != nullptr &&
+          value->is_number()) {
+        // The enclosing array may already have keyed this element by its
+        // "name" member; don't append the name a second time.
+        const std::string& n = name->string;
+        const bool already_keyed =
+            prefix == n ||
+            (prefix.size() > n.size() &&
+             prefix[prefix.size() - n.size() - 1] == '.' &&
+             prefix.compare(prefix.size() - n.size(), n.size(), n) == 0);
+        const std::string path =
+            already_keyed ? prefix
+                          : (prefix.empty() ? n : prefix + "." + n);
+        MetricDirection dir = direction_for_path(path);
+        if (const JsonValue* hib = node.find("higher_is_better");
+            hib != nullptr && hib->is_bool()) {
+          dir = hib->boolean ? MetricDirection::kHigherIsBetter
+                             : MetricDirection::kLowerIsBetter;
+        }
+        out.push_back({path, value->number, dir});
+        return;
+      }
+      for (const auto& [key, member] : node.object)
+        flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+      return;
+    }
+    case JsonValue::Kind::kArray:
+      for (std::size_t i = 0; i < node.array.size(); ++i) {
+        const std::string key = element_key(node.array[i], i);
+        flatten(node.array[i], prefix.empty() ? key : prefix + "." + key,
+                out);
+      }
+      return;
+    default:
+      return;  // strings/bools/nulls are context, not metrics
+  }
+}
+
+}  // namespace
+
+MetricDirection direction_for_path(const std::string& path) {
+  // Compare against the final path segment so a model named "throughput"
+  // in a parent key cannot flip its children's direction.
+  const std::size_t dot = path.rfind('.');
+  const std::string leaf = dot == std::string::npos ? path
+                                                    : path.substr(dot + 1);
+  for (const char* needle :
+       {"ns_per", "us_per", "ms_per", "per_sample", "seconds", "latency",
+        "_ns", "_us", "_ms", "time"}) {
+    if (contains(leaf, needle)) return MetricDirection::kLowerIsBetter;
+  }
+  for (const char* needle :
+       {"speedup", "throughput", "per_second", "rows_per", "samples_per",
+        "f1", "accuracy", "precision", "recall", "auc", "score"}) {
+    if (contains(leaf, needle)) return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kInformational;
+}
+
+std::vector<BenchMetric> flatten_bench(const JsonValue& doc) {
+  std::vector<BenchMetric> out;
+  flatten(doc, "", out);
+  std::sort(out.begin(), out.end(),
+            [](const BenchMetric& a, const BenchMetric& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+double MetricComparison::badness() const {
+  if (direction == MetricDirection::kInformational) return 0.0;
+  if (!std::isfinite(baseline) || !std::isfinite(candidate) ||
+      baseline <= 0.0 || candidate <= 0.0)
+    return 0.0;  // no meaningful ratio
+  return direction == MetricDirection::kLowerIsBetter
+             ? candidate / baseline
+             : baseline / candidate;
+}
+
+std::vector<MetricComparison> BenchDiff::regressions(double tolerance) const {
+  std::vector<MetricComparison> out;
+  for (const auto& c : compared)
+    if (c.regressed(tolerance)) out.push_back(c);
+  return out;
+}
+
+BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& candidate,
+                     const std::vector<std::string>& metric_filters) {
+  const auto keep = [&](const std::string& path) {
+    if (metric_filters.empty()) return true;
+    for (const auto& f : metric_filters)
+      if (contains(path, f.c_str())) return true;
+    return false;
+  };
+
+  const std::vector<BenchMetric> base = flatten_bench(baseline);
+  const std::vector<BenchMetric> cand = flatten_bench(candidate);
+
+  BenchDiff diff;
+  std::size_t i = 0, j = 0;
+  while (i < base.size() || j < cand.size()) {
+    if (j >= cand.size() || (i < base.size() && base[i].path < cand[j].path)) {
+      if (keep(base[i].path)) diff.baseline_only.push_back(base[i].path);
+      ++i;
+    } else if (i >= base.size() || cand[j].path < base[i].path) {
+      if (keep(cand[j].path)) diff.candidate_only.push_back(cand[j].path);
+      ++j;
+    } else {
+      if (keep(base[i].path)) {
+        // Explicit directions (unified schema) win over path inference;
+        // the candidate's declaration is authoritative.
+        const MetricDirection dir =
+            cand[j].direction != MetricDirection::kInformational
+                ? cand[j].direction
+                : base[i].direction;
+        diff.compared.push_back(
+            {base[i].path, base[i].value, cand[j].value, dir});
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return diff;
+}
+
+std::string render_bench_diff(const BenchDiff& diff, double tolerance) {
+  std::string out;
+  char line[256];
+  for (const auto& c : diff.compared) {
+    const double bad = c.badness();
+    const char* status =
+        c.direction == MetricDirection::kInformational
+            ? "info"
+            : (c.regressed(tolerance)
+                   ? "REGRESSED"
+                   : (bad != 0.0 && bad < 1.0 ? "improved" : "ok"));
+    std::snprintf(line, sizeof line, "%-9s %-48s %14.6g -> %-14.6g", status,
+                  c.path.c_str(), c.baseline, c.candidate);
+    out += line;
+    if (c.direction != MetricDirection::kInformational && bad != 0.0) {
+      std::snprintf(line, sizeof line, "  (%.2fx %s)", bad,
+                    bad > 1.0 ? "worse" : "better-or-equal");
+      out += line;
+    }
+    out += '\n';
+  }
+  for (const auto& p : diff.baseline_only)
+    out += "missing   " + p + " (present in baseline only)\n";
+  for (const auto& p : diff.candidate_only)
+    out += "new       " + p + " (present in candidate only)\n";
+  const std::size_t n_regressed = diff.regressions(tolerance).size();
+  std::snprintf(line, sizeof line,
+                "%zu compared, %zu regressed (tolerance %.0f%%)\n",
+                diff.compared.size(), n_regressed, tolerance * 100.0);
+  out += line;
+  return out;
+}
+
+}  // namespace drlhmd::obs

@@ -1,0 +1,76 @@
+// Benchmark regression comparison: load two BENCH_*.json documents,
+// flatten them to dotted metric paths, and flag candidate metrics that got
+// worse than the baseline beyond a noise tolerance.
+//
+// The flattener understands both the unified drlhmd-bench/1 schema
+// (objects with "name"/"value"/"higher_is_better" members become one
+// metric with an explicit direction) and free-form JSON (arrays key their
+// elements by a "model"/"name"/"bench"/"label"/"threads" member when one
+// exists, numbers become metrics at their dotted path).  For metrics with
+// no explicit direction, better-ness is inferred from the path: latency-
+// and duration-like names are lower-is-better, throughput/speedup/score
+// names are higher-is-better, anything else is informational (compared and
+// reported, never a regression).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drlhmd::obs {
+
+/// Better-ness of a metric.
+enum class MetricDirection : int {
+  kLowerIsBetter = -1,
+  kInformational = 0,
+  kHigherIsBetter = 1,
+};
+
+/// Direction inferred from a dotted metric path (see file comment).
+MetricDirection direction_for_path(const std::string& path);
+
+/// One numeric metric extracted from a bench document.
+struct BenchMetric {
+  std::string path;
+  double value = 0.0;
+  MetricDirection direction = MetricDirection::kInformational;
+};
+
+/// Flatten a parsed bench document to its metrics, sorted by path.
+std::vector<BenchMetric> flatten_bench(const JsonValue& doc);
+
+/// One baseline/candidate pair.
+struct MetricComparison {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  MetricDirection direction = MetricDirection::kInformational;
+
+  /// How much worse the candidate is, as a ratio >= 0 (1.0 = unchanged,
+  /// 2.0 = twice as bad).  0 when not comparable (informational metric, or
+  /// non-positive values that cannot form a ratio).
+  double badness() const;
+  bool regressed(double tolerance) const {
+    return badness() > 1.0 + tolerance;
+  }
+};
+
+/// Full diff between two bench documents.
+struct BenchDiff {
+  std::vector<MetricComparison> compared;
+  std::vector<std::string> baseline_only;   // paths missing from candidate
+  std::vector<std::string> candidate_only;  // paths new in candidate
+
+  std::vector<MetricComparison> regressions(double tolerance) const;
+};
+
+/// Compare two parsed documents.  When `metric_filters` is non-empty, only
+/// paths containing at least one filter substring are compared.
+BenchDiff bench_diff(const JsonValue& baseline, const JsonValue& candidate,
+                     const std::vector<std::string>& metric_filters = {});
+
+/// Human-readable report (one line per metric, regressions flagged).
+std::string render_bench_diff(const BenchDiff& diff, double tolerance);
+
+}  // namespace drlhmd::obs

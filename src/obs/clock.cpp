@@ -1,0 +1,34 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+
+namespace drlhmd::obs {
+
+std::chrono::steady_clock::time_point telemetry_epoch() {
+  // Pinned on first use from any thread; function-local static
+  // initialization is thread-safe.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double now_us_since_epoch() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - telemetry_epoch())
+      .count();
+}
+
+double now_ms_since_epoch() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - telemetry_epoch())
+      .count();
+}
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace drlhmd::obs

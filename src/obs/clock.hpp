@@ -1,0 +1,31 @@
+// One shared steady-clock epoch + compact thread identities for the whole
+// obs layer.
+//
+// PR-1 gave every component its own construction-time epoch (Logger,
+// Tracer, ...), so a log line's ts_ms and a trace span's start_us could not
+// be correlated.  Everything now measures from telemetry_epoch(), a single
+// process-wide steady_clock anchor pinned the first time any obs component
+// asks for it.  current_thread_id() hands out small dense ids (0 = first
+// caller, usually the main thread) so trace events can name threads without
+// leaking unstable std::thread::id hashes into exported files.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace drlhmd::obs {
+
+/// Process-wide steady-clock anchor; identical for every caller.
+std::chrono::steady_clock::time_point telemetry_epoch();
+
+/// Microseconds elapsed since telemetry_epoch().
+double now_us_since_epoch();
+
+/// Milliseconds elapsed since telemetry_epoch().
+double now_ms_since_epoch();
+
+/// Small dense id of the calling thread (0, 1, 2, ... in first-call order);
+/// stable for the thread's lifetime.
+std::uint32_t current_thread_id();
+
+}  // namespace drlhmd::obs

@@ -1,7 +1,9 @@
 #include "obs/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace drlhmd::obs {
@@ -157,49 +159,75 @@ const std::string& JsonWriter::str() const {
 }
 
 // ---------------------------------------------------------------------------
-// Validation: recursive-descent scanner over the JSON grammar.
+// Parsing: recursive-descent parser over the JSON grammar; json_valid is
+// the same machinery with the resulting DOM discarded.
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
 
 namespace {
 
-class Scanner {
+class Parser {
  public:
-  explicit Scanner(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text) : text_(text) {}
 
-  bool document() {
+  std::optional<JsonValue> document() {
     skip_ws();
-    if (!value()) return false;
+    JsonValue root;
+    if (!value(root)) return std::nullopt;
     skip_ws();
-    return pos_ == text_.size();
+    if (pos_ != text_.size()) return std::nullopt;
+    return root;
   }
 
  private:
-  bool value() {
+  bool value(JsonValue& out) {
     if (depth_ > 256) return false;  // pathological nesting
     if (pos_ >= text_.size()) return false;
     switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        out.kind = JsonValue::Kind::kNumber;
+        return number(out.number);
     }
   }
 
-  bool object() {
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
     ++depth_;
     ++pos_;  // '{'
     skip_ws();
     if (peek() == '}') { ++pos_; --depth_; return true; }
     while (true) {
       skip_ws();
-      if (peek() != '"' || !string()) return false;
+      std::string key;
+      if (peek() != '"' || !string(key)) return false;
       skip_ws();
       if (peek() != ':') return false;
       ++pos_;
       skip_ws();
-      if (!value()) return false;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
       skip_ws();
       if (peek() == ',') { ++pos_; continue; }
       if (peek() == '}') { ++pos_; --depth_; return true; }
@@ -207,14 +235,17 @@ class Scanner {
     }
   }
 
-  bool array() {
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
     ++depth_;
     ++pos_;  // '['
     skip_ws();
     if (peek() == ']') { ++pos_; --depth_; return true; }
     while (true) {
       skip_ws();
-      if (!value()) return false;
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
       skip_ws();
       if (peek() == ',') { ++pos_; continue; }
       if (peek() == ']') { ++pos_; --depth_; return true; }
@@ -222,7 +253,7 @@ class Scanner {
     }
   }
 
-  bool string() {
+  bool string(std::string& out) {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
@@ -233,23 +264,55 @@ class Scanner {
         if (pos_ >= text_.size()) return false;
         const char e = text_[pos_];
         if (e == 'u') {
+          unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             ++pos_;
             if (pos_ >= text_.size() || !std::isxdigit(
                     static_cast<unsigned char>(text_[pos_])))
               return false;
+            const char h = text_[pos_];
+            code = code * 16 +
+                   static_cast<unsigned>(h <= '9' ? h - '0'
+                                                  : (h | 0x20) - 'a' + 10);
           }
-        } else if (std::string_view("\"\\/bfnrt").find(e) ==
-                   std::string_view::npos) {
-          return false;
+          append_utf8(out, code);
+        } else {
+          switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            default: return false;
+          }
         }
+      } else {
+        out += c;
       }
       ++pos_;
     }
     return false;
   }
 
-  bool number() {
+  static void append_utf8(std::string& out, unsigned code) {
+    // BMP-only (surrogate pairs are stored as-is per half); telemetry
+    // documents never emit them, this just keeps round-trips lossless.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool number(double& out) {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
     // int part: single 0, or nonzero digit followed by digits (no leading 0s).
@@ -268,7 +331,10 @@ class Scanner {
       if (peek() == '+' || peek() == '-') ++pos_;
       if (!digits()) return false;
     }
-    return pos_ > start;
+    if (pos_ == start) return false;
+    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr);
+    return true;
   }
 
   bool digits() {
@@ -300,6 +366,12 @@ class Scanner {
 
 }  // namespace
 
-bool json_valid(std::string_view text) { return Scanner(text).document(); }
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).document();
+}
+
+bool json_valid(std::string_view text) {
+  return Parser(text).document().has_value();
+}
 
 }  // namespace drlhmd::obs

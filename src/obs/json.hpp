@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace drlhmd::obs {
 
@@ -62,6 +65,42 @@ class JsonWriter {
   bool key_pending_ = false;
   bool done_ = false;
 };
+
+/// Parsed JSON document node.  A deliberately small DOM: object members
+/// keep document order (duplicates allowed, first wins on lookup), numbers
+/// are doubles.  Used by tools/benchdiff to load BENCH_*.json files and by
+/// tests to structurally inspect exported telemetry.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup (objects only); nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse a complete JSON document; std::nullopt on any syntax error.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 /// True when `text` is a syntactically valid JSON document.
 bool json_valid(std::string_view text);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 
 namespace drlhmd::obs {
@@ -30,9 +31,11 @@ std::string LogRecord::to_jsonl() const {
   return w.str();
 }
 
-Logger::Logger()
-    : level_(static_cast<int>(LogLevel::kWarn)),
-      epoch_(std::chrono::steady_clock::now()) {}
+// Timestamps use the shared telemetry epoch so log records, trace spans,
+// and metrics snapshots sit on one time base.
+Logger::Logger() : level_(static_cast<int>(LogLevel::kWarn)) {
+  telemetry_epoch();
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -56,9 +59,7 @@ void Logger::set_callback(std::function<void(const LogRecord&)> callback) {
 }
 
 void Logger::submit(LogRecord record) {
-  record.ts_ms = std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - epoch_)
-                     .count();
+  record.ts_ms = now_ms_since_epoch();
   if (stderr_sink_.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(record.level),
                  record.file, record.line, record.message.c_str());

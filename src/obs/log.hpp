@@ -10,7 +10,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <fstream>
@@ -33,7 +32,7 @@ const char* level_name(LogLevel level);
 
 struct LogRecord {
   LogLevel level = LogLevel::kInfo;
-  double ts_ms = 0.0;  // milliseconds since logger construction
+  double ts_ms = 0.0;  // milliseconds since the shared telemetry epoch
   const char* file = "";
   int line = 0;
   std::string message;
@@ -80,7 +79,6 @@ class Logger {
 
   std::atomic<int> level_;
   std::atomic<bool> stderr_sink_{true};
-  std::chrono::steady_clock::time_point epoch_;
   std::mutex mu_;  // guards the sinks below
   std::ofstream jsonl_;
   std::function<void(const LogRecord&)> callback_;

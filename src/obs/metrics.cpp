@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/table.hpp"
 
@@ -131,6 +132,12 @@ Histogram::Histogram(std::vector<double> bucket_bounds)
 
 void Histogram::observe(double v) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!std::isfinite(v)) {
+    // NaN would poison min/max/sum (and NaN comparisons would misplace the
+    // bucket); count the loss instead of absorbing it.
+    ++dropped_;
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
@@ -150,6 +157,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
   snap.count = count_;
+  snap.dropped = dropped_;
   snap.sum = sum_;
   if (count_ > 0) {
     snap.min = min_;
@@ -209,9 +217,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *it->second.metric;
 }
 
+ShardedTailHistogram& MetricsRegistry::tail(const std::string& name,
+                                            const TailConfig& config,
+                                            const Labels& labels) {
+  const std::string key = metric_key(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = tails_.find(key);
+  if (it == tails_.end()) {
+    it = tails_
+             .emplace(key, Entry<ShardedTailHistogram>{
+                               name, labels,
+                               std::make_unique<ShardedTailHistogram>(config)})
+             .first;
+  }
+  return *it->second.metric;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
+  snap.captured_us = now_us_since_epoch();
   snap.counters.reserve(counters_.size());
   for (const auto& [key, entry] : counters_)
     snap.counters.push_back({entry.name, entry.labels, entry.metric->value()});
@@ -221,12 +246,16 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.histograms.reserve(histograms_.size());
   for (const auto& [key, entry] : histograms_)
     snap.histograms.push_back({entry.name, entry.labels, entry.metric->snapshot()});
+  snap.tails.reserve(tails_.size());
+  for (const auto& [key, entry] : tails_)
+    snap.tails.push_back({entry.name, entry.labels, entry.metric->snapshot()});
   return snap;
 }
 
 std::size_t MetricsRegistry::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         tails_.size();
 }
 
 void MetricsRegistry::clear() {
@@ -234,6 +263,7 @@ void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  tails_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -272,6 +302,7 @@ const Sample* find_sample(const std::vector<Sample>& samples,
 std::string MetricsSnapshot::to_json() const {
   JsonWriter w;
   w.begin_object();
+  w.kv("captured_us", captured_us);
   w.key("counters").begin_array();
   for (const auto& c : counters) {
     w.begin_object().kv("name", std::string_view(c.name));
@@ -291,6 +322,7 @@ std::string MetricsSnapshot::to_json() const {
     w.begin_object().kv("name", std::string_view(h.name));
     write_labels(w, h.labels);
     w.kv("count", h.data.count)
+        .kv("dropped", h.data.dropped)
         .kv("sum", h.data.sum)
         .kv("min", h.data.min)
         .kv("max", h.data.max)
@@ -310,6 +342,25 @@ std::string MetricsSnapshot::to_json() const {
       w.kv("count", h.data.buckets[b]).end_object();
     }
     w.end_array().end_object();
+  }
+  w.end_array();
+  w.key("tails").begin_array();
+  for (const auto& t : tails) {
+    w.begin_object().kv("name", std::string_view(t.name));
+    write_labels(w, t.labels);
+    w.kv("count", t.data.count)
+        .kv("dropped", t.data.dropped)
+        .kv("saturated", t.data.saturated)
+        .kv("sum", t.data.sum)
+        .kv("min", t.data.min)
+        .kv("max", t.data.max)
+        .kv("mean", t.data.mean())
+        .kv("p50", t.data.p50)
+        .kv("p90", t.data.p90)
+        .kv("p99", t.data.p99)
+        .kv("p999", t.data.p999)
+        .kv("p9999", t.data.p9999)
+        .end_object();
   }
   w.end_array();
   w.end_object();
@@ -341,6 +392,20 @@ std::string MetricsSnapshot::to_table() const {
                      util::Table::fmt(h.data.max, 2)});
     out += table.to_string();
   }
+  if (!tails.empty()) {
+    util::Table table(
+        {"tail", "count", "mean", "p50", "p90", "p99", "p999", "max"});
+    for (const auto& t : tails)
+      table.add_row({t.name + labels_text(t.labels),
+                     std::to_string(t.data.count),
+                     util::Table::fmt(t.data.mean(), 2),
+                     util::Table::fmt(t.data.p50, 2),
+                     util::Table::fmt(t.data.p90, 2),
+                     util::Table::fmt(t.data.p99, 2),
+                     util::Table::fmt(t.data.p999, 2),
+                     util::Table::fmt(t.data.max, 2)});
+    out += table.to_string();
+  }
   return out;
 }
 
@@ -355,6 +420,10 @@ const GaugeSample* MetricsSnapshot::find_gauge(const std::string& name,
 const HistogramSample* MetricsSnapshot::find_histogram(
     const std::string& name, const Labels& labels) const {
   return find_sample(histograms, name, labels);
+}
+const TailSample* MetricsSnapshot::find_tail(const std::string& name,
+                                             const Labels& labels) const {
+  return find_sample(tails, name, labels);
 }
 
 }  // namespace drlhmd::obs

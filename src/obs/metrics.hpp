@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/tail_histogram.hpp"
+
 namespace drlhmd::obs {
 
 /// Label set: (key, value) pairs; order-insensitive for addressing.
@@ -77,6 +79,9 @@ class P2Quantile {
 
 /// Fixed-bucket histogram + min/max/sum + streaming p50/p95/p99.
 /// Buckets are upper bounds; an implicit +inf bucket catches the tail.
+/// Non-finite observations (NaN/Inf) are dropped — counted in `dropped`,
+/// never folded into min/max/sum — so one bad sample cannot poison the
+/// whole series.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bucket_bounds);
@@ -85,6 +90,7 @@ class Histogram {
 
   struct Snapshot {
     std::uint64_t count = 0;
+    std::uint64_t dropped = 0;  // non-finite observations skipped
     double sum = 0.0;
     double min = std::numeric_limits<double>::quiet_NaN();
     double max = std::numeric_limits<double>::quiet_NaN();
@@ -102,6 +108,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
+  std::uint64_t dropped_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
@@ -126,16 +133,26 @@ struct HistogramSample {
   Labels labels;
   Histogram::Snapshot data;
 };
+struct TailSample {
+  std::string name;
+  Labels labels;
+  TailHistogram::Snapshot data;
+};
 
 /// Point-in-time copy of every metric, sorted by canonical key.
 struct MetricsSnapshot {
+  /// Microseconds since the shared telemetry epoch when the snapshot was
+  /// taken, so metric dumps line up with trace spans and log records.
+  double captured_us = 0.0;
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<TailSample> tails;
 
-  /// {"counters": [...], "gauges": [...], "histograms": [...]}
+  /// {"captured_us":..,"counters":[...],"gauges":[...],"histograms":[...],
+  ///  "tails":[...]}
   std::string to_json() const;
-  /// Human-readable tables (counters+gauges, then one histogram table).
+  /// Human-readable tables (counters+gauges, then histogram/tail tables).
   std::string to_table() const;
 
   const CounterSample* find_counter(const std::string& name,
@@ -144,6 +161,8 @@ struct MetricsSnapshot {
                                 const Labels& labels = {}) const;
   const HistogramSample* find_histogram(const std::string& name,
                                         const Labels& labels = {}) const;
+  const TailSample* find_tail(const std::string& name,
+                              const Labels& labels = {}) const;
 };
 
 /// Thread-safe registry.  Lookup takes a lock; returned references are
@@ -157,6 +176,11 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        std::vector<double> bucket_bounds = {},
                        const Labels& labels = {});
+  /// Exact tail-latency histogram (sharded, wait-free observe).  The config
+  /// applies on first registration only, like histogram bounds.
+  ShardedTailHistogram& tail(const std::string& name,
+                             const TailConfig& config = {},
+                             const Labels& labels = {});
 
   MetricsSnapshot snapshot() const;
   std::size_t size() const;
@@ -174,6 +198,7 @@ class MetricsRegistry {
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, Entry<ShardedTailHistogram>> tails_;
 };
 
 }  // namespace drlhmd::obs

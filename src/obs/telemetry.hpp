@@ -5,6 +5,10 @@
 // stay at seed performance.  `hmdctl telemetry`, tests, or any embedder
 // flips it on to collect metrics (global MetricsRegistry), phase spans
 // (global Tracer), and structured logs.
+//
+// Setting DRLHMD_TRACE_FILE=<path> in the environment enables telemetry at
+// process start and writes the full Chrome trace-event JSON to <path> at
+// exit — zero-code tracing for any binary linked against obs.
 #pragma once
 
 #include <chrono>
@@ -46,26 +50,32 @@ inline Span phase_span(std::string name) {
   return Telemetry::tracer().span(std::move(name));
 }
 
-/// RAII latency recorder: observes elapsed microseconds into a histogram on
-/// destruction.  A null histogram makes it a no-op (and skips the clock
-/// reads entirely).
+/// RAII latency recorder: observes elapsed microseconds into a legacy
+/// fixed-bucket histogram and/or an exact tail histogram on destruction.
+/// When both targets are null it is a no-op (and skips the clock reads
+/// entirely).
 class ScopedLatency {
  public:
-  explicit ScopedLatency(Histogram* histogram) : histogram_(histogram) {
-    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  explicit ScopedLatency(Histogram* histogram,
+                         ShardedTailHistogram* tail = nullptr)
+      : histogram_(histogram), tail_(tail) {
+    if (histogram_ != nullptr || tail_ != nullptr)
+      start_ = std::chrono::steady_clock::now();
   }
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
   ~ScopedLatency() {
-    if (histogram_ != nullptr) {
-      histogram_->observe(std::chrono::duration<double, std::micro>(
-                              std::chrono::steady_clock::now() - start_)
-                              .count());
-    }
+    if (histogram_ == nullptr && tail_ == nullptr) return;
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    if (histogram_ != nullptr) histogram_->observe(us);
+    if (tail_ != nullptr) tail_->observe(us);
   }
 
  private:
   Histogram* histogram_;
+  ShardedTailHistogram* tail_;
   std::chrono::steady_clock::time_point start_{};
 };
 

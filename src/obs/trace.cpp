@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "util/table.hpp"
 
@@ -23,25 +24,48 @@ void Span::end() {
   tracer_ = nullptr;
 }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+// All tracers share the process-wide telemetry epoch (obs/clock.hpp), so
+// span timestamps line up with log records and metrics snapshots.
+Tracer::Tracer() { telemetry_epoch(); }
 
-double Tracer::now_us() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
+double Tracer::now_us() const { return now_us_since_epoch(); }
 
-Span Tracer::span(std::string name) {
+Span Tracer::span(std::string name, std::string category,
+                  std::uint64_t flow_id) {
   const std::lock_guard<std::mutex> lock(mu_);
   TraceEvent event;
   event.name = std::move(name);
+  event.category = std::move(category);
   event.parent = stack_.empty() ? TraceEvent::kNoParent : stack_.back();
   event.depth = static_cast<int>(stack_.size());
+  event.tid = current_thread_id();
+  event.flow_id = flow_id;
   event.start_us = now_us();
   const std::size_t index = events_.size();
   events_.push_back(std::move(event));
   stack_.push_back(index);
   return Span(this, index);
+}
+
+void Tracer::complete_event(std::string name, std::string category,
+                            double start_us, double dur_us,
+                            std::uint64_t flow_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.parent = TraceEvent::kNoParent;
+  event.depth = 0;
+  event.tid = current_thread_id();
+  event.flow_id = flow_id;
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.open = false;
+  events_.push_back(std::move(event));
+}
+
+std::uint64_t Tracer::next_flow_id() {
+  return flow_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 void Tracer::close(std::size_t index) {
@@ -78,7 +102,6 @@ void Tracer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   stack_.clear();
-  epoch_ = std::chrono::steady_clock::now();
 }
 
 std::string Tracer::to_json() const {
@@ -89,10 +112,14 @@ std::string Tracer::to_json() const {
   for (const auto& ev : snap) {
     w.begin_object()
         .kv("name", std::string_view(ev.name))
+        .kv("cat", std::string_view(ev.category))
         .kv("depth", static_cast<std::int64_t>(ev.depth))
+        .kv("tid", static_cast<std::uint64_t>(ev.tid))
         .kv("start_us", ev.start_us)
         .kv("dur_us", ev.dur_us)
         .kv("open", ev.open);
+    if (ev.flow_id != 0)
+      w.kv("flow_id", static_cast<std::uint64_t>(ev.flow_id));
     w.key("parent");
     if (ev.parent == TraceEvent::kNoParent) {
       w.null();

@@ -9,7 +9,7 @@
 // is disabled.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -22,9 +22,12 @@ class Tracer;
 /// One completed (or still-open) span.
 struct TraceEvent {
   std::string name;
+  std::string category = "phase";  // exporter category ("phase", "parallel", ...)
   std::size_t parent = kNoParent;  // index into the tracer's event list
   int depth = 0;
-  double start_us = 0.0;  // relative to tracer construction
+  std::uint32_t tid = 0;           // dense thread id (obs::current_thread_id)
+  std::uint64_t flow_id = 0;       // nonzero: member of a fork/join flow
+  double start_us = 0.0;           // relative to the shared telemetry epoch
   double dur_us = 0.0;
   bool open = true;
 
@@ -62,7 +65,17 @@ class Tracer {
  public:
   Tracer();
 
-  Span span(std::string name);
+  Span span(std::string name, std::string category = "phase",
+            std::uint64_t flow_id = 0);
+
+  /// Append an already-timed event (used by worker threads reporting chunk
+  /// timings after the fact).  Does not touch the open-span stack, so it is
+  /// safe from any thread while spans are open elsewhere.
+  void complete_event(std::string name, std::string category, double start_us,
+                      double dur_us, std::uint64_t flow_id = 0);
+
+  /// Fresh nonzero id tying fork/join events into one exported flow.
+  std::uint64_t next_flow_id();
 
   /// Snapshot of all events recorded so far.
   std::vector<TraceEvent> events() const;
@@ -80,7 +93,7 @@ class Tracer {
   double now_us() const;
 
   mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> flow_ids_{0};
   std::vector<TraceEvent> events_;
   std::vector<std::size_t> stack_;  // indices of open spans
 };

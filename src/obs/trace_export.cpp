@@ -1,0 +1,85 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace drlhmd::obs {
+
+namespace {
+
+constexpr std::uint64_t kPid = 1;  // single-process trace
+
+void write_common(JsonWriter& w, const TraceEvent& ev) {
+  w.kv("name", std::string_view(ev.name))
+      .kv("cat", std::string_view(ev.category))
+      .kv("pid", kPid)
+      .kv("tid", static_cast<std::uint64_t>(ev.tid))
+      .kv("ts", ev.start_us);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Slice events: closed spans become "X" complete events, still-open
+  // spans become unmatched "B" events (viewers render them to trace end).
+  for (const auto& ev : events) {
+    w.begin_object();
+    write_common(w, ev);
+    if (ev.open) {
+      w.kv("ph", std::string_view("B"));
+    } else {
+      w.kv("ph", std::string_view("X")).kv("dur", ev.dur_us);
+    }
+    w.end_object();
+  }
+
+  // Flow events: one arrow chain per flow id, ordered by start time.  The
+  // earliest member (the fork span on the issuing thread) starts the flow,
+  // the latest finishes it, everything in between is a step.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> flows;
+  for (const auto& ev : events)
+    if (ev.flow_id != 0) flows[ev.flow_id].push_back(&ev);
+  for (auto& [flow_id, members] : flows) {
+    if (members.size() < 2) continue;  // an arrow needs two endpoints
+    std::stable_sort(members.begin(), members.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->start_us < b->start_us;
+                     });
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const TraceEvent& ev = *members[i];
+      const char* ph = i == 0 ? "s" : (i + 1 == members.size() ? "f" : "t");
+      w.begin_object()
+          .kv("name", std::string_view(ev.name))
+          .kv("cat", std::string_view("flow"))
+          .kv("ph", std::string_view(ph))
+          .kv("id", flow_id)
+          .kv("pid", kPid)
+          .kv("tid", static_cast<std::uint64_t>(ev.tid))
+          .kv("ts", ev.start_us);
+      if (ph[0] == 'f') w.kv("bp", std::string_view("e"));
+      w.end_object();
+    }
+  }
+
+  w.end_array();
+  w.kv("displayTimeUnit", std::string_view("ms"));
+  w.end_object();
+  return w.str();
+}
+
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << to_chrome_trace(tracer.events()) << '\n';
+  return out.good();
+}
+
+}  // namespace drlhmd::obs

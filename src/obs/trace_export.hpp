@@ -1,0 +1,28 @@
+// Chrome trace-event (a.k.a. Perfetto legacy JSON) export for Tracer.
+//
+// Emits the trace as {"traceEvents":[...]} with:
+//   * "X" complete events for closed spans (name/cat/ts/dur/pid/tid),
+//   * "B" begin events for spans still open at export time,
+//   * "s"/"t"/"f" flow events tying a parallel region's fork span to the
+//     per-chunk slices that ran on worker threads (shared flow id), so
+//     chrome://tracing and ui.perfetto.dev draw arrows across threads.
+//
+// Timestamps are microseconds on the shared telemetry epoch, which is what
+// the trace-event format expects ("ts"/"dur" are in microseconds).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace drlhmd::obs {
+
+/// Render events as one Chrome trace-event JSON document.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Export a tracer's current events to `path`; false when the file cannot
+/// be written.
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace drlhmd::obs

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -218,6 +219,13 @@ class ObserverScope {
   ObserverScope(const ObserverScope&) = delete;
   ObserverScope& operator=(const ObserverScope&) = delete;
 
+  /// Observer to notify per chunk, or nullptr when the region is either
+  /// unobserved or the observer declined it (null token).
+  ParallelObserver* chunk_observer() const {
+    return token_ != nullptr ? observer_ : nullptr;
+  }
+  void* token() const { return token_; }
+
  private:
   ParallelObserver* observer_ = nullptr;
   void* token_ = nullptr;
@@ -252,12 +260,29 @@ void run_chunks(const char* label, std::size_t n_chunks,
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t threads = pool.size();
   ObserverScope scope(label, n_chunks, threads);
+
+  // Per-chunk timing only when an observer accepted the region; otherwise
+  // the hot path runs the caller's functor directly with zero wrapping.
+  std::function<void(std::size_t)> timed;
+  const std::function<void(std::size_t)>* body = &chunk_fn;
+  if (ParallelObserver* observer = scope.chunk_observer()) {
+    timed = [&chunk_fn, observer, token = scope.token()](std::size_t c) {
+      const auto t0 = std::chrono::steady_clock::now();
+      chunk_fn(c);
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      observer->chunk_done(token, c, us);
+    };
+    body = &timed;
+  }
+
   if (tl_in_region || n_chunks == 1 || threads <= 1) {
     pool.note_serial_region();
-    ThreadPool::run_inline(n_chunks, chunk_fn);
+    ThreadPool::run_inline(n_chunks, *body);
     return;
   }
-  pool.run_region(n_chunks, chunk_fn);
+  pool.run_region(n_chunks, *body);
 }
 
 }  // namespace detail

@@ -59,6 +59,16 @@ class ParallelObserver {
   virtual ~ParallelObserver() = default;
   virtual void* region_begin(const char* label, std::size_t n_chunks,
                              std::size_t n_threads) = 0;
+  /// Called once per completed chunk of an observed region — from whichever
+  /// thread ran the chunk, with the chunk's wall-clock duration.  Only fires
+  /// when region_begin returned a non-null token.  Default: no-op, so the
+  /// timing wrapper is skipped entirely for unobserved regions.
+  virtual void chunk_done(void* token, std::size_t chunk_index,
+                          double duration_us) {
+    (void)token;
+    (void)chunk_index;
+    (void)duration_us;
+  }
   virtual void region_end(void* token) = 0;
 };
 /// Install (or clear with nullptr) the process-wide observer; not owned.

@@ -1,0 +1,162 @@
+// Telemetry under concurrency: the sharded tail recorder must lose nothing
+// under contention, and — because sums accumulate in integer ticks — the
+// same multiset of observations must snapshot bitwise identically no matter
+// how many threads recorded it (DRLHMD_THREADS=1/2/8 equivalence).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/tail_histogram.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace drlhmd {
+namespace {
+
+/// Deterministic latency-like value for index i (same multiset every run).
+double sample_value(std::size_t i) {
+  return static_cast<double>((i * 2654435761u) % 100000) / 100.0 + 0.125;
+}
+
+class TelemetrySweep : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::Telemetry::set_enabled(false);
+    obs::Telemetry::reset();
+    util::set_parallel_threads(saved_);
+  }
+
+ private:
+  std::size_t saved_ = util::parallel_thread_count();
+};
+
+TEST_F(TelemetrySweep, ShardedObserveStressLosesNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  obs::ShardedTailHistogram tail;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tail, t] {
+      for (int i = 0; i < kIters; ++i)
+        tail.observe(sample_value(static_cast<std::size_t>(t) * kIters +
+                                  static_cast<std::size_t>(i)));
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto snap = tail.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.dropped, 0u);
+  // Tick sums are exact: the concurrent total equals the serial total.
+  obs::TailHistogram serial;
+  for (std::size_t i = 0; i < std::size_t{kThreads} * kIters; ++i)
+    serial.observe(sample_value(i));
+  EXPECT_EQ(snap.sum, serial.sum());
+  EXPECT_EQ(snap.min, serial.min());
+  EXPECT_EQ(snap.max, serial.max());
+}
+
+TEST_F(TelemetrySweep, SnapshotsBitwiseIdenticalAcrossThreadWidths) {
+  // The same deterministic observations recorded from parallel_for chunks
+  // at widths 1, 2, and 8 must aggregate to bitwise identical snapshots —
+  // integer-tick state makes the result order-independent.
+  const auto run_at_width = [](std::size_t width) {
+    util::set_parallel_threads(width);
+    obs::ShardedTailHistogram tail;
+    util::parallel_for("telemetry_sweep", 0, 8192, 128,
+                       [&](std::size_t i) { tail.observe(sample_value(i)); });
+    return tail.snapshot();
+  };
+  const auto s1 = run_at_width(1);
+  const auto s2 = run_at_width(2);
+  const auto s8 = run_at_width(8);
+
+  const auto expect_bitwise_equal = [](const obs::TailHistogram::Snapshot& a,
+                                       const obs::TailHistogram::Snapshot& b) {
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.saturated, b.saturated);
+    EXPECT_EQ(a.sum, b.sum);  // exact doubles, not NEAR
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p90, b.p90);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.p999, b.p999);
+    EXPECT_EQ(a.p9999, b.p9999);
+    ASSERT_EQ(a.buckets.size(), b.buckets.size());
+    for (std::size_t i = 0; i < a.buckets.size(); ++i) {
+      EXPECT_EQ(a.buckets[i].lo, b.buckets[i].lo);
+      EXPECT_EQ(a.buckets[i].hi, b.buckets[i].hi);
+      EXPECT_EQ(a.buckets[i].count, b.buckets[i].count);
+    }
+  };
+  expect_bitwise_equal(s1, s2);
+  expect_bitwise_equal(s1, s8);
+}
+
+TEST_F(TelemetrySweep, ParallelBridgeRecordsChunksAndFlowEvents) {
+  obs::Telemetry::reset();
+  obs::Telemetry::set_enabled(true);
+  util::set_parallel_threads(2);
+
+  std::atomic<std::uint64_t> sink{0};
+  util::parallel_for("bridge_probe", 0, 256, 16, [&](std::size_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  });
+  obs::Telemetry::set_enabled(false);
+
+  // 256 items at grain 16 => 16 chunks, each recorded into the exact tail.
+  const auto snap = obs::Telemetry::metrics().snapshot();
+  const auto* tail = snap.find_tail("drlhmd.parallel.chunk_us",
+                                    {{"label", "bridge_probe"}});
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->data.count, 16u);
+  const auto* chunks =
+      snap.find_counter("drlhmd.parallel.chunks", {{"label", "bridge_probe"}});
+  ASSERT_NE(chunks, nullptr);
+  EXPECT_EQ(chunks->value, 16u);
+
+  // The fork span and all 16 chunk slices share one nonzero flow id.
+  const auto events = obs::Telemetry::tracer().events();
+  std::uint64_t flow = 0;
+  std::size_t chunk_events = 0;
+  for (const auto& ev : events) {
+    if (ev.name == "parallel.bridge_probe") {
+      EXPECT_EQ(ev.category, "parallel");
+      EXPECT_FALSE(ev.open);
+      flow = ev.flow_id;
+    }
+  }
+  ASSERT_NE(flow, 0u);
+  for (const auto& ev : events) {
+    if (ev.name.rfind("bridge_probe.chunk", 0) == 0) {
+      EXPECT_EQ(ev.flow_id, flow);
+      EXPECT_EQ(ev.category, "parallel");
+      ++chunk_events;
+    }
+  }
+  EXPECT_EQ(chunk_events, 16u);
+}
+
+TEST_F(TelemetrySweep, DisabledTelemetryObservesNoRegions) {
+  obs::Telemetry::reset();
+  obs::Telemetry::set_enabled(false);
+  util::set_parallel_threads(2);
+  util::parallel_for("unobserved_probe", 0, 64, 8, [](std::size_t) {});
+  const auto snap = obs::Telemetry::metrics().snapshot();
+  EXPECT_EQ(snap.find_tail("drlhmd.parallel.chunk_us",
+                           {{"label", "unobserved_probe"}}),
+            nullptr);
+  EXPECT_EQ(snap.find_counter("drlhmd.parallel.regions",
+                              {{"label", "unobserved_probe"}}),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace drlhmd

@@ -1,0 +1,181 @@
+#include "obs/benchdiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drlhmd::obs {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  auto doc = json_parse(text);
+  EXPECT_TRUE(doc.has_value()) << text;
+  return *doc;
+}
+
+/// A unified drlhmd-bench/1 document with one lower-is-better latency
+/// metric and one higher-is-better speedup metric.
+std::string unified_doc(double row_ns, double speedup) {
+  return std::string("{\"schema\":\"drlhmd-bench/1\",\"bench\":\"batch\","
+                     "\"context\":{\"test_rows\":512},\"metrics\":["
+                     "{\"name\":\"rf.row_ns_per_sample\",\"value\":") +
+         std::to_string(row_ns) +
+         ",\"unit\":\"ns\",\"higher_is_better\":false}," +
+         "{\"name\":\"rf.batch_speedup\",\"value\":" +
+         std::to_string(speedup) +
+         ",\"unit\":\"x\",\"higher_is_better\":true}]}";
+}
+
+TEST(DirectionTest, InferredFromLeafSegment) {
+  EXPECT_EQ(direction_for_path("rf.row_ns_per_sample"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(direction_for_path("threads4.rf_fit_seconds"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(direction_for_path("threads4.rf_speedup"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(direction_for_path("eval.f1"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(direction_for_path("context.test_rows"),
+            MetricDirection::kInformational);
+  // Only the leaf decides: a suggestive parent key cannot flip direction.
+  EXPECT_EQ(direction_for_path("speedup_suite.n_trees"),
+            MetricDirection::kInformational);
+}
+
+TEST(FlattenTest, UnifiedSchemaCollapsesMetricObjects) {
+  const auto metrics = flatten_bench(parse(unified_doc(100.0, 4.0)));
+  const BenchMetric* row = nullptr;
+  const BenchMetric* speedup = nullptr;
+  for (const auto& m : metrics) {
+    if (m.path == "metrics.rf.row_ns_per_sample") row = &m;
+    if (m.path == "metrics.rf.batch_speedup") speedup = &m;
+  }
+  ASSERT_NE(row, nullptr);
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_DOUBLE_EQ(row->value, 100.0);
+  EXPECT_EQ(row->direction, MetricDirection::kLowerIsBetter);
+  EXPECT_DOUBLE_EQ(speedup->value, 4.0);
+  EXPECT_EQ(speedup->direction, MetricDirection::kHigherIsBetter);
+}
+
+TEST(FlattenTest, LegacyFreeFormJsonKeysArraysByDistinguishingMember) {
+  const JsonValue doc = parse(
+      "{\"models\":[{\"model\":\"rf\",\"row_ns_per_sample\":120},"
+      "{\"model\":\"gbdt\",\"row_ns_per_sample\":80}],\"rows\":512}");
+  const auto metrics = flatten_bench(doc);
+  bool saw_rf = false, saw_gbdt = false;
+  for (const auto& m : metrics) {
+    if (m.path == "models.rf.row_ns_per_sample") {
+      saw_rf = true;
+      EXPECT_DOUBLE_EQ(m.value, 120.0);
+      EXPECT_EQ(m.direction, MetricDirection::kLowerIsBetter);
+    }
+    if (m.path == "models.gbdt.row_ns_per_sample") saw_gbdt = true;
+  }
+  EXPECT_TRUE(saw_rf);
+  EXPECT_TRUE(saw_gbdt);
+}
+
+TEST(BenchDiffTest, InjectedTwoXRegressionFailsAtDefaultTolerance) {
+  // The acceptance case for the perf gate: a candidate whose lower-is-better
+  // latency doubled must regress at the default 10% tolerance.
+  const JsonValue baseline = parse(unified_doc(100.0, 4.0));
+  const JsonValue candidate = parse(unified_doc(200.0, 4.0));
+  const BenchDiff diff = bench_diff(baseline, candidate);
+  // Two declared metrics plus context.test_rows (informational).
+  ASSERT_EQ(diff.compared.size(), 3u);
+  const auto regressions = diff.regressions(0.10);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].path, "metrics.rf.row_ns_per_sample");
+  EXPECT_DOUBLE_EQ(regressions[0].badness(), 2.0);
+}
+
+TEST(BenchDiffTest, HigherIsBetterRegressesWhenItDrops) {
+  const JsonValue baseline = parse(unified_doc(100.0, 4.0));
+  const JsonValue candidate = parse(unified_doc(100.0, 1.5));
+  const auto regressions =
+      bench_diff(baseline, candidate).regressions(0.10);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].path, "metrics.rf.batch_speedup");
+  EXPECT_NEAR(regressions[0].badness(), 4.0 / 1.5, 1e-9);
+}
+
+TEST(BenchDiffTest, WithinToleranceAndImprovementsPass) {
+  const JsonValue baseline = parse(unified_doc(100.0, 4.0));
+  // 5% slower + faster speedup: both inside a 10% tolerance.
+  const JsonValue candidate = parse(unified_doc(105.0, 5.0));
+  const BenchDiff diff = bench_diff(baseline, candidate);
+  EXPECT_TRUE(diff.regressions(0.10).empty());
+  // The same 2x regression passes a sufficiently loose tolerance.
+  const JsonValue doubled = parse(unified_doc(200.0, 4.0));
+  EXPECT_TRUE(bench_diff(baseline, doubled).regressions(1.5).empty());
+  EXPECT_FALSE(bench_diff(baseline, doubled).regressions(0.5).empty());
+}
+
+TEST(BenchDiffTest, MetricFiltersRestrictComparison) {
+  const JsonValue baseline = parse(unified_doc(100.0, 4.0));
+  const JsonValue candidate = parse(unified_doc(200.0, 4.0));
+  // Filtering to speedup metrics hides the latency regression entirely.
+  const BenchDiff diff = bench_diff(baseline, candidate, {"speedup"});
+  ASSERT_EQ(diff.compared.size(), 1u);
+  EXPECT_EQ(diff.compared[0].path, "metrics.rf.batch_speedup");
+  EXPECT_TRUE(diff.regressions(0.10).empty());
+}
+
+TEST(BenchDiffTest, ExplicitDirectionBeatsPathInference) {
+  // A metric whose name reads lower-is-better but is declared
+  // higher_is_better: the declaration wins, so halving it regresses.
+  const char* tmpl =
+      "{\"metrics\":[{\"name\":\"weird_seconds\",\"value\":%s,"
+      "\"higher_is_better\":true}]}";
+  char base_buf[160], cand_buf[160];
+  std::snprintf(base_buf, sizeof base_buf, tmpl, "10.0");
+  std::snprintf(cand_buf, sizeof cand_buf, tmpl, "5.0");
+  const auto regressions =
+      bench_diff(parse(base_buf), parse(cand_buf)).regressions(0.10);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_EQ(regressions[0].direction, MetricDirection::kHigherIsBetter);
+}
+
+TEST(BenchDiffTest, MissingAndNewMetricsAreReportedNotRegressed) {
+  const JsonValue baseline =
+      parse("{\"metrics\":[{\"name\":\"a_seconds\",\"value\":1.0},"
+            "{\"name\":\"b_seconds\",\"value\":2.0}]}");
+  const JsonValue candidate =
+      parse("{\"metrics\":[{\"name\":\"b_seconds\",\"value\":2.0},"
+            "{\"name\":\"c_seconds\",\"value\":3.0}]}");
+  const BenchDiff diff = bench_diff(baseline, candidate);
+  ASSERT_EQ(diff.compared.size(), 1u);
+  EXPECT_EQ(diff.compared[0].path, "metrics.b_seconds");
+  ASSERT_EQ(diff.baseline_only.size(), 1u);
+  EXPECT_EQ(diff.baseline_only[0], "metrics.a_seconds");
+  ASSERT_EQ(diff.candidate_only.size(), 1u);
+  EXPECT_EQ(diff.candidate_only[0], "metrics.c_seconds");
+  EXPECT_TRUE(diff.regressions(0.10).empty());
+}
+
+TEST(BenchDiffTest, InformationalAndNonPositiveValuesNeverRegress) {
+  const JsonValue baseline =
+      parse("{\"context\":{\"rows\":100},"
+            "\"metrics\":[{\"name\":\"x_seconds\",\"value\":0.0}]}");
+  const JsonValue candidate =
+      parse("{\"context\":{\"rows\":999},"
+            "\"metrics\":[{\"name\":\"x_seconds\",\"value\":5.0}]}");
+  EXPECT_TRUE(bench_diff(baseline, candidate).regressions(0.0).empty());
+}
+
+TEST(BenchDiffTest, RenderFlagsRegressions) {
+  const JsonValue baseline = parse(unified_doc(100.0, 4.0));
+  const JsonValue candidate = parse(unified_doc(200.0, 4.0));
+  const std::string report =
+      render_bench_diff(bench_diff(baseline, candidate), 0.10);
+  EXPECT_NE(report.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(report.find("metrics.rf.row_ns_per_sample"), std::string::npos);
+  EXPECT_NE(report.find("1 regressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drlhmd::obs

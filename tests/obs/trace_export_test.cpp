@@ -1,0 +1,155 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace drlhmd::obs {
+namespace {
+
+/// Count trace records with a given "ph" value.
+std::size_t count_phase(const JsonValue& doc, const std::string& ph) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& ev : events->array) {
+    const JsonValue* p = ev.find("ph");
+    if (p != nullptr && p->is_string() && p->string == ph) ++n;
+  }
+  return n;
+}
+
+TEST(ChromeTraceTest, EmptyTracerExportsValidDocument) {
+  const std::string json = to_chrome_trace({});
+  ASSERT_TRUE(json_valid(json)) << json;
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("traceEvents"), nullptr);
+  EXPECT_TRUE(doc->find("traceEvents")->is_array());
+}
+
+TEST(ChromeTraceTest, ClosedSpansBecomeCompleteEvents) {
+  Tracer tracer;
+  {
+    Span outer = tracer.span("pipeline");
+    Span inner = tracer.span("train", "phase");
+  }
+  const std::string json = to_chrome_trace(tracer.events());
+  ASSERT_TRUE(json_valid(json)) << json;
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(count_phase(*doc, "X"), 2u);
+  EXPECT_EQ(count_phase(*doc, "B"), 0u);
+
+  const JsonValue& events = *doc->find("traceEvents");
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const auto& ev : events.array) {
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("cat"), nullptr);
+    EXPECT_EQ(ev.find("cat")->string, "phase");
+    ASSERT_NE(ev.find("pid"), nullptr);
+    ASSERT_NE(ev.find("tid"), nullptr);
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("dur"), nullptr);
+    EXPECT_GE(ev.find("dur")->number, 0.0);
+  }
+}
+
+TEST(ChromeTraceTest, OpenSpanBecomesBeginEvent) {
+  Tracer tracer;
+  Span open = tracer.span("still_running");
+  const std::string json = to_chrome_trace(tracer.events());
+  ASSERT_TRUE(json_valid(json)) << json;
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(count_phase(*doc, "B"), 1u);
+  EXPECT_EQ(count_phase(*doc, "X"), 0u);
+}
+
+TEST(ChromeTraceTest, FlowMembersEmitArrowChain) {
+  Tracer tracer;
+  const std::uint64_t flow = tracer.next_flow_id();
+  ASSERT_NE(flow, 0u);
+  {
+    Span fork = tracer.span("parallel.fit", "parallel", flow);
+    // Chunk slices reported after the fact from "worker threads".
+    tracer.complete_event("fit.chunk0", "parallel", 10.0, 5.0, flow);
+    tracer.complete_event("fit.chunk1", "parallel", 12.0, 6.0, flow);
+  }
+  const std::string json = to_chrome_trace(tracer.events());
+  ASSERT_TRUE(json_valid(json)) << json;
+  const auto doc = json_parse(json);
+  ASSERT_TRUE(doc.has_value());
+
+  // 3 slices (fork span + 2 chunks) and a 3-member flow chain s -> t -> f.
+  EXPECT_EQ(count_phase(*doc, "X"), 3u);
+  EXPECT_EQ(count_phase(*doc, "s"), 1u);
+  EXPECT_EQ(count_phase(*doc, "t"), 1u);
+  EXPECT_EQ(count_phase(*doc, "f"), 1u);
+
+  const JsonValue& events = *doc->find("traceEvents");
+  bool saw_finish = false;
+  for (const auto& ev : events.array) {
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    if (ph->string == "s" || ph->string == "t" || ph->string == "f") {
+      EXPECT_EQ(ev.find("cat")->string, "flow");
+      ASSERT_NE(ev.find("id"), nullptr);
+      EXPECT_EQ(ev.find("id")->number, static_cast<double>(flow));
+    }
+    if (ph->string == "f") {
+      saw_finish = true;
+      ASSERT_NE(ev.find("bp"), nullptr);  // bind to enclosing slice
+      EXPECT_EQ(ev.find("bp")->string, "e");
+    }
+  }
+  EXPECT_TRUE(saw_finish);
+}
+
+TEST(ChromeTraceTest, SingleMemberFlowEmitsNoArrow) {
+  Tracer tracer;
+  const std::uint64_t flow = tracer.next_flow_id();
+  { Span solo = tracer.span("solo", "parallel", flow); }
+  const auto doc = json_parse(to_chrome_trace(tracer.events()));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(count_phase(*doc, "s"), 0u);  // an arrow needs two endpoints
+  EXPECT_EQ(count_phase(*doc, "f"), 0u);
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharactersInNames) {
+  Tracer tracer;
+  { Span s = tracer.span("weird \"name\"\nwith\\specials"); }
+  const std::string json = to_chrome_trace(tracer.events());
+  EXPECT_TRUE(json_valid(json)) << json;
+}
+
+TEST(ChromeTraceTest, WriteFileRoundTrips) {
+  Tracer tracer;
+  { Span s = tracer.span("roundtrip"); }
+  const std::string path = ::testing::TempDir() + "trace_export_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(tracer, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string loaded = buffer.str();
+  EXPECT_TRUE(json_valid(loaded)) << loaded;
+  EXPECT_NE(loaded.find("roundtrip"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, WriteFileFailsOnBadPath) {
+  Tracer tracer;
+  EXPECT_FALSE(
+      write_chrome_trace_file(tracer, "/nonexistent-dir-xyz/trace.json"));
+}
+
+}  // namespace
+}  // namespace drlhmd::obs

@@ -1,0 +1,125 @@
+// benchdiff — perf-regression gate over BENCH_*.json documents.
+//
+//   benchdiff BASELINE.json CANDIDATE.json [--tolerance 0.10]
+//             [--metric SUBSTR]...
+//
+// Loads both documents (unified drlhmd-bench/1 schema or legacy free-form
+// JSON), flattens them to dotted metric paths, and compares every common
+// metric.  A metric regresses when the candidate is worse than the
+// baseline by more than the noise tolerance (default 10%); direction comes
+// from the document's higher_is_better flags or, for legacy files, from
+// the metric name.  `--metric` restricts the comparison to paths
+// containing the given substring (repeatable).
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression,
+// 2 = usage / unreadable / unparsable input.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.hpp"
+#include "obs/json.hpp"
+
+using namespace drlhmd;
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: benchdiff BASELINE.json CANDIDATE.json\n"
+               "                 [--tolerance T] [--metric SUBSTR]...\n"
+               "exit: 0 ok, 1 regression beyond tolerance, 2 usage error\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> filters;
+  double tolerance = 0.10;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    std::string value;
+    const auto take_value = [&](const char* flag) -> bool {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        value = arg.substr(prefix.size());
+        return true;
+      }
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "benchdiff: %s needs a value\n", flag);
+          std::exit(2);
+        }
+        value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (take_value("--tolerance")) {
+      tolerance = std::atof(value.c_str());
+      if (tolerance < 0.0) {
+        std::fprintf(stderr, "benchdiff: tolerance must be >= 0\n");
+        return 2;
+      }
+    } else if (take_value("--metric")) {
+      filters.push_back(value);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "benchdiff: unknown flag %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::string base_text, cand_text;
+  if (!read_file(files[0], base_text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", files[0].c_str());
+    return 2;
+  }
+  if (!read_file(files[1], cand_text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", files[1].c_str());
+    return 2;
+  }
+  const auto baseline = obs::json_parse(base_text);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "benchdiff: %s is not valid JSON\n", files[0].c_str());
+    return 2;
+  }
+  const auto candidate = obs::json_parse(cand_text);
+  if (!candidate.has_value()) {
+    std::fprintf(stderr, "benchdiff: %s is not valid JSON\n", files[1].c_str());
+    return 2;
+  }
+
+  const obs::BenchDiff diff = obs::bench_diff(*baseline, *candidate, filters);
+  if (diff.compared.empty()) {
+    std::fprintf(stderr, "benchdiff: no comparable metrics%s\n",
+                 filters.empty() ? "" : " (check --metric filters)");
+    return 2;
+  }
+  std::printf("%s", obs::render_bench_diff(diff, tolerance).c_str());
+  return diff.regressions(tolerance).empty() ? 0 : 1;
+}

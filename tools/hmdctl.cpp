@@ -7,7 +7,8 @@
 //   hmdctl attack   [--benign 150 --malware 150] [--margin 0.9] [--steps 150]
 //   hmdctl telemetry [--benign 150 --malware 150] [--format json|table]
 //                    [--policy fast|small|best] [--log run.jsonl]
-//                    [--log-level info]
+//                    [--log-level info] [--chrome-trace trace.json]
+//                    [--prom [metrics.prom]]
 //   hmdctl save     --dir ckpt [--benign 150 --malware 150] [--seed 2024]
 //   hmdctl resume   --dir ckpt
 //   hmdctl verify   --dir ckpt
@@ -16,6 +17,7 @@
 // code 0 on success, 1 on runtime/integrity failures, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,7 +27,9 @@
 #include "ml/mutual_info.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
+#include "obs/prom.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "sim/dataset_builder.hpp"
 #include "util/artifact_store.hpp"
 #include "util/parallel.hpp"
@@ -45,7 +49,10 @@ class Args {
         std::exit(2);
       }
       key = key.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // Both spellings work: `--key value` and `--key=value`.
+      if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "true";  // boolean flag
@@ -357,6 +364,37 @@ int cmd_telemetry(const Args& args) {
       runtime.process_stream(fw.attacked_test_mix());
   runtime.validate_integrity();
 
+  // Exporters: Chrome trace-event JSON for chrome://tracing / Perfetto,
+  // and Prometheus text exposition of the whole registry.
+  const std::string chrome_path = args.get("chrome-trace", "");
+  if (!chrome_path.empty() && chrome_path != "true") {
+    if (!obs::write_chrome_trace_file(obs::Telemetry::tracer(), chrome_path)) {
+      std::fprintf(stderr, "cannot write chrome trace: %s\n",
+                   chrome_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "chrome trace written to %s\n", chrome_path.c_str());
+  }
+  if (args.has("prom")) {
+    const std::string prom =
+        obs::to_prometheus(obs::Telemetry::metrics().snapshot());
+    const std::string prom_path = args.get("prom", "");
+    if (prom_path.empty() || prom_path == "true") {
+      // `--prom` with no file: the exposition document IS the output.
+      std::printf("%s", prom.c_str());
+      return 0;
+    }
+    std::ofstream out(prom_path, std::ios::out | std::ios::trunc);
+    out << prom;
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write exposition file: %s\n",
+                   prom_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "prometheus exposition written to %s\n",
+                 prom_path.c_str());
+  }
+
   const std::string format = args.get("format", "json");
   if (format == "table") {
     std::printf("%s%s", util::banner("Phase trace").c_str(),
@@ -430,6 +468,9 @@ void usage(std::FILE* out) {
                "            --format json|table --policy fast|small|best\n"
                "            --retrain K --integrity-period P\n"
                "            --log FILE.jsonl --log-level LEVEL\n"
+               "            --chrome-trace FILE  (trace-event JSON export)\n"
+               "            --prom [FILE]  (Prometheus text exposition;\n"
+               "            no FILE prints it to stdout)\n"
                "  save      run the pipeline and checkpoint it to a directory\n"
                "            --dir D --benign N --malware N --seed S [--mi]\n"
                "  resume    restore a checkpoint, run remaining phases, report\n"
