@@ -68,6 +68,8 @@ int main() {
   bench::BenchWriter json("batch_inference");
   json.context("test_rows", static_cast<std::uint64_t>(n));
   json.context("features", static_cast<std::uint64_t>(test.num_features()));
+  json.context("build_type", std::string(bench::build_type()));
+  bench::warn_if_debug_build();
 
   double sink = 0.0;  // defeat dead-code elimination
   for (const auto kind :

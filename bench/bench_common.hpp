@@ -84,6 +84,27 @@ class BenchWriter {
   std::vector<Metric> metrics_;
 };
 
+/// "release" when compiled with NDEBUG, "debug" otherwise.  Benches stamp
+/// this into their JSON context so benchdiff comparisons against the
+/// checked-in baselines can spot apples-to-oranges runs.
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Loud stderr warning for benches running with assertions enabled: the
+/// numbers are real but must not be written over the checked-in baselines.
+inline void warn_if_debug_build() {
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "[bench] WARNING: built without NDEBUG (assertions on) — "
+               "timings are not comparable to the checked-in baselines\n");
+#endif
+}
+
 inline double bench_scale() {
   if (const char* env = std::getenv("DRLHMD_BENCH_SCALE")) {
     const double s = std::atof(env);

@@ -1,0 +1,140 @@
+// Quantized-kernel inference cost vs the exact batch path.
+//
+// For the tree ensembles (RF, DT, LightGBM), times the exact FlatNode
+// batch path against the arena-backed cut-index kernel
+// (predict_proba_batch_fast / ForestKernel, DESIGN.md §12); for the
+// neural detectors (MLP, NN), the exact double forward pass against the
+// Q15 fixed-point mirror (predict_proba_batch_quantized).  Same data
+// shapes as bench_batch_inference so `<model>.batch_ns_per_sample` here is
+// directly comparable to BENCH_batch.json.  Emits BENCH_kernels.json
+// (drlhmd-bench/1 schema) as the last stdout line — the benchdiff
+// regression gate keys on the `*.kernel_speedup` metrics (trees only: the
+// Q15 net mirror is a parity/footprint artifact, its int64 accumulators
+// trade throughput for a proven error bound, so its timings are reported
+// as plain metrics the gate does not threshold).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ml/conv_net.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/mlp.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace drlhmd;
+
+namespace {
+
+/// Two overlapping Gaussian blobs in 4-D (the engineered feature width) —
+/// identical shapes to bench_batch_inference.
+ml::Dataset blobs(std::size_t n_per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset d;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    std::vector<double> benign(4), malware(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      benign[c] = rng.normal(0.0, 1.0);
+      malware[c] = rng.normal(1.5, 1.1);
+    }
+    d.push(std::move(benign), 0);
+    d.push(std::move(malware), 1);
+  }
+  d.shuffle(rng);
+  return d;
+}
+
+/// Best-of-N wall time for one full pass over the test set.
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps = 9) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const ml::Dataset train = blobs(400, 71);
+  const ml::Dataset test = blobs(4000, 72);
+  const std::size_t n = test.size();
+
+  util::Table table(
+      {"model", "batch ns/sample", "kernel ns/sample", "kernel speedup"});
+  bench::BenchWriter json("kernels");
+  json.context("test_rows", static_cast<std::uint64_t>(n));
+  json.context("features", static_cast<std::uint64_t>(test.num_features()));
+  json.context("build_type", std::string(bench::build_type()));
+  bench::warn_if_debug_build();
+
+  double sink = 0.0;  // defeat dead-code elimination
+  std::vector<double> scores(n);
+
+  const auto report = [&](const std::string& name, double batch_s,
+                          double kernel_s, bool gated) {
+    const double batch_ns = 1e9 * batch_s / static_cast<double>(n);
+    const double kernel_ns = 1e9 * kernel_s / static_cast<double>(n);
+    const double speedup = kernel_ns > 0.0 ? batch_ns / kernel_ns : 0.0;
+    table.add_row({name, util::Table::fmt(batch_ns, 1),
+                   util::Table::fmt(kernel_ns, 1),
+                   util::Table::fmt(speedup, 2)});
+    std::fprintf(stderr, "[kernels] %-8s batch=%.1fns kernel=%.1fns x%.2f\n",
+                 name.c_str(), batch_ns, kernel_ns, speedup);
+    json.metric(name + ".batch_ns_per_sample", batch_ns, "ns", false);
+    if (gated) {
+      json.metric(name + ".kernel_ns_per_sample", kernel_ns, "ns", false);
+      json.metric(name + ".kernel_speedup", speedup, "x", true);
+    } else {
+      json.metric(name + ".quantized_ns_per_sample", kernel_ns, "ns", false);
+    }
+  };
+
+  // Tree ensembles: exact FlatNode batch path vs the quantized cut-index
+  // kernel behind predict_proba_batch_fast.
+  for (const auto kind :
+       {ml::ModelKind::kRf, ml::ModelKind::kDt, ml::ModelKind::kLightGbm}) {
+    auto model = ml::make_model(kind);
+    model->fit(train);
+    const double batch_s = best_seconds(
+        [&] { model->predict_proba_batch(test.view(), scores); });
+    sink += scores[n / 2];
+    const double kernel_s = best_seconds(
+        [&] { model->predict_proba_batch_fast(test.view(), scores); });
+    sink += scores[n / 2];
+    report(model->name(), batch_s, kernel_s, /*gated=*/true);
+  }
+
+  // Neural detectors: exact double forward vs the Q15 fixed-point mirror
+  // (explicit opt-in API — not wired into the runtime decision path).
+  {
+    ml::MlpClassifier mlp;
+    mlp.fit(train);
+    const double batch_s =
+        best_seconds([&] { mlp.predict_proba_batch(test.view(), scores); });
+    sink += scores[n / 2];
+    const double kernel_s = best_seconds(
+        [&] { mlp.predict_proba_batch_quantized(test.view(), scores); });
+    sink += scores[n / 2];
+    report(mlp.name(), batch_s, kernel_s, /*gated=*/false);
+  }
+  {
+    ml::ConvNetClassifier nn;
+    nn.fit(train);
+    const double batch_s =
+        best_seconds([&] { nn.predict_proba_batch(test.view(), scores); });
+    sink += scores[n / 2];
+    const double kernel_s = best_seconds(
+        [&] { nn.predict_proba_batch_quantized(test.view(), scores); });
+    sink += scores[n / 2];
+    report(nn.name(), batch_s, kernel_s, /*gated=*/false);
+  }
+
+  std::printf("%s\n%s\n", table.to_string().c_str(), json.str().c_str());
+  return sink == -1.0 ? 1 : 0;
+}

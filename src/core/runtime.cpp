@@ -5,6 +5,7 @@
 #include "ml/feature_matrix.hpp"
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 
 namespace drlhmd::core {
@@ -147,13 +148,25 @@ bool DetectionRuntime::validate_integrity() {
 }
 
 std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch) {
+  std::vector<TrafficVerdict> verdicts(batch.rows());
+  process_batch(batch, verdicts);
+  return verdicts;
+}
+
+void DetectionRuntime::process_batch(ml::BatchView batch,
+                                     std::span<TrafficVerdict> out) {
+  if (out.size() != batch.rows())
+    throw std::invalid_argument(
+        "DetectionRuntime::process_batch: out size mismatch");
   // Whole-batch wall time into the exact tail histogram (the per-stage
   // histograms cannot be recorded inside the parallel scoring region).
   const obs::ScopedLatency batch_timer(
       nullptr, obs::Telemetry::enabled() ? tail_batch_ : nullptr);
-  std::vector<TrafficVerdict> verdicts;
-  verdicts.reserve(batch.rows());
-  std::vector<double> row(batch.cols());
+  // All scoring scratch is arena-backed: a warmed-up runtime allocates
+  // nothing on this path (the quarantine push below only allocates while
+  // its ring grows toward the retrain threshold).
+  util::ArenaScope scope(util::scratch_arena());
+  auto row = scope.alloc<double>(batch.cols());
   std::size_t start = 0;
   while (start < batch.rows()) {
     // Speculatively score every remaining row against the currently
@@ -168,19 +181,19 @@ std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch)
     const auto& controller = framework_.controller(config_.policy);
     const std::size_t pending = batch.rows() - start;
     const ml::BatchView remaining = batch.rows_slice(start, pending);
-    std::vector<std::uint8_t> flagged(pending);
-    std::vector<int> predictions(pending);
+    auto flagged = scope.alloc<std::uint8_t>(pending);
+    auto predictions = scope.alloc<int>(pending);
     util::parallel_pipeline(
         "runtime.batch_score", std::size_t{0}, pending, 0,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           predictor.is_adversarial_batch(
               remaining.rows_slice(begin, end - begin),
-              std::span<std::uint8_t>(flagged).subspan(begin, end - begin));
+              std::span<std::uint8_t>(flagged.data() + begin, end - begin));
         },
         [&](std::size_t, std::size_t begin, std::size_t end) {
           controller.predict_batch(
               remaining.rows_slice(begin, end - begin),
-              std::span<int>(predictions).subspan(begin, end - begin));
+              std::span<int>(predictions.data() + begin, end - begin));
         });
 
     // Serial commit in row order: exactly process()'s side effects.  When
@@ -192,12 +205,12 @@ std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch)
       processed_->inc();
       if (flagged[i - start] != 0) {
         adversarial_->inc();
-        batch.gather_row(i, row);
-        quarantine_.push(row, 1);
+        batch.gather_row(i, {row.data(), row.size()});
+        quarantine_.push({row.data(), row.size()}, 1);
         quarantine_gauge_->set(static_cast<double>(quarantine_.size()));
         maybe_retrain();
         maybe_validate_integrity();
-        verdicts.push_back(TrafficVerdict::kAdversarialMalware);
+        out[i] = TrafficVerdict::kAdversarialMalware;
         if (retrains_->value() != retrains_before) {
           ++i;
           break;
@@ -210,13 +223,12 @@ std::vector<TrafficVerdict> DetectionRuntime::process_batch(ml::BatchView batch)
           benign_->inc();
         }
         maybe_validate_integrity();
-        verdicts.push_back(prediction == 1 ? TrafficVerdict::kMalware
-                                           : TrafficVerdict::kBenign);
+        out[i] = prediction == 1 ? TrafficVerdict::kMalware
+                                 : TrafficVerdict::kBenign;
       }
     }
     start = i;
   }
-  return verdicts;
 }
 
 std::vector<TrafficVerdict> DetectionRuntime::process_batch(

@@ -80,6 +80,12 @@ class DetectionRuntime {
   /// Per-stage latency histograms are not recorded on this path — the
   /// parallel region's span carries the batch scoring time instead.
   std::vector<TrafficVerdict> process_batch(ml::BatchView batch);
+  /// Allocation-free variant: verdicts land in caller-owned storage
+  /// (out.size() == batch.rows()) and all scoring scratch comes from the
+  /// per-thread arenas, so a warmed-up runtime serving already-quarantined
+  /// traffic performs zero heap allocations per call (asserted by the
+  /// `alloc`-labeled ctest).
+  void process_batch(ml::BatchView batch, std::span<TrafficVerdict> out);
   /// Compatibility adapter: packs the rows into a FeatureMatrix (one copy)
   /// and runs the columnar path.
   std::vector<TrafficVerdict> process_batch(

@@ -2,9 +2,14 @@
 
 #include <stdexcept>
 
+#include "util/arena.hpp"
+
 namespace drlhmd::ml {
 namespace {
 constexpr std::uint8_t kFormatVersion = 1;
+
+// Rows per inference block: keeps per-layer activations cache-resident.
+constexpr std::size_t kBlockRows = 128;
 }
 
 ConvNetClassifier::ConvNetClassifier(ConvNetConfig config) : config_(config) {
@@ -67,6 +72,7 @@ void ConvNetClassifier::fit(const Dataset& train) {
       net_.adam_step(config_.learning_rate);
     }
   }
+  qnet_ = nn::QuantizedNetwork::build(net_);
 }
 
 double ConvNetClassifier::predict_proba(std::span<const double> features) const {
@@ -86,19 +92,51 @@ void ConvNetClassifier::predict_proba_batch(BatchView batch,
   if (batch.rows() == 0) return;
   // Conv1D/Relu/Dense inference and softmax are all row-local, so each
   // block's forward pass scores row r bitwise identically to a one-row
-  // pass (and to any other block partition).  Blocks keep the per-layer
-  // activations cache-resident instead of streaming whole-batch
-  // intermediates through memory.
-  constexpr std::size_t kBlockRows = 128;
+  // pass (and to any other block partition).  Scratch comes from the
+  // per-thread arena: zero heap traffic in steady state.
+  util::ArenaScope scope(util::scratch_arena());
+  const std::size_t block = std::min(kBlockRows, batch.rows());
+  auto rows_buf = scope.alloc<double>(block * in_features_);
+  auto probs = scope.alloc<double>(block * 2);
   for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kBlockRows) {
     const std::size_t count = std::min(kBlockRows, batch.rows() - r0);
-    Matrix rows(count, in_features_);
     for (std::size_t c = 0; c < in_features_; ++c) {
       const ColumnView colc = batch.col(c);
-      for (std::size_t r = 0; r < count; ++r) rows.at(r, c) = colc[r0 + r];
+      for (std::size_t r = 0; r < count; ++r)
+        rows_buf[r * in_features_ + c] = colc[r0 + r];
     }
-    const Matrix probs = nn::softmax(net_.infer(rows));
-    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs.at(r, 1);
+    net_.infer_rows(rows_buf.data(), count, in_features_, probs.data(),
+                    scope.arena());
+    nn::softmax_rows(probs.data(), count, 2);
+    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs[r * 2 + 1];
+  }
+}
+
+void ConvNetClassifier::predict_proba_batch_quantized(
+    BatchView batch, std::span<double> out) const {
+  if (!trained()) throw std::logic_error("ConvNetClassifier: not trained");
+  check_batch_out(batch, out);
+  if (batch.cols() != in_features_)
+    throw std::invalid_argument("ConvNetClassifier: feature width mismatch");
+  if (!qnet_.ready()) {  // unsupported topology: exact fallback
+    predict_proba_batch(batch, out);
+    return;
+  }
+  util::ArenaScope scope(util::scratch_arena());
+  const std::size_t block = std::min(kBlockRows, batch.rows());
+  auto rows_buf = scope.alloc<double>(block * in_features_);
+  auto probs = scope.alloc<double>(block * 2);
+  for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, batch.rows() - r0);
+    for (std::size_t c = 0; c < in_features_; ++c) {
+      const ColumnView colc = batch.col(c);
+      for (std::size_t r = 0; r < count; ++r)
+        rows_buf[r * in_features_ + c] = colc[r0 + r];
+    }
+    qnet_.infer_rows(rows_buf.data(), count, in_features_, probs.data(),
+                     scope.arena());
+    nn::softmax_rows(probs.data(), count, 2);
+    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs[r * 2 + 1];
   }
 }
 
@@ -120,6 +158,7 @@ ConvNetClassifier ConvNetClassifier::deserialize(std::span<const std::uint8_t> b
   ConvNetClassifier model;
   model.in_features_ = static_cast<std::size_t>(r.read_u64());
   model.net_ = nn::Network::deserialize(r.read_bytes());
+  model.qnet_ = nn::QuantizedNetwork::build(model.net_);  // never serialized
   return model;
 }
 

@@ -249,6 +249,48 @@ void DecisionTree::build_flat() {
     }
   }
   flat_depth_ = depth() - 1;  // root->leaf transitions
+
+  std::vector<std::vector<KernelBuildNode>> trees;
+  append_kernel_tree(trees);
+  kernel_.build(trees);
+}
+
+void DecisionTree::append_kernel_tree(
+    std::vector<std::vector<KernelBuildNode>>& trees) const {
+  std::vector<KernelBuildNode> tree(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    KernelBuildNode& dst = tree[i];
+    if (node.feature == Node::kLeaf) {
+      dst.leaf = true;
+      dst.value = node.proba;
+    } else {
+      dst.feature = node.feature;
+      dst.threshold = node.threshold;
+      dst.left = node.left;
+      dst.right = node.right;
+    }
+  }
+  trees.push_back(std::move(tree));
+}
+
+void DecisionTree::predict_proba_batch_fast(BatchView batch,
+                                            std::span<double> out) const {
+  if (!trained()) throw std::logic_error("DecisionTree: not trained");
+  check_batch_out(batch, out);
+  if (batch.rows() == 0) return;
+  // A single tree never amortizes the kernel's encode stage: quantizing a
+  // row costs one binary search per feature but serves only one traversal,
+  // so the exact FlatNode sweep is the faster path here (ensembles reuse
+  // the codes across every member tree — that is where the kernel wins).
+  // The kernel still serves the fused configuration, whose contract is
+  // raw, unscaled batch columns that the exact path cannot consume.
+  if (kernel_.ready() && kernel_.fused()) {
+    std::fill(out.begin(), out.end(), 0.0);
+    kernel_.accumulate(batch, out);
+    return;
+  }
+  predict_proba_batch(batch, out);
 }
 
 void DecisionTree::score_block(BatchView batch, std::size_t row0,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "ml/classifier.hpp"
+#include "ml/forest_kernel.hpp"
 
 namespace drlhmd::ml {
 
@@ -34,6 +35,26 @@ class DecisionTree final : public Classifier {
   /// out[r] += P(malware | batch row r).  RandomForest uses this to
   /// accumulate trees over a whole batch in row-path summation order.
   void accumulate_proba_batch(BatchView batch, std::span<double> out) const;
+  /// Fast batch scoring.  A lone tree cannot amortize the kernel's
+  /// per-tile encode stage, so this stays on the bitwise-exact FlatNode
+  /// sweep — except when fuse_preprocess() has rewritten the kernel to
+  /// consume raw columns, where the quantized kernel is the only correct
+  /// reader (decisions exact; probabilities differ only by float leaf
+  /// rounding).
+  void predict_proba_batch_fast(BatchView batch,
+                                std::span<double> out) const override;
+  /// Append this tree's nodes in ForestKernel build form; RandomForest
+  /// fuses all member trees into one ensemble kernel.
+  void append_kernel_tree(std::vector<std::vector<KernelBuildNode>>& trees) const;
+  /// Fuse scaler + feature selection into the kernel (see
+  /// ForestKernel::fuse_preprocess): the fast path then consumes raw,
+  /// unscaled batch columns.  The exact paths are unaffected.
+  void fuse_preprocess(std::span<const double> mean,
+                       std::span<const double> scale,
+                       std::span<const std::uint32_t> columns) {
+    kernel_.fuse_preprocess(mean, scale, columns);
+  }
+  const ForestKernel& kernel() const { return kernel_; }
   std::string name() const override { return "DT"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -82,6 +103,7 @@ class DecisionTree final : public Classifier {
   DecisionTreeConfig config_;
   std::vector<Node> nodes_;
   std::vector<FlatNode> flat_;
+  ForestKernel kernel_;  // quantized mirror; rebuilt by fit/deserialize
   std::size_t flat_depth_ = 0;        // transitions from root to deepest leaf
   std::uint32_t required_width_ = 0;  // widest feature index + 1
 };

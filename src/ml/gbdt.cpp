@@ -331,6 +331,39 @@ void Gbdt::build_flat() {
     }
     flat_depths_[t] = max_d;
   }
+
+  std::vector<std::vector<KernelBuildNode>> forest(trees_.size());
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const Tree& tree = trees_[t];
+    forest[t].resize(tree.size());
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      const Node& node = tree[i];
+      KernelBuildNode& dst = forest[t][i];
+      if (node.feature == Node::kLeaf) {
+        dst.leaf = true;
+        dst.value = node.value;
+      } else {
+        dst.feature = static_cast<std::uint32_t>(node.feature);
+        dst.threshold = node.threshold;
+        dst.left = static_cast<std::uint32_t>(node.left);
+        dst.right = static_cast<std::uint32_t>(node.right);
+      }
+    }
+  }
+  kernel_.build(forest);
+}
+
+void Gbdt::predict_proba_batch_fast(BatchView batch,
+                                    std::span<double> out) const {
+  if (!trained_) throw std::logic_error("Gbdt: not trained");
+  check_batch_out(batch, out);
+  if (!kernel_.ready()) {  // over the uint16 cut budget: exact fallback
+    predict_proba_batch(batch, out);
+    return;
+  }
+  std::fill(out.begin(), out.end(), base_score_);
+  kernel_.accumulate(batch, out);
+  for (double& v : out) v = sigmoid(v);
 }
 
 void Gbdt::raw_score_batch(BatchView batch, std::span<double> out) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ml/classifier.hpp"
+#include "ml/forest_kernel.hpp"
 
 namespace drlhmd::ml {
 
@@ -29,6 +30,20 @@ class Gbdt final : public Classifier {
   /// sigmoid(raw_score(row)) per row.
   void predict_proba_batch(BatchView batch, std::span<double> out) const override;
   using Classifier::predict_proba_batch;
+  /// Quantized ensemble kernel: all boosting rounds fused into one SoA
+  /// arena over a shared per-feature cut grid.  Split decisions are exact;
+  /// the raw score (and hence the probability) differs from the exact path
+  /// only by float rounding of the per-round leaf values (~1e-7 relative).
+  void predict_proba_batch_fast(BatchView batch,
+                                std::span<double> out) const override;
+  /// Fuse scaler + feature selection into the ensemble kernel (see
+  /// ForestKernel::fuse_preprocess).
+  void fuse_preprocess(std::span<const double> mean,
+                       std::span<const double> scale,
+                       std::span<const std::uint32_t> columns) {
+    kernel_.fuse_preprocess(mean, scale, columns);
+  }
+  const ForestKernel& kernel() const { return kernel_; }
   std::string name() const override { return "LightGBM"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -76,6 +91,7 @@ class Gbdt final : public Classifier {
   std::vector<Tree> trees_;
   double base_score_ = 0.0;  // prior log-odds
   bool trained_ = false;
+  ForestKernel kernel_;  // quantized mirror; rebuilt, never serialized
   std::vector<std::vector<FlatNode>> flat_trees_;
   std::vector<std::size_t> flat_depths_;  // root->leaf transitions per tree
   std::size_t required_width_ = 0;        // widest feature index + 1

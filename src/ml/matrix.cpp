@@ -6,12 +6,6 @@
 #include "util/parallel.hpp"
 
 namespace drlhmd::ml {
-namespace {
-// Below these sizes the packed-B setup costs more than the classic loop.
-constexpr std::size_t kPackedMinDim = 8;
-// Rows per parallel chunk; small matrices run as one chunk (inline).
-constexpr std::size_t kMatmulGrain = 16;
-}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -52,8 +46,8 @@ Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_)
     throw std::invalid_argument("Matrix::matmul: inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  if (rows_ < kPackedMinDim || cols_ < kPackedMinDim ||
-      other.cols_ < kPackedMinDim) {
+  if (rows_ < kMatmulPackedMinDim || cols_ < kMatmulPackedMinDim ||
+      other.cols_ < kMatmulPackedMinDim) {
     // Tiny product (single-sample inference etc.): skip the packing setup.
     for (std::size_t i = 0; i < rows_; ++i) {
       for (std::size_t k = 0; k < cols_; ++k) {

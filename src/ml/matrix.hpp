@@ -12,6 +12,13 @@
 
 namespace drlhmd::ml {
 
+/// matmul tuning constants, shared with the raw-buffer nn inference path
+/// (which must replicate matmul's loop structure to stay bitwise-identical).
+/// Below kMatmulPackedMinDim on any dimension the parallel setup costs more
+/// than the classic serial loop; kMatmulGrain is output rows per chunk.
+inline constexpr std::size_t kMatmulPackedMinDim = 8;
+inline constexpr std::size_t kMatmulGrain = 16;
+
 class Matrix {
  public:
   Matrix() = default;

@@ -2,9 +2,15 @@
 
 #include <stdexcept>
 
+#include "util/arena.hpp"
+
 namespace drlhmd::ml {
 namespace {
 constexpr std::uint8_t kFormatVersion = 1;
+
+// Rows per inference block: keeps per-layer activations cache-resident
+// instead of streaming whole-batch intermediates through memory.
+constexpr std::size_t kBlockRows = 128;
 }
 
 MlpClassifier::MlpClassifier(MlpConfig config) : config_(std::move(config)) {
@@ -46,6 +52,7 @@ void MlpClassifier::fit(const Dataset& train) {
       net_.adam_step(config_.learning_rate);
     }
   }
+  qnet_ = nn::QuantizedNetwork::build(net_);
 }
 
 double MlpClassifier::predict_proba(std::span<const double> features) const {
@@ -64,22 +71,55 @@ void MlpClassifier::predict_proba_batch(BatchView batch,
   if (batch.cols() != in_features_)
     throw std::invalid_argument("MlpClassifier: feature width mismatch");
   if (batch.rows() == 0) return;
-  // Block-batched inference: matmul accumulates each output element over
-  // ascending k in every code path, and every layer plus softmax is
+  // Block-batched inference: infer_rows accumulates each output element
+  // over ascending k in every code path, and every layer plus softmax is
   // row-local, so row r of a block's result is bitwise identical to
-  // inferring row r alone — and to any other block partition.  Blocks keep
-  // the per-layer activation matrices cache-resident instead of streaming
-  // rows() x hidden intermediates through memory.
-  constexpr std::size_t kBlockRows = 128;
+  // inferring row r alone — and to any other block partition.  All scratch
+  // (gathered rows, activations, probabilities) comes from the per-thread
+  // arena: zero heap traffic in steady state.
+  util::ArenaScope scope(util::scratch_arena());
+  const std::size_t block = std::min(kBlockRows, batch.rows());
+  auto rows_buf = scope.alloc<double>(block * in_features_);
+  auto probs = scope.alloc<double>(block * 2);
   for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kBlockRows) {
     const std::size_t count = std::min(kBlockRows, batch.rows() - r0);
-    Matrix rows(count, in_features_);
     for (std::size_t c = 0; c < in_features_; ++c) {
       const ColumnView colc = batch.col(c);
-      for (std::size_t r = 0; r < count; ++r) rows.at(r, c) = colc[r0 + r];
+      for (std::size_t r = 0; r < count; ++r)
+        rows_buf[r * in_features_ + c] = colc[r0 + r];
     }
-    const Matrix probs = nn::softmax(net_.infer(rows));
-    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs.at(r, 1);
+    net_.infer_rows(rows_buf.data(), count, in_features_, probs.data(),
+                    scope.arena());
+    nn::softmax_rows(probs.data(), count, 2);
+    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs[r * 2 + 1];
+  }
+}
+
+void MlpClassifier::predict_proba_batch_quantized(BatchView batch,
+                                                  std::span<double> out) const {
+  if (!trained()) throw std::logic_error("MlpClassifier: not trained");
+  check_batch_out(batch, out);
+  if (batch.cols() != in_features_)
+    throw std::invalid_argument("MlpClassifier: feature width mismatch");
+  if (!qnet_.ready()) {  // over-wide layer etc.: exact fallback
+    predict_proba_batch(batch, out);
+    return;
+  }
+  util::ArenaScope scope(util::scratch_arena());
+  const std::size_t block = std::min(kBlockRows, batch.rows());
+  auto rows_buf = scope.alloc<double>(block * in_features_);
+  auto probs = scope.alloc<double>(block * 2);
+  for (std::size_t r0 = 0; r0 < batch.rows(); r0 += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, batch.rows() - r0);
+    for (std::size_t c = 0; c < in_features_; ++c) {
+      const ColumnView colc = batch.col(c);
+      for (std::size_t r = 0; r < count; ++r)
+        rows_buf[r * in_features_ + c] = colc[r0 + r];
+    }
+    qnet_.infer_rows(rows_buf.data(), count, in_features_, probs.data(),
+                     scope.arena());
+    nn::softmax_rows(probs.data(), count, 2);
+    for (std::size_t r = 0; r < count; ++r) out[r0 + r] = probs[r * 2 + 1];
   }
 }
 
@@ -101,6 +141,7 @@ MlpClassifier MlpClassifier::deserialize(std::span<const std::uint8_t> bytes) {
   MlpClassifier model;
   model.in_features_ = static_cast<std::size_t>(r.read_u64());
   model.net_ = nn::Network::deserialize(r.read_bytes());
+  model.qnet_ = nn::QuantizedNetwork::build(model.net_);  // never serialized
   return model;
 }
 

@@ -8,11 +8,13 @@
 // and returns dLoss/dIn while accumulating parameter gradients internally.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "ml/matrix.hpp"
+#include "util/arena.hpp"
 #include "util/serialize.hpp"
 
 namespace drlhmd::ml::nn {
@@ -26,6 +28,16 @@ class Layer {
   /// safe to call concurrently from parallel batch-inference workers.
   /// Bitwise-identical outputs to forward().
   virtual Matrix infer(const Matrix& input) const = 0;
+  /// Output width for an input of `in_cols` columns; throws when the layer
+  /// cannot accept that width.
+  virtual std::size_t infer_out_cols(std::size_t in_cols) const = 0;
+  /// Allocation-free forward over raw row-major buffers: reads
+  /// rows x in_cols from `in`, writes rows x infer_out_cols(in_cols) to
+  /// `out` (distinct buffers).  Bitwise-identical to infer() — same loop
+  /// structure and accumulation order — so the zero-copy batch path can
+  /// replace the Matrix path without perturbing results.
+  virtual void infer_rows(const double* in, std::size_t rows,
+                          std::size_t in_cols, double* out) const = 0;
   virtual Matrix backward(const Matrix& grad_output) = 0;
 
   virtual void zero_grad() {}
@@ -46,6 +58,9 @@ class Dense final : public Layer {
 
   Matrix forward(const Matrix& input) override;
   Matrix infer(const Matrix& input) const override;
+  std::size_t infer_out_cols(std::size_t in_cols) const override;
+  void infer_rows(const double* in, std::size_t rows, std::size_t in_cols,
+                  double* out) const override;
   Matrix backward(const Matrix& grad_output) override;
   void zero_grad() override;
   void adam_step(double lr, double beta1, double beta2, double eps,
@@ -73,6 +88,11 @@ class Relu final : public Layer {
  public:
   Matrix forward(const Matrix& input) override;
   Matrix infer(const Matrix& input) const override;
+  std::size_t infer_out_cols(std::size_t in_cols) const override {
+    return in_cols;
+  }
+  void infer_rows(const double* in, std::size_t rows, std::size_t in_cols,
+                  double* out) const override;
   Matrix backward(const Matrix& grad_output) override;
   std::string kind() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(); }
@@ -92,6 +112,9 @@ class Conv1D final : public Layer {
 
   Matrix forward(const Matrix& input) override;
   Matrix infer(const Matrix& input) const override;
+  std::size_t infer_out_cols(std::size_t in_cols) const override;
+  void infer_rows(const double* in, std::size_t rows, std::size_t in_cols,
+                  double* out) const override;
   Matrix backward(const Matrix& grad_output) override;
   void zero_grad() override;
   void adam_step(double lr, double beta1, double beta2, double eps,
@@ -104,6 +127,12 @@ class Conv1D final : public Layer {
 
   std::size_t out_length() const { return length_ - kernel_ + 1; }
   std::size_t out_width() const { return out_channels_ * out_length(); }
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t length() const { return length_; }
+  std::size_t kernel() const { return kernel_; }
+  const Matrix& weights() const { return w_; }
+  const Matrix& bias() const { return b_; }
 
  private:
   Conv1D() = default;
@@ -130,6 +159,13 @@ class Network {
   /// Cache-free const forward for (possibly concurrent) inference;
   /// bitwise-identical to forward().
   Matrix infer(const Matrix& input) const;
+  /// Output width of the full chain for an input of `in_cols` columns.
+  std::size_t infer_out_cols(std::size_t in_cols) const;
+  /// Allocation-free forward over raw row-major buffers; the inter-layer
+  /// ping-pong scratch comes from `arena` (scope-bounded, rewound before
+  /// returning).  Bitwise-identical to infer().
+  void infer_rows(const double* in, std::size_t rows, std::size_t in_cols,
+                  double* out, util::Arena& arena) const;
   /// Backprop from dLoss/dOutput; returns dLoss/dInput.
   Matrix backward(const Matrix& grad_output);
   void zero_grad();
@@ -139,6 +175,7 @@ class Network {
   std::size_t param_count() const;
   std::size_t layer_count() const { return layers_.size(); }
   bool empty() const { return layers_.empty(); }
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
 
   std::vector<std::uint8_t> serialize() const;
   static Network deserialize(std::span<const std::uint8_t> bytes);
@@ -150,6 +187,60 @@ class Network {
 
 /// Row-wise softmax.
 Matrix softmax(const Matrix& logits);
+
+/// In-place row-wise softmax over a raw row-major buffer;
+/// bitwise-identical to softmax().
+void softmax_rows(double* data, std::size_t rows, std::size_t cols);
+
+/// Fixed-point inference mirror of a Network (Dense/Relu/Conv1D chains):
+/// per-output-unit symmetric Q15 weights (scale = max|w|/32767), per-row
+/// dynamic int16 activations (32767/amax), int64 accumulation, dequantized
+/// to double between layers where bias add + ReLU run in full precision.
+/// (int8 weights were measured too coarse for the <1e-3 probability bound
+/// on the 64x64 MLP detector — see DESIGN.md §12.)  Width guard: layers
+/// wider than kQuantMaxInCols leave the mirror unbuilt (ready() == false)
+/// and callers fall back to the double path.
+///
+/// Probabilities track the reference within ~1e-3 with identical argmax on
+/// realistic detectors (enforced by the kernel parity suite) but are NOT
+/// bitwise equal, so this mirror is an explicit opt-in for serving — the
+/// bitwise row/batch contract keeps running through Network::infer_rows.
+/// Never serialized: rebuild from the float network on fit()/deserialize().
+class QuantizedNetwork {
+ public:
+  QuantizedNetwork() = default;
+
+  /// Quantize `net`; leaves the mirror empty (ready() == false) when the
+  /// chain contains an unsupported pattern or an over-wide layer.
+  static QuantizedNetwork build(const Network& net);
+
+  bool ready() const { return !layers_.empty(); }
+  std::size_t in_cols() const { return in_cols_; }
+  std::size_t out_cols() const { return out_cols_; }
+
+  /// Allocation-free quantized forward (logits, like Network::infer_rows);
+  /// quantized-activation scratch comes from `arena`.
+  void infer_rows(const double* in, std::size_t rows, std::size_t in_cols,
+                  double* out, util::Arena& arena) const;
+
+ private:
+  struct QLinear {
+    bool conv = false;
+    bool relu_after = false;
+    std::size_t in_cols = 0, out_cols = 0;
+    std::size_t in_channels = 0, out_channels = 0, length = 0, kernel = 0;
+    std::vector<std::int16_t> w;  // Q15, row-major (out unit, fan-in weights)
+    std::vector<double> scale;   // per out unit: dequant factor for w
+    std::vector<double> bias;
+  };
+
+  void infer_row(const double* in, double* out, std::int16_t* qx,
+                 double* ping, double* pong) const;
+
+  std::vector<QLinear> layers_;
+  std::size_t in_cols_ = 0, out_cols_ = 0;
+  std::size_t peak_cols_ = 0;  // widest inter-layer activation
+};
 
 struct LossResult {
   double loss = 0.0;

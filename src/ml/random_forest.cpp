@@ -56,6 +56,28 @@ void RandomForest::fit(const Dataset& train) {
                        tree.fit_weighted(train, weights[t]);
                        trees_[t] = std::move(tree);
                      });
+  build_kernel();
+}
+
+void RandomForest::build_kernel() {
+  std::vector<std::vector<KernelBuildNode>> forest;
+  forest.reserve(trees_.size());
+  for (const auto& tree : trees_) tree.append_kernel_tree(forest);
+  kernel_.build(forest);
+}
+
+void RandomForest::predict_proba_batch_fast(BatchView batch,
+                                            std::span<double> out) const {
+  if (!trained()) throw std::logic_error("RandomForest: not trained");
+  check_batch_out(batch, out);
+  if (!kernel_.ready()) {  // over the uint16 cut budget: exact fallback
+    predict_proba_batch(batch, out);
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  kernel_.accumulate(batch, out);
+  const auto n = static_cast<double>(trees_.size());
+  for (double& v : out) v = v / n;
 }
 
 double RandomForest::predict_proba(std::span<const double> features) const {
@@ -95,6 +117,7 @@ RandomForest RandomForest::deserialize(std::span<const std::uint8_t> bytes) {
   forest.trees_.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t t = 0; t < count; ++t)
     forest.trees_.push_back(DecisionTree::deserialize(r.read_bytes()));
+  forest.build_kernel();  // derived artifact: never serialized
   return forest;
 }
 

@@ -26,6 +26,21 @@ class RandomForest final : public Classifier {
   /// order as the row path, so scores are bitwise identical.
   void predict_proba_batch(BatchView batch, std::span<double> out) const override;
   using Classifier::predict_proba_batch;
+  /// Quantized ensemble kernel: all member trees fused into one contiguous
+  /// SoA arena sharing a single per-feature cut grid, so each batch tile
+  /// quantizes its values once and every tree replays integer compares.
+  /// Decisions are exact; the mean probability differs from the exact path
+  /// only by float leaf rounding (well inside any 0.5-threshold margin).
+  void predict_proba_batch_fast(BatchView batch,
+                                std::span<double> out) const override;
+  /// Fuse scaler + feature selection into the ensemble kernel (see
+  /// ForestKernel::fuse_preprocess).
+  void fuse_preprocess(std::span<const double> mean,
+                       std::span<const double> scale,
+                       std::span<const std::uint32_t> columns) {
+    kernel_.fuse_preprocess(mean, scale, columns);
+  }
+  const ForestKernel& kernel() const { return kernel_; }
   std::string name() const override { return "RF"; }
   std::vector<std::uint8_t> serialize() const override;
   std::unique_ptr<Classifier> clone_untrained() const override;
@@ -36,8 +51,12 @@ class RandomForest final : public Classifier {
   std::size_t tree_count() const { return trees_.size(); }
 
  private:
+  /// Rebuild the fused ensemble kernel from trees_ (fit/deserialize).
+  void build_kernel();
+
   RandomForestConfig config_;
   std::vector<DecisionTree> trees_;
+  ForestKernel kernel_;  // quantized mirror; rebuilt, never serialized
 };
 
 }  // namespace drlhmd::ml

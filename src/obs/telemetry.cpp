@@ -5,6 +5,7 @@
 
 #include "obs/clock.hpp"
 #include "obs/trace_export.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 
 namespace drlhmd::obs {
@@ -119,6 +120,20 @@ void Telemetry::install_parallel_bridge() {
 void Telemetry::reset() {
   metrics().clear();
   tracer().clear();
+}
+
+void Telemetry::publish_arena_gauges() {
+  const util::ArenaStats stats = util::arena_stats();
+  MetricsRegistry& reg = metrics();
+  reg.gauge("drlhmd.arena.arenas").set(static_cast<double>(stats.arenas));
+  reg.gauge("drlhmd.arena.capacity_bytes")
+      .set(static_cast<double>(stats.capacity_bytes));
+  reg.gauge("drlhmd.arena.high_water_bytes")
+      .set(static_cast<double>(stats.high_water_bytes));
+  reg.gauge("drlhmd.arena.scope_reuses")
+      .set(static_cast<double>(stats.scope_reuses));
+  reg.gauge("drlhmd.arena.chunk_allocations")
+      .set(static_cast<double>(stats.chunk_allocations));
 }
 
 }  // namespace drlhmd::obs

@@ -36,6 +36,12 @@ class Telemetry {
   /// Clear all recorded telemetry (tests and repeated CLI runs).
   static void reset();
 
+  /// Snapshot the scratch-arena registry into drlhmd.arena.* gauges
+  /// (arenas, capacity_bytes, high_water_bytes, scope_reuses,
+  /// chunk_allocations).  Pull-based: call before exporting the registry —
+  /// the serving hot paths never touch the metrics registry themselves.
+  static void publish_arena_gauges();
+
  private:
   /// Register the drlhmd.parallel.* observer on the util thread pool
   /// (idempotent); done lazily so telemetry-off processes never pay it.

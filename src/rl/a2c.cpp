@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/arena.hpp"
+
 namespace drlhmd::rl {
 
 using ml::Matrix;
@@ -54,13 +56,19 @@ void A2C::value_batch(ml::BatchView batch, std::span<double> out) const {
   if (out.size() != batch.rows())
     throw std::invalid_argument("A2C::value_batch: out size mismatch");
   if (batch.rows() == 0) return;
-  Matrix rows(batch.rows(), obs_size_);
+  // Gather + forward run out of the per-thread arena (zero heap traffic);
+  // infer_rows is bitwise-identical to the Matrix infer() path.
+  util::ArenaScope scope(util::scratch_arena());
+  auto rows = scope.alloc<double>(batch.rows() * obs_size_);
   for (std::size_t c = 0; c < obs_size_; ++c) {
     const ml::ColumnView colc = batch.col(c);
-    for (std::size_t r = 0; r < batch.rows(); ++r) rows.at(r, c) = colc[r];
+    for (std::size_t r = 0; r < batch.rows(); ++r)
+      rows[r * obs_size_ + c] = colc[r];
   }
-  const Matrix values = critic_.infer(rows);
-  for (std::size_t r = 0; r < batch.rows(); ++r) out[r] = values.at(r, 0);
+  auto values = scope.alloc<double>(batch.rows());
+  critic_.infer_rows(rows.data(), batch.rows(), obs_size_, values.data(),
+                     scope.arena());
+  for (std::size_t r = 0; r < batch.rows(); ++r) out[r] = values[r];
 }
 
 void A2C::update(std::span<const double> observation, std::size_t action,

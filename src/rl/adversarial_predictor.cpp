@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/arena.hpp"
+
 namespace drlhmd::rl {
 
 AdversarialPredictor::AdversarialPredictor(std::size_t feature_count,
@@ -88,8 +90,9 @@ void AdversarialPredictor::is_adversarial_batch(
   if (out.size() != batch.rows())
     throw std::invalid_argument(
         "AdversarialPredictor::is_adversarial_batch: out size mismatch");
-  std::vector<double> rewards(batch.rows());
-  feedback_reward_batch(batch, rewards);
+  util::ArenaScope scope(util::scratch_arena());
+  auto rewards = scope.alloc<double>(batch.rows());
+  feedback_reward_batch(batch, {rewards.data(), rewards.size()});
   for (std::size_t r = 0; r < batch.rows(); ++r)
     out[r] = rewards[r] > config_.reward_threshold ? 1 : 0;
 }

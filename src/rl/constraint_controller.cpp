@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/arena.hpp"
+
 namespace drlhmd::rl {
 
 std::string policy_name(ConstraintPolicy policy) {
@@ -132,8 +134,14 @@ void ConstraintController::predict_batch(ml::BatchView batch,
   if (out.size() != batch.rows())
     throw std::invalid_argument(
         "ConstraintController::predict_batch: out size mismatch");
-  std::vector<double> scores(batch.rows());
-  models_[selected_model()]->predict_proba_batch(batch, scores);
+  if (batch.rows() == 0) return;
+  // Score through the quantized fast path (exact split decisions for the
+  // tree ensembles, so the >= 0.5 labels match the exact path; see
+  // DESIGN.md §12) with arena scratch: zero heap traffic in steady state.
+  util::ArenaScope scope(util::scratch_arena());
+  auto scores = scope.alloc<double>(batch.rows());
+  models_[selected_model()]->predict_proba_batch_fast(
+      batch, {scores.data(), scores.size()});
   for (std::size_t r = 0; r < batch.rows(); ++r)
     out[r] = scores[r] >= 0.5 ? 1 : 0;
 }

@@ -1,0 +1,152 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <new>
+
+namespace drlhmd::util {
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+/// Registry of live scratch arenas + totals retired by exited threads.
+/// Guarded by a mutex: registration and arena_stats() are cold paths.
+struct ArenaRegistry {
+  std::mutex mu;
+  std::vector<const Arena*> live;
+  std::uint64_t retired_high_water = 0;  // max over dead arenas
+  std::uint64_t retired_scope_reuses = 0;
+  std::uint64_t retired_chunk_allocs = 0;
+
+  static ArenaRegistry& instance() {
+    // Leaked: thread_local scratch arenas unregister during thread exit,
+    // which can outlive static destruction order.
+    static ArenaRegistry* reg = new ArenaRegistry();
+    return *reg;
+  }
+
+  void add(const Arena* arena) {
+    std::lock_guard<std::mutex> lock(mu);
+    live.push_back(arena);
+  }
+
+  void remove(const Arena* arena) {
+    std::lock_guard<std::mutex> lock(mu);
+    live.erase(std::remove(live.begin(), live.end(), arena), live.end());
+    retired_high_water =
+        std::max<std::uint64_t>(retired_high_water, arena->high_water());
+    retired_scope_reuses += arena->scope_reuses();
+    retired_chunk_allocs += arena->chunk_allocations();
+  }
+};
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_capacity) {
+  if (initial_capacity > 0) add_chunk(initial_capacity);
+}
+
+Arena::~Arena() {
+  if (registered_) ArenaRegistry::instance().remove(this);
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  const std::size_t last = chunks_.empty() ? 0 : chunks_.back().size;
+  const std::size_t size = std::max({min_bytes, last * 2, kMinChunkBytes});
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  capacity_.fetch_add(size, std::memory_order_relaxed);
+  chunks_.push_back(std::move(chunk));
+  chunk_allocs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& chunk = chunks_[active_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(chunk.data.get());
+      const std::size_t aligned = (base + offset_ + (align - 1)) & ~(align - 1);
+      const std::size_t new_offset = aligned - base + bytes;
+      if (new_offset <= chunk.size) {
+        offset_ = new_offset;
+        note_high_water();
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Exhausted: advance into the next warm chunk (or grow below).  The
+      // tail of this chunk is wasted until the next rewind — a deterministic
+      // allocation sequence wastes the same tail every pass, so the chain
+      // still converges to zero heap traffic.
+      if (active_ + 1 < chunks_.size()) {
+        ++active_;
+        offset_ = 0;
+        continue;
+      }
+    }
+    add_chunk(bytes + align);
+    active_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void Arena::rewind(Mark m) {
+  active_ = m.chunk;
+  offset_ = m.offset;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < active_ && i < chunks_.size(); ++i)
+    total += chunks_[i].size;
+  return total + offset_;
+}
+
+void Arena::note_high_water() {
+  const std::size_t in_use = used();
+  std::size_t seen = high_water_.load(std::memory_order_relaxed);
+  while (in_use > seen &&
+         !high_water_.compare_exchange_weak(seen, in_use,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+bool Arena::owns(const void* p) const {
+  const auto* byte = static_cast<const std::byte*>(p);
+  for (const Chunk& chunk : chunks_)
+    if (byte >= chunk.data.get() && byte < chunk.data.get() + chunk.size)
+      return true;
+  return false;
+}
+
+Arena& scratch_arena() {
+  thread_local struct Scratch {
+    Arena arena;
+    Scratch() {
+      arena.registered_ = true;
+      ArenaRegistry::instance().add(&arena);
+    }
+  } scratch;
+  return scratch.arena;
+}
+
+ArenaStats arena_stats() {
+  ArenaRegistry& reg = ArenaRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ArenaStats stats;
+  stats.arenas = reg.live.size();
+  stats.high_water_bytes = reg.retired_high_water;
+  stats.scope_reuses = reg.retired_scope_reuses;
+  stats.chunk_allocations = reg.retired_chunk_allocs;
+  for (const Arena* arena : reg.live) {
+    stats.capacity_bytes += arena->capacity();
+    stats.high_water_bytes =
+        std::max<std::uint64_t>(stats.high_water_bytes, arena->high_water());
+    stats.scope_reuses += arena->scope_reuses();
+    stats.chunk_allocations += arena->chunk_allocations();
+  }
+  return stats;
+}
+
+}  // namespace drlhmd::util

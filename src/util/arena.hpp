@@ -1,0 +1,154 @@
+// Bump/pool arena for steady-state zero-allocation hot paths.
+//
+// An Arena hands out pointer-bumped storage from a chain of heap chunks.
+// Chunks are never freed before the arena dies and never shrink, so once a
+// workload's peak footprint has been touched every later pass through the
+// same code runs with zero heap traffic: ArenaScope marks the cursor on
+// entry and rewinds it on exit, returning the bytes to the arena without
+// returning them to the allocator.
+//
+// The serving tier uses one scratch arena per thread (scratch_arena(), a
+// thread_local), so DetectionRuntime::process_batch and every vectorized
+// predict_proba_batch override can take per-call scratch (flag vectors,
+// quantized code tiles, activation ping-pong buffers) on any DRLHMD_THREADS
+// worker without a lock and without malloc.  Arenas are single-threaded by
+// design; only the stats counters are atomic so arena_stats() can aggregate
+// live arenas from another thread for telemetry (drlhmd.arena.* gauges).
+//
+// Lifetime rules (see DESIGN.md §12):
+//   * storage from scope.alloc<T>() is valid until that ArenaScope exits;
+//   * nested scopes rewind LIFO — never hold an outer span across an inner
+//     scope's storage and assume the inner bytes survive;
+//   * only trivially-destructible T: rewind runs no destructors.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace drlhmd::util {
+
+/// Aggregated arena activity (live + retired thread arenas).
+struct ArenaStats {
+  std::uint64_t arenas = 0;             // currently registered (live) arenas
+  std::uint64_t capacity_bytes = 0;     // sum of live chunk capacity
+  std::uint64_t high_water_bytes = 0;   // max in-use bytes of any arena, ever
+  std::uint64_t scope_reuses = 0;       // scope rewinds served from warm chunks
+  std::uint64_t chunk_allocations = 0;  // upstream heap chunks ever taken
+};
+
+class Arena {
+ public:
+  /// `initial_capacity` = 0 defers the first chunk to the first allocation.
+  explicit Arena(std::size_t initial_capacity = 0);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two).  Grows by
+  /// doubling chunks when the warm chain is exhausted; a deterministic
+  /// allocation sequence therefore stops growing after its first pass.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed span of n default-uninitialized T.  Rewind runs no destructors,
+  /// so T must be trivially destructible (and trivially constructible to
+  /// make "uninitialized" meaningful).
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_default_constructible_v<T>,
+                  "Arena::alloc needs trivial T: rewind runs no destructors");
+    if (n == 0) return {};
+    return {static_cast<T*>(allocate(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Cursor snapshot: (chunk index, offset inside it).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+  Mark mark() const { return {active_, offset_}; }
+  /// LIFO rewind to a snapshot taken on this arena; chunks stay warm.
+  void rewind(Mark m);
+  /// Rewind to empty (keeps every chunk).
+  void reset() { rewind({0, 0}); }
+
+  std::size_t used() const;
+  std::size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t chunk_allocations() const {
+    return chunk_allocs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scope_reuses() const {
+    return scope_reuses_.load(std::memory_order_relaxed);
+  }
+  /// True when p points into arena-owned storage (test/debug aid).
+  bool owns(const void* p) const;
+
+ private:
+  friend class ArenaScope;
+  friend Arena& scratch_arena();
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void add_chunk(std::size_t min_bytes);
+  void note_high_water();
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunk currently being bumped
+  std::size_t offset_ = 0;  // bump cursor inside chunks_[active_]
+  // Stats (capacity included) are written by the owning thread, read by
+  // arena_stats(): atomics with relaxed ordering (monotonic counters, no
+  // cross-field invariants).
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::uint64_t> chunk_allocs_{0};
+  std::atomic<std::uint64_t> scope_reuses_{0};
+  bool registered_ = false;  // set for scratch arenas; see arena.cpp registry
+};
+
+/// RAII cursor scope: marks on entry, rewinds on exit.  The unit of
+/// "reuse" in the stats — every scope after the warm-up pass is a free
+/// rewind instead of a round-trip through the allocator.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() {
+    arena_.rewind(mark_);
+    arena_.scope_reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    return arena_.alloc<T>(n);
+  }
+  Arena& arena() { return arena_; }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// This thread's scratch arena (thread_local, lazily built, registered for
+/// arena_stats()).  Pool workers and the main thread each get their own,
+/// so parallel chunk bodies can take scratch without synchronization.
+Arena& scratch_arena();
+
+/// Aggregate stats over every live scratch arena plus totals carried over
+/// from threads that have exited.
+ArenaStats arena_stats();
+
+}  // namespace drlhmd::util

@@ -5,9 +5,10 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <memory>
 #include <mutex>
 #include <thread>
+
+#include "util/arena.hpp"
 
 namespace drlhmd::util {
 namespace {
@@ -69,9 +70,12 @@ class ThreadPool {
 
   /// Run fn(0..n_chunks-1) across the pool; rethrows the first chunk
   /// exception on the caller.  Falls back to inline execution when another
-  /// caller already holds the pool.
-  void run_region(std::size_t n_chunks,
-                  const std::function<void(std::size_t)>& fn) {
+  /// caller already holds the pool.  The one in-flight region lives in a
+  /// reusable member slot (no per-region heap allocation): before rewriting
+  /// the slot the submitter drains stragglers from the previous region —
+  /// workers that claimed no chunk but are still inside execute() reading
+  /// the slot's plain fields — by spinning on the active-worker count.
+  void run_region(std::size_t n_chunks, detail::ChunkFnRef fn) {
     std::unique_lock<std::mutex> submit_lock(submit_mu_, std::try_to_lock);
     if (!submit_lock.owns_lock()) {
       run_inline(n_chunks, fn);
@@ -86,29 +90,38 @@ class ThreadPool {
                                                std::memory_order_relaxed)) {
     }
 
-    auto region = std::make_shared<Region>();
-    region->fn = &fn;
-    region->n_chunks = n_chunks;
+    // Drain workers still touching the slot from the previous region.  The
+    // acquire pairs with the release decrement in worker_loop, ordering
+    // their last reads before our writes.  New workers cannot enter: the
+    // wait predicate requires region_ != nullptr, and it is still null.
+    while (active_.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+
+    Region& region = region_slot_;
+    region.fn = fn;
+    region.n_chunks = n_chunks;
+    region.next.store(0, std::memory_order_relaxed);
+    region.done.store(0, std::memory_order_relaxed);
+    region.error = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      region_ = region;
+      region_ = &region;
     }
     work_cv_.notify_all();
 
-    execute(*region);  // the caller is a full participant
+    execute(region);  // the caller is a full participant
 
     {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] {
-        return region->done.load(std::memory_order_acquire) == n_chunks;
+        return region.done.load(std::memory_order_acquire) == n_chunks;
       });
-      region_.reset();
+      region_ = nullptr;
     }
-    if (region->error) std::rethrow_exception(region->error);
+    if (region.error) std::rethrow_exception(region.error);
   }
 
-  static void run_inline(std::size_t n_chunks,
-                         const std::function<void(std::size_t)>& fn) {
+  static void run_inline(std::size_t n_chunks, detail::ChunkFnRef fn) {
     const bool was_in_region = tl_in_region;
     tl_in_region = true;
     try {
@@ -122,7 +135,7 @@ class ThreadPool {
 
  private:
   struct Region {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    detail::ChunkFnRef fn;
     std::size_t n_chunks = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -152,8 +165,19 @@ class ThreadPool {
   }
 
   void worker_loop() {
+    // Pre-warm this worker's scratch arena before it can join any region:
+    // chunk assignment is a racing atomic cursor, so a worker may sit out
+    // a caller's warm-up passes entirely and first claim a chunk inside a
+    // steady-state serving region.  Paying the thread_local registration
+    // and the first 64 KB chunk here (a cold path) keeps that first claim
+    // heap-silent, preserving the zero-allocation property regardless of
+    // which thread the cursor hands each chunk to.
+    {
+      ArenaScope warm(scratch_arena());
+      (void)warm.alloc<std::byte>(1);
+    }
     for (;;) {
-      std::shared_ptr<Region> region;
+      Region* region = nullptr;
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [&] {
@@ -164,8 +188,12 @@ class ThreadPool {
         });
         if (stop_) return;
         region = region_;
+        // Counted before mu_ is released so the next submitter's drain
+        // cannot miss us while we still hold a reference to the slot.
+        active_.fetch_add(1, std::memory_order_relaxed);
       }
       execute(*region);
+      active_.fetch_sub(1, std::memory_order_release);
     }
   }
 
@@ -175,7 +203,7 @@ class ThreadPool {
            region.n_chunks) {
       tl_in_region = true;
       try {
-        (*region.fn)(c);
+        region.fn(c);
       } catch (...) {
         std::lock_guard<std::mutex> lock(region.error_mu);
         if (!region.error) region.error = std::current_exception();
@@ -193,7 +221,9 @@ class ThreadPool {
   std::mutex submit_mu_;  // serializes outer regions
   std::condition_variable work_cv_, done_cv_;
   std::vector<std::thread> workers_;
-  std::shared_ptr<Region> region_;
+  Region region_slot_;          // reused across regions; see run_region
+  Region* region_ = nullptr;    // published slot, guarded by mu_
+  std::atomic<std::size_t> active_{0};  // workers inside execute()
   std::size_t n_threads_ = 1;
   bool stop_ = false;
 
@@ -254,8 +284,7 @@ std::size_t parallel_resolve_grain(std::size_t n, std::size_t grain) {
 
 namespace detail {
 
-void run_chunks(const char* label, std::size_t n_chunks,
-                const std::function<void(std::size_t)>& chunk_fn) {
+void run_chunks(const char* label, std::size_t n_chunks, ChunkFnRef chunk_fn) {
   if (n_chunks == 0) return;
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t threads = pool.size();
@@ -263,26 +292,26 @@ void run_chunks(const char* label, std::size_t n_chunks,
 
   // Per-chunk timing only when an observer accepted the region; otherwise
   // the hot path runs the caller's functor directly with zero wrapping.
-  std::function<void(std::size_t)> timed;
-  const std::function<void(std::size_t)>* body = &chunk_fn;
-  if (ParallelObserver* observer = scope.chunk_observer()) {
-    timed = [&chunk_fn, observer, token = scope.token()](std::size_t c) {
-      const auto t0 = std::chrono::steady_clock::now();
-      chunk_fn(c);
-      const double us = std::chrono::duration<double, std::micro>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-      observer->chunk_done(token, c, us);
-    };
-    body = &timed;
-  }
+  // The wrapper is a stack lambda referenced through ChunkFnRef — no
+  // std::function, no heap, valid for the full extent of this call.
+  ParallelObserver* observer = scope.chunk_observer();
+  void* token = scope.token();
+  auto timed = [chunk_fn, observer, token](std::size_t c) {
+    const auto t0 = std::chrono::steady_clock::now();
+    chunk_fn(c);
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    observer->chunk_done(token, c, us);
+  };
+  const ChunkFnRef body = observer != nullptr ? ChunkFnRef(timed) : chunk_fn;
 
   if (tl_in_region || n_chunks == 1 || threads <= 1) {
     pool.note_serial_region();
-    ThreadPool::run_inline(n_chunks, *body);
+    ThreadPool::run_inline(n_chunks, body);
     return;
   }
-  pool.run_region(n_chunks, *body);
+  pool.run_region(n_chunks, body);
 }
 
 }  // namespace detail

@@ -21,7 +21,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -85,11 +85,40 @@ inline Rng chunk_rng(std::uint64_t base_seed, std::uint64_t chunk_index) {
 std::size_t parallel_resolve_grain(std::size_t n, std::size_t grain);
 
 namespace detail {
+
+/// Non-owning, trivially-copyable reference to a `void(std::size_t)`
+/// callable: a context pointer plus a call thunk.  Unlike std::function it
+/// never heap-allocates, which keeps region dispatch malloc-free — the
+/// serving tier asserts zero allocations in steady-state process_batch.
+/// The referenced callable must outlive every invocation (run_chunks only
+/// invokes it before returning, so stack lambdas are safe).
+class ChunkFnRef {
+ public:
+  ChunkFnRef() = default;
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<Fn>, ChunkFnRef> &&
+                std::is_invocable_v<Fn&, std::size_t>>>
+  ChunkFnRef(Fn&& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* ctx, std::size_t c) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(c);
+        }) {}
+
+  void operator()(std::size_t c) const { call_(ctx_, c); }
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* ctx_ = nullptr;
+  void (*call_)(void*, std::size_t) = nullptr;
+};
+
 /// Execute chunk_fn(0..n_chunks-1), on the pool when profitable, inline
 /// otherwise (pool width 1, single chunk, or nested region).  Exceptions
 /// from chunks are captured and the first one rethrown on the caller.
-void run_chunks(const char* label, std::size_t n_chunks,
-                const std::function<void(std::size_t)>& chunk_fn);
+void run_chunks(const char* label, std::size_t n_chunks, ChunkFnRef chunk_fn);
+
 }  // namespace detail
 
 /// Chunk-granular loop: fn(chunk_index, chunk_begin, chunk_end) for each

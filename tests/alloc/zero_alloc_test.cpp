@@ -1,0 +1,137 @@
+// Steady-state zero-allocation proof for the serving hot path.
+//
+// This binary replaces the global allocation functions with counting
+// wrappers (armed only inside the measured window, so gtest bookkeeping
+// and test setup never pollute the count).  After warm-up — which grows
+// the per-thread arenas and the thread pool's region slot to their
+// high-water marks — DetectionRuntime::process_batch into caller-owned
+// verdict storage must perform exactly zero heap allocations per call:
+// every gather buffer, score array, flag array, and NN activation comes
+// out of the per-thread bump arenas (src/util/arena.hpp).
+//
+// Runs under the plain preset only (label `alloc`): sanitizers intercept
+// operator new themselves and are excluded via the preset label filters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void note_alloc() {
+  if (g_armed.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  note_alloc();
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace drlhmd {
+namespace {
+
+TEST(ZeroAlloc, SteadyStateProcessBatchDoesNotAllocate) {
+  core::FrameworkConfig cfg;
+  cfg.corpus.benign_apps = 80;
+  cfg.corpus.malware_apps = 80;
+  cfg.corpus.windows_per_app = 4;
+  core::Framework framework(cfg);
+  framework.run_all();
+
+  core::RuntimeConfig rcfg;
+  rcfg.retrain_threshold = 0;       // adaptive retrain allocates by design
+  rcfg.integrity_check_period = 0;  // vault re-hash allocates by design
+  core::DetectionRuntime runtime(framework, rcfg);
+
+  // Pre-filter to rows the predictor does not flag: flagged rows grow the
+  // quarantine database, which is an intentional allocation.  Verdicts are
+  // deterministic (frozen const models), so the filtered rows stay
+  // unflagged on every pass below.
+  const ml::Dataset& test = framework.test_set();
+  std::vector<core::TrafficVerdict> first(test.size());
+  runtime.process_batch(test.X.view(), first);
+  ml::FeatureMatrix probe;
+  probe.reserve_rows(64);
+  for (std::size_t i = 0; i < test.size() && probe.rows() < 64; ++i)
+    if (first[i] != core::TrafficVerdict::kAdversarialMalware)
+      probe.push_row(test.row_copy(i));
+  ASSERT_GE(probe.rows(), 16u) << "predictor flagged nearly everything";
+
+  const std::size_t saved_threads = util::parallel_thread_count();
+  std::vector<core::TrafficVerdict> verdicts(probe.rows());
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2}}) {
+    util::set_parallel_threads(width);
+    // Warm-up: arenas and the pool's region slot grow to high water.
+    for (int pass = 0; pass < 5; ++pass)
+      runtime.process_batch(probe.view(), verdicts);
+
+    g_allocs.store(0);
+    g_armed.store(true);
+    for (int pass = 0; pass < 10; ++pass)
+      runtime.process_batch(probe.view(), verdicts);
+    g_armed.store(false);
+    const std::uint64_t allocs = g_allocs.load();
+    EXPECT_EQ(allocs, 0u) << "heap allocations in steady-state "
+                             "process_batch at DRLHMD_THREADS="
+                          << width;
+  }
+  util::set_parallel_threads(saved_threads);
+}
+
+}  // namespace
+}  // namespace drlhmd

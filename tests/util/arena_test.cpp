@@ -1,0 +1,140 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace drlhmd::util {
+namespace {
+
+TEST(Arena, AllocatesAlignedStorage) {
+  Arena arena;
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(16, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_TRUE(arena.owns(a));
+  EXPECT_TRUE(arena.owns(b));
+  EXPECT_TRUE(arena.owns(c));
+  int x = 0;
+  EXPECT_FALSE(arena.owns(&x));
+}
+
+TEST(Arena, TypedAllocSpans) {
+  Arena arena;
+  auto d = arena.alloc<double>(17);
+  ASSERT_EQ(d.size(), 17u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = static_cast<double>(i);
+  auto u = arena.alloc<std::uint16_t>(5);
+  ASSERT_EQ(u.size(), 5u);
+  // The double span must be untouched by the later allocation.
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d[i], static_cast<double>(i));
+  EXPECT_TRUE(arena.alloc<int>(0).empty());
+}
+
+TEST(Arena, GrowsAcrossChunksAndKeepsCapacity) {
+  Arena arena(1024);
+  const std::size_t cap0 = arena.capacity();
+  EXPECT_GT(cap0, 0u);
+  // Force growth well past the first chunk.
+  for (int i = 0; i < 8; ++i) arena.allocate(cap0, 16);
+  EXPECT_GT(arena.capacity(), cap0);
+  const std::size_t grown = arena.capacity();
+  const auto allocs = arena.chunk_allocations();
+  // A rewind keeps every chunk: repeating the same sequence must not grow.
+  arena.reset();
+  for (int i = 0; i < 8; ++i) arena.allocate(cap0, 16);
+  EXPECT_EQ(arena.capacity(), grown);
+  EXPECT_EQ(arena.chunk_allocations(), allocs);
+}
+
+TEST(Arena, MarkRewindReusesStorage) {
+  Arena arena;
+  const Arena::Mark m = arena.mark();
+  void* first = arena.allocate(256, 16);
+  arena.rewind(m);
+  void* second = arena.allocate(256, 16);
+  EXPECT_EQ(first, second);
+  EXPECT_LE(arena.used(), arena.high_water());
+}
+
+TEST(Arena, ScopeRewindsLifo) {
+  Arena arena;
+  auto outer = arena.alloc<int>(8);
+  outer[0] = 41;
+  std::size_t used_before = arena.used();
+  {
+    ArenaScope scope(arena);
+    auto inner = scope.alloc<int>(1024);
+    inner[0] = 7;
+    EXPECT_GT(arena.used(), used_before);
+  }
+  EXPECT_EQ(arena.used(), used_before);
+  EXPECT_EQ(outer[0], 41);  // outer storage survives inner scope exit
+  EXPECT_GE(arena.scope_reuses(), 1u);
+}
+
+TEST(Arena, HighWaterTracksPeak) {
+  Arena arena;
+  {
+    ArenaScope scope(arena);
+    scope.alloc<double>(1000);
+  }
+  EXPECT_GE(arena.high_water(), 1000 * sizeof(double));
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, SteadyStateNeedsNoNewChunks) {
+  Arena arena;
+  // Warm-up pass establishes the footprint.
+  {
+    ArenaScope scope(arena);
+    scope.alloc<double>(4096);
+    scope.alloc<std::uint16_t>(9999);
+  }
+  const auto warm = arena.chunk_allocations();
+  for (int pass = 0; pass < 100; ++pass) {
+    ArenaScope scope(arena);
+    scope.alloc<double>(4096);
+    scope.alloc<std::uint16_t>(9999);
+  }
+  EXPECT_EQ(arena.chunk_allocations(), warm);
+}
+
+TEST(Arena, ScratchArenaIsPerThread) {
+  Arena* main_arena = &scratch_arena();
+  EXPECT_EQ(main_arena, &scratch_arena());
+  Arena* other = nullptr;
+  std::thread t([&] { other = &scratch_arena(); });
+  t.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, main_arena);
+}
+
+TEST(Arena, StatsAggregateLiveAndRetired) {
+  const ArenaStats before = arena_stats();
+  {
+    ArenaScope scope(scratch_arena());
+    scope.alloc<double>(1 << 16);
+  }
+  std::thread t([] {
+    ArenaScope scope(scratch_arena());
+    scope.alloc<double>(1 << 15);
+  });
+  t.join();  // that thread's arena retires into the registry totals
+  const ArenaStats after = arena_stats();
+  EXPECT_GE(after.arenas, 1u);
+  EXPECT_GE(after.high_water_bytes, (1u << 16) * sizeof(double));
+  EXPECT_GT(after.scope_reuses, before.scope_reuses);
+  EXPECT_GE(after.chunk_allocations, before.chunk_allocations);
+}
+
+}  // namespace
+}  // namespace drlhmd::util

@@ -32,6 +32,7 @@
 #include "obs/trace_export.hpp"
 #include "sim/dataset_builder.hpp"
 #include "util/artifact_store.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 
@@ -363,6 +364,9 @@ int cmd_telemetry(const Args& args) {
   const ml::MetricReport report =
       runtime.process_stream(fw.attacked_test_mix());
   runtime.validate_integrity();
+  // Fold the scratch-arena footprint into the registry so every exporter
+  // below (Prometheus, JSON, table) carries the drlhmd.arena.* gauges.
+  obs::Telemetry::publish_arena_gauges();
 
   // Exporters: Chrome trace-event JSON for chrome://tracing / Perfetto,
   // and Prometheus text exposition of the whole registry.
@@ -411,6 +415,15 @@ int cmd_telemetry(const Args& args) {
         static_cast<unsigned long long>(pstats.serial_regions),
         static_cast<unsigned long long>(pstats.chunks),
         static_cast<unsigned long long>(pstats.peak_region_chunks));
+    const util::ArenaStats astats = util::arena_stats();
+    std::printf(
+        "arena: %llu scratch arenas, %llu KiB capacity, %llu KiB high water, "
+        "%llu scope reuses, %llu chunk allocations\n",
+        static_cast<unsigned long long>(astats.arenas),
+        static_cast<unsigned long long>(astats.capacity_bytes / 1024),
+        static_cast<unsigned long long>(astats.high_water_bytes / 1024),
+        static_cast<unsigned long long>(astats.scope_reuses),
+        static_cast<unsigned long long>(astats.chunk_allocations));
     return 0;
   }
   if (format != "json") {
@@ -441,6 +454,17 @@ int cmd_telemetry(const Args& args) {
       .kv("inline_regions", pstats.serial_regions)
       .kv("chunks", pstats.chunks)
       .kv("peak_region_chunks", pstats.peak_region_chunks)
+      .end_object();
+  // drlhmd.arena.* gauges: scratch-arena footprint of the serving tier
+  // (zero steady-state chunk growth is the arena design's invariant).
+  const util::ArenaStats astats = util::arena_stats();
+  w.key("arena")
+      .begin_object()
+      .kv("arenas", astats.arenas)
+      .kv("capacity_bytes", astats.capacity_bytes)
+      .kv("high_water_bytes", astats.high_water_bytes)
+      .kv("scope_reuses", astats.scope_reuses)
+      .kv("chunk_allocations", astats.chunk_allocations)
       .end_object();
   w.key("trace").raw(obs::Telemetry::tracer().to_json());
   w.key("metrics").raw(obs::Telemetry::metrics().snapshot().to_json());
