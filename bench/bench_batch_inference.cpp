@@ -40,21 +40,12 @@ ml::Dataset blobs(std::size_t n_per_class, std::uint64_t seed) {
   return d;
 }
 
-/// Best-of-N wall time for one full pass over the test set.
-template <typename Fn>
-double best_seconds(Fn&& fn, int reps = 9) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    util::Timer timer;
-    fn();
-    best = std::min(best, timer.elapsed_seconds());
-  }
-  return best;
-}
+using bench::best_seconds;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::apply_bench_cli(argc, argv);
   const ml::Dataset train = blobs(400, 71);
   const ml::Dataset test = blobs(4000, 72);
   const std::size_t n = test.size();
@@ -69,6 +60,8 @@ int main() {
   json.context("test_rows", static_cast<std::uint64_t>(n));
   json.context("features", static_cast<std::uint64_t>(test.num_features()));
   json.context("build_type", std::string(bench::build_type()));
+  json.context("threads",
+               static_cast<std::uint64_t>(util::parallel_thread_count()));
   bench::warn_if_debug_build();
 
   double sink = 0.0;  // defeat dead-code elimination

@@ -13,13 +13,66 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/framework.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace drlhmd::bench {
+
+/// Apply the shared bench CLI: `--threads N` (or `--threads=N`) pins the
+/// parallel pool width for the run, overriding ambient DRLHMD_THREADS so CI
+/// can fix the thread count explicitly.  Unknown arguments are ignored (each
+/// bench may layer its own flags on top).
+inline void apply_bench_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long n = -1;
+    if (arg == "--threads" && i + 1 < argc) {
+      n = std::atol(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      n = std::atol(arg.c_str() + 10);
+    } else {
+      continue;
+    }
+    if (n < 1) {
+      std::fprintf(stderr, "[bench] ignoring bad --threads value: %s\n",
+                   arg.c_str());
+      continue;
+    }
+    util::set_parallel_threads(static_cast<std::size_t>(n));
+    std::fprintf(stderr, "[bench] --threads %ld (pool width %zu)\n", n,
+                 util::parallel_thread_count());
+  }
+}
+
+/// Discard warmup-iteration latencies from the telemetry recorders
+/// (histograms + exact tails) so a DRLHMD_TELEMETRY=1 run's reported
+/// quantiles cover only the measured region.  Counters and gauges keep
+/// their values, and every cached metric handle stays valid.
+inline void reset_telemetry_recorders() {
+  if (obs::Telemetry::enabled()) obs::Telemetry::metrics().reset_recorders();
+}
+
+/// Best-of-N wall time: `warmup` untimed passes (caches, arenas, lazily
+/// allocated tail shards), then the recorders are reset so the warmup's
+/// latencies never pollute the measured tails, then N timed passes.
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps = 9, int warmup = 1) {
+  for (int w = 0; w < warmup; ++w) fn();
+  reset_telemetry_recorders();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.elapsed_seconds());
+  }
+  return best;
+}
 
 /// Unified BENCH_*.json writer (schema "drlhmd-bench/1"): machine-run
 /// context plus a flat list of named metrics, each carrying its unit and

@@ -45,16 +45,10 @@ ml::Dataset blobs(std::size_t n_per_class, std::uint64_t seed) {
   return d;
 }
 
-/// Best-of-N wall time for one workload at the current pool width.
+/// Best-of-3 wall time for one workload at the current pool width.
 template <typename Fn>
-double best_seconds(Fn&& fn, int reps = 3) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    util::Timer timer;
-    fn();
-    best = std::min(best, timer.elapsed_seconds());
-  }
-  return best;
+double best_seconds(Fn&& fn) {
+  return bench::best_seconds(std::forward<Fn>(fn), /*reps=*/3, /*warmup=*/1);
 }
 
 }  // namespace

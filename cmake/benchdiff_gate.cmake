@@ -1,15 +1,21 @@
-# ctest perf gate: run the batch-inference bench, take its BENCH_*.json
-# (last stdout line), and diff it against the checked-in baseline with
-# tools/benchdiff.  Fails when a compared metric regresses past TOLERANCE.
+# ctest perf gate: run a bench binary, take its BENCH_*.json (last stdout
+# line), and diff it against the checked-in baseline with tools/benchdiff.
+# Fails when a compared metric regresses past TOLERANCE.
 #
 # Invoked as:
-#   cmake -DBENCH=<bench_batch_inference> -DBENCHDIFF=<benchdiff>
-#         -DBASELINE=<BENCH_batch.json> -P benchdiff_gate.cmake
+#   cmake -DBENCH=<bench_binary> -DBENCHDIFF=<benchdiff>
+#         -DBASELINE=<BENCH_x.json> [-DMETRIC=<substr>] [-DTOLERANCE=<T>]
+#         [-DBENCH_ARGS=<semicolon-list>] -P benchdiff_gate.cmake
 foreach(var IN ITEMS BENCH BENCHDIFF BASELINE)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "benchdiff_gate: pass -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED METRIC)
+  # Default gate: the dimensionless speedup ratios (absolute ns/sample
+  # shifts with the host).
+  set(METRIC speedup)
+endif()
 if(NOT DEFINED TOLERANCE)
   # Speedup ratios are dimensionless but still noisy on a loaded or
   # differently-shaped host; the gate exists to catch real collapses
@@ -17,9 +23,12 @@ if(NOT DEFINED TOLERANCE)
   # jitter.
   set(TOLERANCE 0.75)
 endif()
+if(NOT DEFINED BENCH_ARGS)
+  set(BENCH_ARGS "")
+endif()
 
 execute_process(
-  COMMAND ${BENCH}
+  COMMAND ${BENCH} ${BENCH_ARGS}
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE status)
@@ -38,7 +47,7 @@ file(WRITE "${candidate_file}" "${candidate_json}\n")
 
 execute_process(
   COMMAND ${BENCHDIFF} ${BASELINE} ${candidate_file}
-          --metric speedup --tolerance ${TOLERANCE}
+          --metric ${METRIC} --tolerance ${TOLERANCE}
   OUTPUT_VARIABLE diff_out
   ERROR_VARIABLE diff_err
   RESULT_VARIABLE diff_status)

@@ -1,0 +1,68 @@
+# ctest smoke: drive the DetectionServer with hmdload at a low offered load
+# and validate (a) the run sheds nothing — the load is far below capacity,
+# so any drop is a data-plane bug, not noise — and (b) the emitted
+# BENCH_serving.json parses and carries the drlhmd-bench/1 schema with the
+# serving metrics benchdiff gates on.
+#
+# Invoked as:
+#   cmake -DHMDLOAD=<path-to-hmdload> -P serving_smoke.cmake
+if(NOT DEFINED HMDLOAD)
+  message(FATAL_ERROR "serving_smoke: pass -DHMDLOAD=<path to hmdload>")
+endif()
+
+execute_process(
+  COMMAND ${HMDLOAD} --smoke
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE status)
+# hmdload --smoke exits nonzero on any drop or drain timeout.
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "hmdload --smoke exited ${status}:\n${err}")
+endif()
+
+# The JSON document is the last stdout line.
+string(STRIP "${out}" out)
+string(REGEX REPLACE ".*\n" "" doc "${out}")
+if(doc STREQUAL "")
+  message(FATAL_ERROR "hmdload produced no JSON document")
+endif()
+
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON schema ERROR_VARIABLE json_err GET "${doc}" schema)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "BENCH_serving.json unparsable: ${json_err}")
+  endif()
+  if(NOT schema STREQUAL "drlhmd-bench/1")
+    message(FATAL_ERROR "unexpected bench schema '${schema}'")
+  endif()
+  foreach(needle IN ITEMS
+      p0.sustained_per_sec p0.p99_us p0.p999_us p0.drop_rate
+      p0.delivered_ratio)
+    string(FIND "${doc}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "serving JSON missing metric '${needle}'")
+    endif()
+  endforeach()
+  # Zero drops, every attempted sample answered: the contract the CI smoke
+  # job asserts at low offered load.
+  string(JSON n_metrics LENGTH "${doc}" metrics)
+  math(EXPR last "${n_metrics} - 1")
+  foreach(i RANGE ${last})
+    string(JSON name GET "${doc}" metrics ${i} name)
+    string(JSON value GET "${doc}" metrics ${i} value)
+    if(name STREQUAL "p0.drop_rate" AND NOT value EQUAL 0)
+      message(FATAL_ERROR "smoke run dropped samples (drop_rate=${value})")
+    endif()
+    if(name STREQUAL "p0.delivered_ratio" AND NOT value EQUAL 1)
+      message(FATAL_ERROR
+        "smoke run lost verdicts (delivered_ratio=${value})")
+    endif()
+  endforeach()
+else()
+  string(FIND "${doc}" "drlhmd-bench/1" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "serving output lacks the bench schema marker")
+  endif()
+endif()
+
+message(STATUS "serving smoke ok")

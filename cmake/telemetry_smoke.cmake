@@ -43,7 +43,9 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   string(JSON metrics GET "${out}" metrics)
   foreach(needle IN ITEMS
       drlhmd.runtime.stage_latency_us "\"p50\"" "\"p95\"" "\"p99\""
-      drlhmd.runtime.verdicts drlhmd.pipeline.phase_seconds)
+      drlhmd.runtime.verdicts drlhmd.pipeline.phase_seconds
+      drlhmd.serve.queue_depth drlhmd.serve.dropped_total
+      drlhmd.serve.enqueued drlhmd.serve.e2e_us)
     string(FIND "${metrics}" "${needle}" found)
     if(found EQUAL -1)
       message(FATAL_ERROR "telemetry metrics missing '${needle}'")

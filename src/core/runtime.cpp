@@ -15,6 +15,7 @@ std::string verdict_name(TrafficVerdict verdict) {
     case TrafficVerdict::kBenign: return "benign";
     case TrafficVerdict::kMalware: return "malware";
     case TrafficVerdict::kAdversarialMalware: return "adversarial-malware";
+    case TrafficVerdict::kDropped: return "dropped";
   }
   throw std::invalid_argument("verdict_name: bad verdict");
 }
@@ -229,6 +230,21 @@ void DetectionRuntime::process_batch(ml::BatchView batch,
     }
     start = i;
   }
+}
+
+BatchOutcome DetectionRuntime::process_batch_tally(
+    ml::BatchView batch, std::span<TrafficVerdict> out) {
+  const std::uint64_t benign0 = benign_->value();
+  const std::uint64_t malware0 = malware_->value();
+  const std::uint64_t adversarial0 = adversarial_->value();
+  const std::uint64_t retrains0 = retrains_->value();
+  process_batch(batch, out);
+  BatchOutcome outcome;
+  outcome.benign = benign_->value() - benign0;
+  outcome.malware = malware_->value() - malware0;
+  outcome.adversarial = adversarial_->value() - adversarial0;
+  outcome.retrains = retrains_->value() - retrains0;
+  return outcome;
 }
 
 std::vector<TrafficVerdict> DetectionRuntime::process_batch(

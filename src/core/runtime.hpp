@@ -27,9 +27,23 @@ enum class TrafficVerdict : std::uint8_t {
   kBenign = 0,
   kMalware,
   kAdversarialMalware,  // flagged by the predictor's feedback reward
+  // Backpressure verdict: the serving tier shed this sample at a full
+  // ingestion ring before it ever reached the models.  The runtime itself
+  // never emits kDropped — serve::DetectionServer synthesizes it so a
+  // host's verdict stream stays gap-free under overload.
+  kDropped,
 };
 
 std::string verdict_name(TrafficVerdict verdict);
+
+/// Row tally of one batch entry (what the serving tier folds into its
+/// per-session and drlhmd.serve.* accounting).
+struct BatchOutcome {
+  std::uint64_t benign = 0;
+  std::uint64_t malware = 0;
+  std::uint64_t adversarial = 0;
+  std::uint64_t retrains = 0;  // adaptive retrains fired inside the batch
+};
 
 struct RuntimeConfig {
   /// Fresh quarantined adversarial samples that trigger a defense retrain
@@ -90,6 +104,13 @@ class DetectionRuntime {
   /// and runs the columnar path.
   std::vector<TrafficVerdict> process_batch(
       std::span<const std::vector<double>> rows);
+  /// Allocation-free batch entry that also reports what happened: verdict
+  /// counts and whether an adaptive retrain fired mid-batch.  Computed as
+  /// registry counter deltas around process_batch, which is exact as long
+  /// as the caller serializes batch entry (the serving drain loop scores
+  /// under one lock, so this holds by construction).
+  BatchOutcome process_batch_tally(ml::BatchView batch,
+                                   std::span<TrafficVerdict> out);
 
   /// Process a labeled stream; returns detection metrics where adversarial
   /// verdicts count as "malware" (they are malware by construction).  Uses

@@ -33,6 +33,13 @@ P2Quantile::P2Quantile(double quantile) : q_(quantile) {
   rates_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
 }
 
+void P2Quantile::reset() {
+  count_ = 0;
+  heights_ = {};
+  positions_ = {};
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+}
+
 double P2Quantile::parabolic(int i, double d) const {
   const double np = positions_[static_cast<std::size_t>(i + 1)];
   const double nm = positions_[static_cast<std::size_t>(i - 1)];
@@ -128,6 +135,19 @@ Histogram::Histogram(std::vector<double> bucket_bounds)
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_.assign(bounds_.size() + 1, 0);  // +1: the implicit +inf bucket
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  buckets_.assign(bounds_.size() + 1, 0);
+  count_ = 0;
+  dropped_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  p50_.reset();
+  p95_.reset();
+  p99_.reset();
 }
 
 void Histogram::observe(double v) {
@@ -264,6 +284,12 @@ void MetricsRegistry::clear() {
   gauges_.clear();
   histograms_.clear();
   tails_.clear();
+}
+
+void MetricsRegistry::reset_recorders() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : histograms_) entry.metric->reset();
+  for (auto& [key, entry] : tails_) entry.metric->reset();
 }
 
 // ---------------------------------------------------------------------------

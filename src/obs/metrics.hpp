@@ -64,6 +64,8 @@ class P2Quantile {
   void observe(double x);
   double estimate() const;
   std::size_t count() const { return count_; }
+  /// Forget every observation (markers return to construction state).
+  void reset();
 
  private:
   double parabolic(int i, double d) const;
@@ -87,6 +89,8 @@ class Histogram {
   explicit Histogram(std::vector<double> bucket_bounds);
 
   void observe(double v);
+  /// Zero every bucket and statistic, keeping the bounds (and the handle).
+  void reset();
 
   struct Snapshot {
     std::uint64_t count = 0;
@@ -185,6 +189,13 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
   std::size_t size() const;
   void clear();
+  /// Reset every histogram and tail recorder *in place*: counters and
+  /// gauges keep their values, and — unlike clear() — every handle handed
+  /// out stays valid.  This is how benches discard warmup-iteration
+  /// latencies without invalidating the hot paths' cached pointers.
+  /// Callers must quiesce concurrent recorders first (tail shards are
+  /// zeroed with relaxed stores).
+  void reset_recorders();
 
  private:
   template <typename T>

@@ -151,6 +151,16 @@ double TailHistogram::quantile(double q) const {
   return max();  // unreachable when counts are consistent
 }
 
+void TailHistogram::reset() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  dropped_ = 0;
+  saturated_ = 0;
+  sum_ticks_ = 0;
+  min_ticks_ = std::numeric_limits<std::uint64_t>::max();
+  max_ticks_seen_ = 0;
+}
+
 void TailHistogram::fold_stats(std::uint64_t dropped, std::uint64_t saturated,
                                std::uint64_t sum_ticks,
                                std::uint64_t min_ticks,
@@ -278,6 +288,22 @@ void ShardedTailHistogram::observe(double value) {
   seen = shard.max_ticks.load(std::memory_order_relaxed);
   while (ticks > seen && !shard.max_ticks.compare_exchange_weak(
                              seen, ticks, std::memory_order_relaxed)) {
+  }
+}
+
+void ShardedTailHistogram::reset() {
+  for (auto& slot : shards_) {
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (std::size_t i = 0; i < layout_.num_counts(); ++i)
+      shard->counts[i].store(0, std::memory_order_relaxed);
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->dropped.store(0, std::memory_order_relaxed);
+    shard->saturated.store(0, std::memory_order_relaxed);
+    shard->sum_ticks.store(0, std::memory_order_relaxed);
+    shard->min_ticks.store(std::numeric_limits<std::uint64_t>::max(),
+                           std::memory_order_relaxed);
+    shard->max_ticks.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -109,6 +109,9 @@ class TailHistogram {
   /// Lossless merge; throws std::invalid_argument on layout mismatch.
   void merge(const TailHistogram& other);
 
+  /// Forget every observation, keeping the layout.
+  void reset();
+
   const TailLayout& layout() const { return layout_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
 
@@ -178,6 +181,12 @@ class ShardedTailHistogram {
   /// Merge every shard into one TailHistogram (the exact histogram a
   /// serial recorder would have produced).
   TailHistogram aggregate() const;
+
+  /// Zero every allocated shard in place (shards stay allocated, so no
+  /// recording thread ever re-pays the first-observe allocation).  The
+  /// stores are relaxed: callers must quiesce concurrent observers first,
+  /// exactly like reading an exact snapshot.
+  void reset();
   TailHistogram::Snapshot snapshot() const { return aggregate().snapshot(); }
 
   const TailLayout& layout() const { return layout_; }

@@ -1,0 +1,190 @@
+// Lock-free ingestion rings for the detection-as-a-service data plane.
+//
+// Two bounded rings with the same shape discipline — power-of-two capacity,
+// cache-line-padded indices, no locks anywhere on the enqueue path:
+//
+//   * SpscRing: classic single-producer/single-consumer ring.  Each side
+//     owns one index and keeps a *cached* copy of the other side's index,
+//     so the steady-state push/pop pays one relaxed load + one release
+//     store and touches the far cache line only when its cached view says
+//     the ring might be full/empty.  Used for the per-host completion
+//     queues (one drain worker produces, one collector consumes).
+//
+//   * MpscRing: bounded multi-producer/single-consumer ring in the Vyukov
+//     per-cell-sequence style.  Producers claim a slot with one CAS on the
+//     enqueue cursor and publish it with a release store on the cell's
+//     sequence number; the consumer never blocks a producer and vice
+//     versa.  Used for the per-shard ingestion rings, where any number of
+//     host threads feed one drain worker.
+//
+// Both rings are *lossy by contract*: try_push returns false when the ring
+// is full and the caller does the drop accounting (backpressure is a
+// counted verdict, not a wait).  Elements must be trivially copyable —
+// slots are raw storage that wraps around, nothing is ever destroyed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+
+namespace drlhmd::serve {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Smallest power of two >= n (and >= 2).
+constexpr std::size_t ring_capacity_for(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+/// Single-producer / single-consumer bounded ring.
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are raw wrapping storage");
+
+ public:
+  explicit SpscRing(std::size_t min_capacity)
+      : capacity_(ring_capacity_for(min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<T[]>(capacity_)) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer side.  False when the ring is full (caller counts the drop).
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pop up to out.size() elements; returns the count.
+  std::size_t pop_bulk(std::span<T> out) {
+    std::size_t n = 0;
+    while (n < out.size() && try_pop(out[n])) ++n;
+    return n;
+  }
+
+  /// Approximate occupancy (exact for the consumer, racy for observers).
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  // Consumer-owned index + its cached view of the producer's index.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+  // Producer-owned index + its cached view of the consumer's index.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+};
+
+/// Multi-producer / single-consumer bounded ring (Vyukov cell sequencing).
+template <typename T>
+class MpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ring slots are raw wrapping storage");
+
+ public:
+  explicit MpscRing(std::size_t min_capacity)
+      : capacity_(ring_capacity_for(min_capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Any-producer side: one CAS claims a cell, one release store publishes
+  /// it.  False when the ring is full.
+  bool try_push(const T& value) {
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: pos was reloaded by compare_exchange, retry.
+      } else if (diff < 0) {
+        return false;  // consumer has not yet freed this cell: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer side.  False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) -
+            static_cast<std::int64_t>(pos + 1) < 0)
+      return false;
+    out = cell.value;
+    cell.sequence.store(pos + capacity_, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::size_t pop_bulk(std::span<T> out) {
+    std::size_t n = 0;
+    while (n < out.size() && try_pop(out[n])) ++n;
+    return n;
+  }
+
+  /// Approximate occupancy (claimed-but-unpublished cells count as full).
+  std::size_t size() const {
+    const std::uint64_t enq = enqueue_pos_.load(std::memory_order_acquire);
+    const std::uint64_t deq = dequeue_pos_.load(std::memory_order_acquire);
+    return enq >= deq ? static_cast<std::size_t>(enq - deq) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace drlhmd::serve

@@ -40,6 +40,13 @@ void set_parallel_threads(std::size_t n);
 /// True while the current thread is executing a chunk of a parallel region.
 bool in_parallel_region();
 
+/// Best-effort: pin the calling thread to CPU `cpu % hardware_concurrency`.
+/// Returns true when the affinity call succeeded, false on platforms
+/// without thread affinity or when the kernel rejects the mask.  Used by
+/// the serving tier's drain workers (ServeConfig.pin_workers) to keep each
+/// worker's staging tile and ring cachelines resident on one core.
+bool pin_current_thread(std::size_t cpu);
+
 /// Cumulative pool activity since process start (monotonic, thread-safe).
 struct ParallelStats {
   std::size_t threads = 1;           // current pool width

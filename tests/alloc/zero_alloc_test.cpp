@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "serve/server.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -85,31 +86,54 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept {
 namespace drlhmd {
 namespace {
 
-TEST(ZeroAlloc, SteadyStateProcessBatchDoesNotAllocate) {
-  core::FrameworkConfig cfg;
-  cfg.corpus.benign_apps = 80;
-  cfg.corpus.malware_apps = 80;
-  cfg.corpus.windows_per_app = 4;
-  core::Framework framework(cfg);
-  framework.run_all();
+/// Shares one trained pipeline plus a predictor-unflagged row probe across
+/// the batch and serving zero-alloc proofs (training is the expensive part).
+class ZeroAllocFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::FrameworkConfig cfg;
+    cfg.corpus.benign_apps = 80;
+    cfg.corpus.malware_apps = 80;
+    cfg.corpus.windows_per_app = 4;
+    framework_ = new core::Framework(cfg);
+    framework_->run_all();
 
-  core::RuntimeConfig rcfg;
-  rcfg.retrain_threshold = 0;       // adaptive retrain allocates by design
-  rcfg.integrity_check_period = 0;  // vault re-hash allocates by design
-  core::DetectionRuntime runtime(framework, rcfg);
+    // Pre-filter to rows the predictor does not flag: flagged rows grow the
+    // quarantine database, which is an intentional allocation.  Verdicts
+    // are deterministic (frozen const models), so the filtered rows stay
+    // unflagged on every pass below.
+    core::DetectionRuntime scout(*framework_, frozen_config());
+    const ml::Dataset& test = framework_->test_set();
+    std::vector<core::TrafficVerdict> first(test.size());
+    scout.process_batch(test.X.view(), first);
+    probe_ = new ml::FeatureMatrix();
+    probe_->reserve_rows(64);
+    for (std::size_t i = 0; i < test.size() && probe_->rows() < 64; ++i)
+      if (first[i] != core::TrafficVerdict::kAdversarialMalware)
+        probe_->push_row(test.row_copy(i));
+  }
+  static void TearDownTestSuite() {
+    delete probe_;
+    probe_ = nullptr;
+    delete framework_;
+    framework_ = nullptr;
+  }
+  static core::RuntimeConfig frozen_config() {
+    core::RuntimeConfig rcfg;
+    rcfg.retrain_threshold = 0;       // adaptive retrain allocates by design
+    rcfg.integrity_check_period = 0;  // vault re-hash allocates by design
+    return rcfg;
+  }
+  static core::Framework* framework_;
+  static ml::FeatureMatrix* probe_;
+};
 
-  // Pre-filter to rows the predictor does not flag: flagged rows grow the
-  // quarantine database, which is an intentional allocation.  Verdicts are
-  // deterministic (frozen const models), so the filtered rows stay
-  // unflagged on every pass below.
-  const ml::Dataset& test = framework.test_set();
-  std::vector<core::TrafficVerdict> first(test.size());
-  runtime.process_batch(test.X.view(), first);
-  ml::FeatureMatrix probe;
-  probe.reserve_rows(64);
-  for (std::size_t i = 0; i < test.size() && probe.rows() < 64; ++i)
-    if (first[i] != core::TrafficVerdict::kAdversarialMalware)
-      probe.push_row(test.row_copy(i));
+core::Framework* ZeroAllocFixture::framework_ = nullptr;
+ml::FeatureMatrix* ZeroAllocFixture::probe_ = nullptr;
+
+TEST_F(ZeroAllocFixture, SteadyStateProcessBatchDoesNotAllocate) {
+  core::DetectionRuntime runtime(*framework_, frozen_config());
+  const ml::FeatureMatrix& probe = *probe_;
   ASSERT_GE(probe.rows(), 16u) << "predictor flagged nearly everything";
 
   const std::size_t saved_threads = util::parallel_thread_count();
@@ -131,6 +155,52 @@ TEST(ZeroAlloc, SteadyStateProcessBatchDoesNotAllocate) {
                           << width;
   }
   util::set_parallel_threads(saved_threads);
+}
+
+TEST_F(ZeroAllocFixture, SteadyStateServingDrainLoopDoesNotAllocate) {
+  core::DetectionRuntime runtime(*framework_, frozen_config());
+  const ml::FeatureMatrix& probe = *probe_;
+  ASSERT_GE(probe.rows(), 16u) << "predictor flagged nearly everything";
+  const std::size_t cols = probe.cols();
+
+  serve::ServeConfig scfg;
+  scfg.hosts = 4;
+  scfg.ring_capacity = 256;
+  scfg.completion_capacity = 256;
+  scfg.max_batch = 16;
+  serve::DetectionServer server(runtime, cols, scfg);
+
+  // One manual-pump pass over the probe: enqueue, drain, pop verdicts.
+  // The gather buffer is preallocated — gather_row writes in place.
+  std::vector<double> row(cols);
+  const auto pump = [&] {
+    for (std::size_t i = 0; i < probe.rows(); ++i) {
+      probe.view().gather_row(i, row);
+      server.try_enqueue(static_cast<std::uint32_t>(i % scfg.hosts), row);
+    }
+    server.poll();
+    serve::VerdictRecord rec;
+    for (std::uint32_t host = 0; host < scfg.hosts; ++host)
+      while (server.try_pop_verdict(host, rec)) {
+      }
+  };
+
+  // Warm-up: runtime arenas reach high water and the serve tail recorders
+  // (e2e_us/batch_rows/score_us) allocate this thread's shard slots.
+  for (int pass = 0; pass < 5; ++pass) pump();
+
+  // Armed: the whole enqueue -> ring -> stage -> score -> completion-queue
+  // loop must stay off the heap.
+  g_allocs.store(0);
+  g_armed.store(true);
+  for (int pass = 0; pass < 10; ++pass) pump();
+  g_armed.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "heap allocations in the steady-state serving drain loop";
+
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered, stats.scored);
 }
 
 }  // namespace

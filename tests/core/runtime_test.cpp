@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "obs/telemetry.hpp"
 
@@ -43,6 +45,7 @@ TEST(VerdictNameTest, AllNamed) {
   EXPECT_EQ(verdict_name(TrafficVerdict::kMalware), "malware");
   EXPECT_EQ(verdict_name(TrafficVerdict::kAdversarialMalware),
             "adversarial-malware");
+  EXPECT_EQ(verdict_name(TrafficVerdict::kDropped), "dropped");
 }
 
 TEST_F(RuntimeFixture, FlagsAdversarialTraffic) {
@@ -94,6 +97,35 @@ TEST_F(RuntimeFixture, BatchVerdictsMatchSequentialProcess) {
   EXPECT_EQ(batched.stats().adversarial, sequential.stats().adversarial);
   EXPECT_EQ(batched.stats().malware, sequential.stats().malware);
   EXPECT_EQ(batched.stats().benign, sequential.stats().benign);
+}
+
+TEST_F(RuntimeFixture, BatchTallyReportsPerBatchVerdictDeltas) {
+  const auto& mix = framework_->attacked_test_mix();
+  DetectionRuntime runtime(*framework_);
+  const std::size_t n = std::min<std::size_t>(mix.size(), 32);
+  std::vector<TrafficVerdict> verdicts(n);
+  const BatchOutcome outcome =
+      runtime.process_batch_tally(mix.X.view().rows_slice(0, n),
+                                  std::span<TrafficVerdict>(verdicts));
+  // The tally is the per-batch delta of the registry counters, so it must
+  // agree exactly with the verdicts written into the span.
+  std::size_t benign = 0, malware = 0, adversarial = 0;
+  for (const TrafficVerdict v : verdicts) {
+    benign += v == TrafficVerdict::kBenign ? 1 : 0;
+    malware += v == TrafficVerdict::kMalware ? 1 : 0;
+    adversarial += v == TrafficVerdict::kAdversarialMalware ? 1 : 0;
+  }
+  EXPECT_EQ(outcome.benign, benign);
+  EXPECT_EQ(outcome.malware, malware);
+  EXPECT_EQ(outcome.adversarial, adversarial);
+  EXPECT_EQ(outcome.benign + outcome.malware + outcome.adversarial, n);
+
+  // A second batch tallies only its own rows, not the running totals.
+  const BatchOutcome again =
+      runtime.process_batch_tally(mix.X.view().rows_slice(0, n),
+                                  std::span<TrafficVerdict>(verdicts));
+  EXPECT_EQ(again.benign + again.malware + again.adversarial, n);
+  EXPECT_EQ(runtime.stats().processed, 2 * n);
 }
 
 TEST_F(RuntimeFixture, IntegrityValidationPasses) {

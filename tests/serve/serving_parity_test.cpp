@@ -1,0 +1,99 @@
+// Acceptance proof: verdicts flowing through the serving data plane
+// (enqueue -> ring -> adaptive batcher -> process_batch -> completion
+// queue) are bitwise-identical to direct process_batch calls on the same
+// rows, regardless of how the batcher slices them (max_batch 1, 16, 256).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/framework.hpp"
+#include "serve/server.hpp"
+
+namespace drlhmd::serve {
+namespace {
+
+core::FrameworkConfig parity_framework_config() {
+  core::FrameworkConfig cfg;
+  cfg.corpus.benign_apps = 40;
+  cfg.corpus.malware_apps = 40;
+  cfg.corpus.windows_per_app = 4;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+core::RuntimeConfig frozen_runtime_config() {
+  // Frozen models: with retraining and integrity sweeps off, verdicts are a
+  // pure function of the rows, so two runtimes over the same trained
+  // pipeline must agree exactly.
+  core::RuntimeConfig cfg;
+  cfg.retrain_threshold = 0;
+  cfg.integrity_check_period = 0;
+  return cfg;
+}
+
+class ServingParityFixture : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    framework_ = new core::Framework(parity_framework_config());
+    framework_->run_all();
+  }
+  static void TearDownTestSuite() {
+    delete framework_;
+    framework_ = nullptr;
+  }
+  static core::Framework* framework_;
+};
+
+core::Framework* ServingParityFixture::framework_ = nullptr;
+
+TEST_P(ServingParityFixture, VerdictsMatchDirectBatchAtEveryBatchBound) {
+  const std::size_t max_batch = GetParam();
+  const ml::Dataset& mix = framework_->attacked_test_mix();
+  ASSERT_GT(mix.size(), 0u);
+
+  // Reference: one direct batch pass over the whole mix.
+  core::DetectionRuntime reference(*framework_, frozen_runtime_config());
+  const std::vector<core::TrafficVerdict> expected =
+      reference.process_batch(mix.X.view());
+  ASSERT_EQ(expected.size(), mix.size());
+
+  // Served: same rows pushed through the ring + adaptive batcher.  A single
+  // host keeps the delivered order identical to the enqueue order.
+  core::DetectionRuntime served_runtime(*framework_, frozen_runtime_config());
+  ServeConfig cfg;
+  cfg.hosts = 1;
+  cfg.ring_capacity = ring_capacity_for(mix.size());
+  cfg.completion_capacity = ring_capacity_for(mix.size());
+  cfg.max_batch = max_batch;
+  DetectionServer server(served_runtime, mix.num_features(), cfg);
+
+  for (std::size_t i = 0; i < mix.size(); ++i)
+    ASSERT_TRUE(server.try_enqueue(0, mix.row_copy(i)).accepted);
+  ASSERT_EQ(server.poll(), mix.size());
+
+  std::vector<core::TrafficVerdict> got;
+  got.reserve(mix.size());
+  VerdictRecord rec;
+  while (server.try_pop_verdict(0, rec)) {
+    EXPECT_EQ(rec.seq, got.size());  // delivered in enqueue order
+    got.push_back(rec.verdict);
+  }
+  EXPECT_EQ(got, expected);
+
+  // The batcher really did slice at max_batch: ceil(n / max_batch) flushes.
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.batches, (mix.size() + max_batch - 1) / max_batch);
+  EXPECT_EQ(stats.scored, mix.size());
+  // And the served runtime tallied exactly what the reference did.
+  EXPECT_EQ(served_runtime.stats().processed, reference.stats().processed);
+  EXPECT_EQ(served_runtime.stats().benign, reference.stats().benign);
+  EXPECT_EQ(served_runtime.stats().malware, reference.stats().malware);
+  EXPECT_EQ(served_runtime.stats().adversarial, reference.stats().adversarial);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchBounds, ServingParityFixture,
+                         ::testing::Values(std::size_t{1}, std::size_t{16},
+                                           std::size_t{256}));
+
+}  // namespace
+}  // namespace drlhmd::serve

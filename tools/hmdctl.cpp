@@ -5,6 +5,8 @@
 //   hmdctl simulate --family ransomware [--windows 4] [--seed 7]
 //   hmdctl pipeline [--benign 150 --malware 150] [--seed 2024] [--mi]
 //   hmdctl attack   [--benign 150 --malware 150] [--margin 0.9] [--steps 150]
+//   hmdctl serve    [--rate 20000] [--duration 1] [--hosts 256] [--workers 1]
+//                   [--max-batch 256] [--max-wait-us 500] [--pin]
 //   hmdctl telemetry [--benign 150 --malware 150] [--format json|table]
 //                    [--policy fast|small|best] [--log run.jsonl]
 //                    [--log-level info] [--chrome-trace trace.json]
@@ -30,6 +32,8 @@
 #include "obs/prom.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "sim/dataset_builder.hpp"
 #include "util/artifact_store.hpp"
 #include "util/arena.hpp"
@@ -314,6 +318,57 @@ int cmd_attack(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  // Train the pipeline, stand up the detection-as-a-service tier, and
+  // drive it with one open-loop load point (serve/loadgen.hpp).  A smoke
+  // sibling of bench/hmdload: same data plane, one point, table output.
+  core::Framework fw(pipeline_config(args));
+  fw.run_all();
+
+  core::RuntimeConfig rt_cfg;
+  rt_cfg.retrain_threshold = 0;       // frozen models: measure the data plane
+  rt_cfg.integrity_check_period = 0;
+  core::DetectionRuntime runtime(fw, rt_cfg);
+
+  const ml::Dataset& rows = fw.test_set();
+  serve::ServeConfig scfg;
+  scfg.hosts = static_cast<std::size_t>(args.get_int("hosts", 256));
+  scfg.ring_capacity = 8192;
+  scfg.completion_capacity = 256;
+  scfg.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 256));
+  scfg.max_wait_us = args.get_double("max-wait-us", 500.0);
+  scfg.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  scfg.pin_workers = args.has("pin");
+  serve::DetectionServer server(runtime, rows.num_features(), scfg);
+
+  serve::LoadGenConfig lcfg;
+  lcfg.offered_per_sec = args.get_double("rate", 20000.0);
+  lcfg.duration_s = args.get_double("duration", 1.0);
+  lcfg.producers = static_cast<std::size_t>(args.get_int("producers", 1));
+  std::fprintf(stderr, "serving %.0f samples/s for %.1fs over %zu hosts...\n",
+               lcfg.offered_per_sec, lcfg.duration_s, scfg.hosts);
+  const serve::LoadPointReport r =
+      serve::run_open_loop(server, rows.X.view(), lcfg);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"offered/s", util::Table::fmt(r.offered_per_sec, 0)});
+  table.add_row({"sustained/s", util::Table::fmt(r.sustained_per_sec, 0)});
+  table.add_row({"p50 us", util::Table::fmt(r.e2e_us.p50, 1)});
+  table.add_row({"p99 us", util::Table::fmt(r.e2e_us.p99, 1)});
+  table.add_row({"p999 us", util::Table::fmt(r.e2e_us.p999, 1)});
+  table.add_row({"attempted", std::to_string(r.attempted)});
+  table.add_row({"dropped", std::to_string(r.dropped)});
+  table.add_row({"delivered", std::to_string(r.delivered)});
+  table.add_row({"drop rate", util::Table::fmt(r.drop_rate, 4)});
+  table.add_row({"delivered ratio", util::Table::fmt(r.delivered_ratio, 4)});
+  std::printf("%s", table.to_string().c_str());
+  if (!r.drained) {
+    std::fprintf(stderr, "serve: drain timeout (server kept falling behind)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_telemetry(const Args& args) {
   // Structured logging first, so the pipeline's events reach the sinks.
   const std::string level_name = args.get("log-level", "warn");
@@ -364,6 +419,31 @@ int cmd_telemetry(const Args& args) {
   const ml::MetricReport report =
       runtime.process_stream(fw.attacked_test_mix());
   runtime.validate_integrity();
+
+  // Serving-tier pump: route a slice of the mix through the DetectionServer
+  // against the same registry, so the drlhmd.serve.* counters and gauges
+  // (queue_depth, dropped_total, sessions) ride every exporter below.
+  {
+    const ml::Dataset& mix = fw.attacked_test_mix();
+    serve::ServeConfig scfg;
+    scfg.hosts = 8;
+    scfg.ring_capacity = 1024;
+    scfg.completion_capacity = 256;
+    scfg.max_batch = 64;
+    scfg.registry = &obs::Telemetry::metrics();
+    serve::DetectionServer server(runtime, mix.num_features(), scfg);
+    const std::size_t n = std::min<std::size_t>(mix.size(), 128);
+    for (std::size_t i = 0; i < n; ++i)
+      server.try_enqueue(static_cast<std::uint32_t>(i % scfg.hosts),
+                         mix.row_copy(i));
+    server.poll();
+    serve::VerdictRecord rec;
+    for (std::uint32_t host = 0; host < scfg.hosts; ++host)
+      while (server.try_pop_verdict(host, rec)) {
+      }
+    server.publish_gauges();
+  }
+
   // Fold the scratch-arena footprint into the registry so every exporter
   // below (Prometheus, JSON, table) carries the drlhmd.arena.* gauges.
   obs::Telemetry::publish_arena_gauges();
@@ -487,7 +567,12 @@ void usage(std::FILE* out) {
                "            --benign N --malware N --seed S [--mi]\n"
                "  attack    attack-only study (baselines + LowProFool)\n"
                "            --benign N --malware N --steps K --margin M\n"
+               "  serve     detection-as-a-service smoke: one open-loop load\n"
+               "            point through the lock-free serving tier\n"
+               "            --rate R --duration S --hosts N --workers W\n"
+               "            --max-batch B --max-wait-us U [--pin]\n"
                "  telemetry pipeline + runtime stream with full telemetry\n"
+               "            (includes drlhmd.serve.* serving-tier gauges)\n"
                "            --benign N --malware N --seed S [--mi]\n"
                "            --format json|table --policy fast|small|best\n"
                "            --retrain K --integrity-period P\n"
@@ -524,6 +609,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "telemetry") return cmd_telemetry(args);
     if (command == "save") return cmd_save(args);
     if (command == "resume") return cmd_resume(args);
