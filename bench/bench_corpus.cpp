@@ -1,0 +1,100 @@
+// Fleet-scale out-of-core corpus data plane: sharded build throughput,
+// per-shard resume cost, and streamed (mmap-backed) feature selection +
+// training over the shard directory.
+//
+// Emits BENCH_corpus.json (drlhmd-bench/1 schema) as the last stdout line.
+// The benchdiff regression gate keys on `out_of_core_ratio` — total rows
+// over the largest single shard's rows, i.e. how many times bigger than
+// the peak in-RAM working set the corpus is.  The app population is sized
+// as a multiple of the shard count, so the ratio equals the shard count
+// exactly and is machine- and scale-independent; it collapses only if the
+// build stops sharding (everything lands in one file) or shards go
+// missing.  Absolute rows/sec metrics shift with the host and are
+// reported ungated.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/mutual_info.hpp"
+#include "ml/sharded_dataset.hpp"
+#include "sim/corpus_shard.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace drlhmd;
+
+int main(int argc, char** argv) {
+  bench::apply_bench_cli(argc, argv);
+  bench::warn_if_debug_build();
+
+  const double scale = bench::bench_scale();
+  sim::FleetConfig fleet;
+  fleet.shards = 8;
+  // Keep each class a multiple of the shard count so every shard holds the
+  // same number of apps and out_of_core_ratio is exactly fleet.shards.
+  const std::size_t per_class =
+      fleet.shards * std::max<std::size_t>(1, static_cast<std::size_t>(8 * scale));
+  sim::CorpusConfig corpus;
+  corpus.benign_apps = per_class;
+  corpus.malware_apps = per_class;
+  corpus.windows_per_app = 4;
+  corpus.seed = 2024;
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "drlhmd_bench_corpus";
+  std::filesystem::remove_all(dir);
+  fleet.out_dir = dir.string();
+
+  // Fresh fleet build (all shards simulated), then a pure resume pass
+  // (every shard found complete on disk).
+  const sim::ShardBuildStats built = sim::build_corpus_sharded(corpus, fleet);
+  const sim::ShardBuildStats resumed = sim::build_corpus_sharded(corpus, fleet);
+  const double rows = static_cast<double>(built.rows);
+  const double build_rows_per_sec =
+      built.build_seconds > 0.0 ? rows / built.build_seconds : 0.0;
+
+  const ml::ShardedDataset source = ml::ShardedDataset::open(fleet.out_dir);
+  std::size_t max_shard_rows = 0;
+  for (std::size_t s = 0; s < source.num_shards(); ++s)
+    max_shard_rows = std::max(max_shard_rows, source.shard(s).rows());
+  const double out_of_core_ratio =
+      max_shard_rows > 0 ? rows / static_cast<double>(max_shard_rows) : 0.0;
+
+  // Streamed feature selection and streamed ensemble training over the
+  // mmap'd shards — the two consumers the out-of-core path exists for.
+  const double mi_s = bench::best_seconds(
+      [&] { ml::select_top_k_features(source, 4, 16); }, /*reps=*/5);
+  auto rf = ml::make_model(ml::ModelKind::kRf);
+  const double rf_s = bench::best_seconds(
+      [&] { rf->clone_untrained()->fit_stream(source); }, /*reps=*/3);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"shards", std::to_string(built.shards_total)});
+  table.add_row({"rows", std::to_string(built.rows)});
+  table.add_row({"build rows/s", util::Table::fmt(build_rows_per_sec, 1)});
+  table.add_row({"resume s", util::Table::fmt(resumed.build_seconds, 4)});
+  table.add_row({"out-of-core ratio", util::Table::fmt(out_of_core_ratio, 2)});
+  table.add_row({"streamed MI s", util::Table::fmt(mi_s, 4)});
+  table.add_row({"streamed RF fit s", util::Table::fmt(rf_s, 4)});
+
+  bench::BenchWriter json("corpus");
+  json.context("shards", static_cast<std::uint64_t>(built.shards_total));
+  json.context("apps", static_cast<std::uint64_t>(2 * per_class));
+  json.context("rows", static_cast<std::uint64_t>(built.rows));
+  json.context("mapped_bytes", static_cast<std::uint64_t>(source.mapped_bytes()));
+  json.context("build_type", std::string(bench::build_type()));
+  json.context("threads",
+               static_cast<std::uint64_t>(util::parallel_thread_count()));
+  json.metric("out_of_core_ratio", out_of_core_ratio, "x", true);
+  json.metric("build_rows_per_second", build_rows_per_sec, "rows/s", true);
+  json.metric("resume_seconds", resumed.build_seconds, "s", false);
+  json.metric("streamed_mi_seconds", mi_s, "s", false);
+  json.metric("streamed_rf_fit_seconds", rf_s, "s", false);
+
+  std::filesystem::remove_all(dir);
+  std::printf("%s\n%s\n", table.to_string().c_str(), json.str().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+# ctest smoke: drive the fleet corpus CLI end to end — a small sharded
+# build interrupted via --limit-shards, a resume run that completes the
+# fleet, `corpus info` over the shard directory, a streamed CSV merge, and
+# the streamed-vs-monolithic training parity assert from the corpus test
+# binary.  Also pins the CLI contract: unknown subcommands exit 2.
+#
+# Invoked as:
+#   cmake -DHMDCTL=<path-to-hmdctl> -DCORPUS_TESTS=<path-to-drlhmd_corpus_tests>
+#         -P corpus_smoke.cmake
+foreach(var IN ITEMS HMDCTL CORPUS_TESTS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "corpus_smoke: pass -D${var}=...")
+  endif()
+endforeach()
+
+set(dir "${CMAKE_CURRENT_BINARY_DIR}/corpus_smoke_shards")
+file(REMOVE_RECURSE "${dir}")
+set(build_args --benign 6 --malware 6 --windows 2 --shards 4
+    --profiles testbed-i7,embedded-small --out "${dir}")
+
+# 1. Interrupted build: only 2 of 4 shards may be written.
+execute_process(
+  COMMAND ${HMDCTL} corpus build ${build_args} --limit-shards 2
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "interrupted corpus build exited ${status}:\n${err}")
+endif()
+string(FIND "${out}" "[INCOMPLETE]" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "limit-shards build not reported incomplete:\n${out}")
+endif()
+string(FIND "${out}" "2/4 on disk (2 built, 0 resumed)" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "unexpected interrupted-build accounting:\n${out}")
+endif()
+
+# 2. Resume: the surviving shards are kept, the missing ones simulated.
+execute_process(
+  COMMAND ${HMDCTL} corpus build ${build_args}
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "resume corpus build exited ${status}:\n${err}")
+endif()
+string(FIND "${out}" "4/4 on disk (2 built, 2 resumed)" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "resume did not keep the finished shards:\n${out}")
+endif()
+string(FIND "${out}" "[INCOMPLETE]" found)
+if(NOT found EQUAL -1)
+  message(FATAL_ERROR "resumed build still incomplete:\n${out}")
+endif()
+
+# 3. Shard table: every CRC must check out.
+execute_process(
+  COMMAND ${HMDCTL} corpus info "${dir}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "corpus info exited ${status}:\n${out}${err}")
+endif()
+string(FIND "${out}" "4 shards, 24 valid rows" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "corpus info totals wrong:\n${out}")
+endif()
+
+# 4. Streamed merge to CSV (open() re-verifies every shard CRC).
+execute_process(
+  COMMAND ${HMDCTL} corpus merge "${dir}" --out
+          "${CMAKE_CURRENT_BINARY_DIR}/corpus_smoke_merged.csv"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "corpus merge exited ${status}:\n${out}${err}")
+endif()
+if(NOT EXISTS "${CMAKE_CURRENT_BINARY_DIR}/corpus_smoke_merged.csv")
+  message(FATAL_ERROR "corpus merge wrote no CSV")
+endif()
+
+# 5. CLI contract: unknown subcommand exits 2.
+execute_process(
+  COMMAND ${HMDCTL} corpus frobnicate
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 2)
+  message(FATAL_ERROR
+    "unknown corpus subcommand exited ${status}, expected 2:\n${out}${err}")
+endif()
+
+# 6. Streamed training parity over a multi-shard directory: every detector
+# trained through fit_stream serializes byte-identically to fit().
+execute_process(
+  COMMAND ${CORPUS_TESTS}
+          --gtest_filter=StreamingParityTest.EveryDetectorTrainsByteIdentically
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "streaming parity assert failed:\n${out}${err}")
+endif()
+
+file(REMOVE_RECURSE "${dir}")
+message(STATUS "corpus smoke ok")

@@ -43,6 +43,9 @@ namespace drlhmd::core {
 namespace {
 
 constexpr std::uint32_t kFormatVersion = 1;
+// Manifest payload versions: v1 = mask + config; v2 appends the fleet
+// fields (sharded-corpus mode).  v1 manifests resume with fleet defaults.
+constexpr std::uint32_t kManifestVersion = 2;
 
 constexpr const char* kKindManifest = "drlhmd.manifest";
 constexpr const char* kKindCorpus = "drlhmd.sim.corpus";
@@ -103,9 +106,15 @@ void write_config(util::ByteWriter& w, const FrameworkConfig& c) {
   w.write_u64(c.controller_epochs);
   w.write_f64(c.metric_tolerance);
   w.write_u64(c.seed);
+  // Manifest v2: fleet (sharded-corpus) fields.
+  w.write_u64(c.fleet.shards);
+  w.write_u64(c.fleet.limit_shards);
+  w.write_string(c.fleet.out_dir);
+  w.write_u64(c.fleet.profiles.size());
+  for (const auto& id : c.fleet.profiles) w.write_string(id);
 }
 
-FrameworkConfig read_config(util::ByteReader& r) {
+FrameworkConfig read_config(util::ByteReader& r, std::uint32_t version) {
   FrameworkConfig c;
   c.corpus.benign_apps = static_cast<std::size_t>(r.read_u64());
   c.corpus.malware_apps = static_cast<std::size_t>(r.read_u64());
@@ -144,6 +153,15 @@ FrameworkConfig read_config(util::ByteReader& r) {
   c.controller_epochs = static_cast<std::size_t>(r.read_u64());
   c.metric_tolerance = r.read_f64();
   c.seed = r.read_u64();
+  if (version >= 2) {
+    c.fleet.shards = static_cast<std::size_t>(r.read_u64());
+    c.fleet.limit_shards = static_cast<std::size_t>(r.read_u64());
+    c.fleet.out_dir = r.read_string();
+    const std::uint64_t n_profiles = r.read_u64();
+    c.fleet.profiles.clear();
+    for (std::uint64_t i = 0; i < n_profiles; ++i)
+      c.fleet.profiles.push_back(r.read_string());
+  }
   return c;
 }
 
@@ -208,10 +226,12 @@ void Framework::save_checkpoint(const std::string& dir) const {
     util::ByteWriter w;
     w.write_u32(completed_phases_);
     write_config(w, config_);
-    store.put("manifest", kKindManifest, kFormatVersion, w.bytes());
+    store.put("manifest", kKindManifest, kManifestVersion, w.bytes());
   }
 
-  if (phase_done(Phase::kAcquire))
+  // Fleet mode leaves corpus_ empty — the corpus lives in the shard
+  // directory (with its own per-shard resume state), not the checkpoint.
+  if (phase_done(Phase::kAcquire) && corpus_.has_value())
     store.put("corpus", kKindCorpus, kFormatVersion, sim::serialize_corpus(*corpus_));
 
   if (phase_done(Phase::kEngineer)) {
@@ -281,13 +301,18 @@ Framework Framework::resume(const std::string& dir) {
   std::uint32_t mask = 0;
   FrameworkConfig config;
   {
-    // Keep the payload alive for the reader's lifetime (ByteReader holds a
-    // non-owning span).
-    const std::vector<std::uint8_t> manifest =
-        expect_payload(store, "manifest", kKindManifest);
-    util::ByteReader r(manifest);
+    // get() rather than expect_payload: the payload layout depends on the
+    // artifact version (v2 appends the fleet fields).
+    const util::Artifact manifest = store.get("manifest");
+    if (manifest.kind != kKindManifest)
+      throw std::invalid_argument("checkpoint: artifact 'manifest' has kind '" +
+                                  manifest.kind + "', expected manifest");
+    if (manifest.version == 0 || manifest.version > kManifestVersion)
+      throw std::invalid_argument("Framework::resume: unsupported manifest version " +
+                                  std::to_string(manifest.version));
+    util::ByteReader r(manifest.payload);
     mask = r.read_u32();
-    config = read_config(r);
+    config = read_config(r, manifest.version);
   }
   if (mask >= (1u << kPhaseCount))
     throw std::invalid_argument("Framework::resume: manifest phase mask invalid");
@@ -297,7 +322,9 @@ Framework Framework::resume(const std::string& dir) {
     return ((mask >> static_cast<unsigned>(phase)) & 1u) != 0;
   };
 
-  if (done(Phase::kAcquire))
+  // Fleet checkpoints carry no corpus artifact: the sharded corpus stays
+  // in fleet.out_dir and engineer re-opens it from there on demand.
+  if (done(Phase::kAcquire) && store.contains("corpus"))
     fw.corpus_ = sim::deserialize_corpus(expect_payload(store, "corpus", kKindCorpus));
 
   if (done(Phase::kEngineer)) {

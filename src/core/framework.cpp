@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "ml/mutual_info.hpp"
+#include "ml/sharded_dataset.hpp"
 #include "obs/log.hpp"
 #include "obs/telemetry.hpp"
 #include "util/timer.hpp"
@@ -35,6 +37,23 @@ void set_size_gauge(const char* split, std::size_t size) {
   obs::Telemetry::metrics()
       .gauge("drlhmd.pipeline.dataset_size", {{"split", split}})
       .set(static_cast<double>(size));
+}
+
+/// drlhmd.corpus.* fleet-build telemetry: shard progress, build throughput
+/// and the per-machine-profile row mix.
+void publish_corpus_stats(const sim::ShardBuildStats& stats) {
+  if (!obs::Telemetry::enabled()) return;
+  auto& reg = obs::Telemetry::metrics();
+  reg.counter("drlhmd.corpus.shards_built").inc(stats.shards_built);
+  reg.gauge("drlhmd.corpus.shards_total").set(static_cast<double>(stats.shards_total));
+  reg.gauge("drlhmd.corpus.shards_resumed").set(static_cast<double>(stats.shards_resumed));
+  reg.gauge("drlhmd.corpus.rows").set(static_cast<double>(stats.rows));
+  if (stats.build_seconds > 0.0)
+    reg.gauge("drlhmd.corpus.rows_per_sec")
+        .set(static_cast<double>(stats.rows) / stats.build_seconds);
+  for (const auto& [profile, rows] : stats.rows_per_profile)
+    reg.gauge("drlhmd.corpus.profile_rows", {{"profile", profile}})
+        .set(static_cast<double>(rows));
 }
 
 }  // namespace
@@ -78,13 +97,30 @@ void Framework::mark_phase(Phase phase) {
 void Framework::acquire_data() {
   const obs::Span span = obs::phase_span("pipeline.acquire");
   const util::Timer timer;
-  corpus_ = sim::build_corpus(config_.corpus);
-  set_size_gauge("corpus", corpus_->records.size());
+  if (fleet_mode()) {
+    // Sharded out-of-core build (or per-shard resume of one).  The phase
+    // only counts as done once every shard is on disk with a valid CRC, so
+    // a limit_shards-interrupted build re-enters here on the next run.
+    const sim::ShardBuildStats stats =
+        sim::build_corpus_sharded(config_.corpus, config_.fleet);
+    publish_corpus_stats(stats);
+    set_size_gauge("corpus", stats.rows);
+    require(stats.complete,
+            "acquire_data: fleet build incomplete (limit_shards interrupted "
+            "it); run again to resume the remaining shards");
+  } else {
+    corpus_ = sim::build_corpus(config_.corpus);
+    set_size_gauge("corpus", corpus_->records.size());
+  }
   mark_phase(Phase::kAcquire);
   finish_phase("acquire", timer);
 }
 
 void Framework::engineer_features() {
+  if (fleet_mode()) {
+    engineer_features_fleet();
+    return;
+  }
   require(corpus_.has_value(), "acquire_data must run before engineer_features");
   const obs::Span span = obs::phase_span("pipeline.engineer");
   const util::Timer timer;
@@ -132,6 +168,67 @@ void Framework::engineer_features() {
   scaler_.transform_inplace(test_.X.mutable_view());
 
   // Clipping bounds for the attack (Algorithm 1 line 1), in scaled space.
+  bounds_ = ml::feature_bounds(train_);
+
+  set_size_gauge("train", train_.size());
+  set_size_gauge("val", val_.size());
+  set_size_gauge("test", test_.size());
+  mark_phase(Phase::kEngineer);
+  finish_phase("engineer", timer);
+}
+
+void Framework::engineer_features_fleet() {
+  require(phase_done(Phase::kAcquire),
+          "acquire_data must run before engineer_features");
+  const obs::Span span = obs::phase_span("pipeline.engineer");
+  const util::Timer timer;
+
+  // Map the shard directory read-only; selection walks every row through
+  // the mmapped column views one scratch column at a time, so the only
+  // full-height allocation before the top-k cut is a single column.
+  const ml::ShardedDataset source =
+      ml::ShardedDataset::open(config_.fleet.out_dir);
+  if (obs::Telemetry::enabled())
+    obs::Telemetry::metrics()
+        .gauge("drlhmd.corpus.mmap_bytes")
+        .set(static_cast<double>(source.mapped_bytes()));
+
+  if (config_.feature_mode == FeatureSelectionMode::kPaperFeatures) {
+    feature_indices_.clear();
+    for (const char* name :
+         {"LLC-load-misses", "LLC-loads", "cache-misses", "cache-references"}) {
+      const auto event = sim::event_from_name(name);
+      feature_indices_.push_back(static_cast<std::size_t>(event));
+    }
+    if (feature_indices_.size() > config_.top_k_features)
+      feature_indices_.resize(config_.top_k_features);
+  } else {
+    // Streamed MI over the whole shard set.  Out-of-core selection
+    // necessarily ranks on all rows rather than the train split only: the
+    // corpus cannot be row-split until the selected columns fit in RAM.
+    feature_indices_ = ml::select_top_k_features(source, config_.top_k_features,
+                                                 config_.mi_bins);
+  }
+  feature_names_.clear();
+  for (std::size_t idx : feature_indices_)
+    feature_names_.push_back(source.feature_names()[idx]);
+
+  // Materialize only the selected k columns — the full-width corpus never
+  // exists in RAM.  Cleaning, the paper split and scaling then run on the
+  // k-wide slice exactly as the in-RAM path does post-selection.
+  ml::Dataset raw = ml::materialize_columns(source, feature_indices_);
+  raw = ml::clean(raw);
+  raw_all_ = raw;
+
+  util::Rng rng(config_.seed);
+  ml::TrainValTest split = ml::paper_protocol_split(raw, rng);
+  train_ = std::move(split.train);
+  val_ = std::move(split.val);
+  test_ = std::move(split.test);
+  scaler_.fit(train_);
+  scaler_.transform_inplace(train_.X.mutable_view());
+  scaler_.transform_inplace(val_.X.mutable_view());
+  scaler_.transform_inplace(test_.X.mutable_view());
   bounds_ = ml::feature_bounds(train_);
 
   set_size_gauge("train", train_.size());

@@ -25,6 +25,7 @@
 #include "ml/preprocess.hpp"
 #include "rl/adversarial_predictor.hpp"
 #include "rl/constraint_controller.hpp"
+#include "sim/corpus_shard.hpp"
 #include "sim/dataset_builder.hpp"
 
 namespace drlhmd::core {
@@ -42,6 +43,12 @@ enum class FeatureSelectionMode : std::uint8_t {
 
 struct FrameworkConfig {
   sim::CorpusConfig corpus{};
+  /// Fleet mode (enabled when fleet.out_dir is non-empty): acquire builds a
+  /// sharded out-of-core corpus under fleet.out_dir across heterogeneous
+  /// machine profiles instead of one in-RAM corpus, and engineer streams
+  /// feature selection over the mmap-backed shards, materializing only the
+  /// selected top-k columns.
+  sim::FleetConfig fleet{};
   FeatureSelectionMode feature_mode = FeatureSelectionMode::kPaperFeatures;
   std::size_t top_k_features = 4;      // paper: top four HPCs by MI
   std::size_t mi_bins = 16;
@@ -133,6 +140,8 @@ class Framework {
 
   // -- Accessors ---------------------------------------------------------
   const FrameworkConfig& config() const { return config_; }
+  /// True when the pipeline runs against a sharded on-disk corpus.
+  bool fleet_mode() const { return !config_.fleet.out_dir.empty(); }
   const sim::HpcCorpus& corpus() const;
   const ml::Dataset& train_set() const;       // engineered top-k space
   const ml::Dataset& val_set() const;
@@ -162,6 +171,9 @@ class Framework {
   void require(bool condition, const char* message) const;
   /// Mark `phase` complete and invalidate all downstream phases.
   void mark_phase(Phase phase);
+  /// Fleet-mode engineer: streamed selection over the shard directory,
+  /// then materialize only the selected top-k columns.
+  void engineer_features_fleet();
 
   FrameworkConfig config_;
   std::uint32_t completed_phases_ = 0;  // bit i == Phase i done

@@ -2,7 +2,14 @@
 
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
+
 namespace drlhmd::ml {
+
+void Classifier::fit_stream(const DataSource& train) {
+  const Dataset data = materialize(train);
+  fit(data);
+}
 
 void Classifier::check_batch_out(BatchView batch,
                                  std::span<const double> out) const {

@@ -26,6 +26,8 @@
 
 namespace drlhmd::ml {
 
+class DataSource;
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -33,6 +35,13 @@ class Classifier {
   /// Train on the dataset (labels 0/1). Implementations must be
   /// deterministic given their construction-time seed.
   virtual void fit(const Dataset& train) = 0;
+
+  /// Train from a sharded/out-of-core source.  The streaming detectors
+  /// (DT/RF/GBDT/MLP/NN) override this with shard-by-shard implementations
+  /// and route fit(Dataset) through it via the single-shard adapter, so the
+  /// two entry points share one code path and produce identical models.
+  /// The default materializes the source (correct for any detector, in-RAM).
+  virtual void fit_stream(const DataSource& train);
 
   /// P(label == 1) for one sample (row adapter over the batch path's
   /// math; kept virtual so detectors can score a single row without

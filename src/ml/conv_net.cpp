@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/arena.hpp"
 
 namespace drlhmd::ml {
@@ -22,9 +23,14 @@ ConvNetClassifier::ConvNetClassifier(ConvNetConfig config) : config_(config) {
 
 void ConvNetClassifier::fit(const Dataset& train) {
   train.validate();
-  if (train.size() == 0)
+  fit_stream(DatasetSource(train));
+}
+
+void ConvNetClassifier::fit_stream(const DataSource& train) {
+  const RowLocator rows(train);
+  if (rows.rows() == 0)
     throw std::invalid_argument("ConvNetClassifier::fit: empty dataset");
-  in_features_ = train.num_features();
+  in_features_ = rows.num_features();
   // Two valid convolutions need kernel <= (width + 1) / 2; narrower inputs
   // get a clamped kernel (degenerating to 1x1 convolutions at width 1)
   // rather than failing, so feature-count sweeps can include the NN.
@@ -51,7 +57,7 @@ void ConvNetClassifier::fit(const Dataset& train) {
   net.add(std::make_unique<nn::Dense>(config_.fc2, 2, rng));
   net_ = std::move(net);
 
-  std::vector<std::size_t> order(train.size());
+  std::vector<std::size_t> order(rows.rows());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
@@ -62,8 +68,8 @@ void ConvNetClassifier::fit(const Dataset& train) {
       for (std::size_t i = start; i < end; ++i) {
         const std::size_t row = order[i];
         for (std::size_t c = 0; c < in_features_; ++c)
-          batch.at(i - start, c) = train.at(row, c);
-        labels[i - start] = train.y[row];
+          batch.at(i - start, c) = rows.at(row, c);
+        labels[i - start] = rows.label(row);
       }
       net_.zero_grad();
       const Matrix logits = net_.forward(batch);

@@ -27,6 +27,11 @@ class ConvNetClassifier final : public Classifier {
   explicit ConvNetClassifier(ConvNetConfig config = {});
 
   void fit(const Dataset& train) override;
+  /// Streamed fit: minibatch rows are gathered straight out of the shard
+  /// views through a RowLocator, so no monolithic matrix is ever built.
+  /// Canonical path — fit(Dataset) routes through it via the single-shard
+  /// adapter, so streamed and monolithic fits train identical networks.
+  void fit_stream(const DataSource& train) override;
   double predict_proba(std::span<const double> features) const override;
   /// Whole-batch forward pass (conv + dense layers are row-local).
   void predict_proba_batch(BatchView batch, std::span<double> out) const override;

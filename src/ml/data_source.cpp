@@ -1,0 +1,139 @@
+#include "ml/data_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drlhmd::ml {
+
+void DataSource::column_into(std::size_t c, std::span<double> out) const {
+  if (c >= num_features())
+    throw std::out_of_range("DataSource::column_into: bad column");
+  if (out.size() != rows())
+    throw std::invalid_argument("DataSource::column_into: bad out size");
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    const ColumnView col = shard(s).col(c);
+    std::copy(col.begin(), col.end(), out.begin() + static_cast<std::ptrdiff_t>(at));
+    at += col.size();
+  }
+}
+
+void DataSource::validate() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    const BatchView view = shard(s);
+    const std::span<const int> y = labels(s);
+    if (y.size() != view.rows())
+      throw std::invalid_argument("DataSource: shard label/row count mismatch");
+    if (view.cols() != num_features())
+      throw std::invalid_argument("DataSource: shard width mismatch");
+    for (int label : y)
+      if (label != 0 && label != 1)
+        throw std::invalid_argument("DataSource: labels must be 0 or 1");
+    total += view.rows();
+  }
+  if (total != rows())
+    throw std::invalid_argument("DataSource: shard rows do not sum to rows()");
+}
+
+Dataset materialize(const DataSource& src) {
+  Dataset out;
+  out.feature_names = src.feature_names();
+  const std::size_t n = src.rows();
+  const std::size_t width = src.num_features();
+  out.X = FeatureMatrix(n, width);
+  out.y.reserve(n);
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < src.num_shards(); ++s) {
+    const BatchView view = src.shard(s);
+    for (std::size_t c = 0; c < width; ++c) {
+      const ColumnView col = view.col(c);
+      std::span<double> dst = out.X.col(c).subspan(at, col.size());
+      std::copy(col.begin(), col.end(), dst.begin());
+    }
+    const std::span<const int> y = src.labels(s);
+    out.y.insert(out.y.end(), y.begin(), y.end());
+    at += view.rows();
+  }
+  return out;
+}
+
+Dataset materialize_columns(const DataSource& src,
+                            std::span<const std::size_t> columns) {
+  const std::size_t width = src.num_features();
+  const auto& names = src.feature_names();
+  Dataset out;
+  for (std::size_t c : columns) {
+    if (c >= width)
+      throw std::out_of_range("materialize_columns: bad column index");
+    if (c < names.size()) out.feature_names.push_back(names[c]);
+  }
+  const std::size_t n = src.rows();
+  out.X = FeatureMatrix(n, columns.size());
+  out.y.reserve(n);
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < src.num_shards(); ++s) {
+    const BatchView view = src.shard(s);
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      const ColumnView col = view.col(columns[k]);
+      std::span<double> dst = out.X.col(k).subspan(at, col.size());
+      std::copy(col.begin(), col.end(), dst.begin());
+    }
+    const std::span<const int> y = src.labels(s);
+    out.y.insert(out.y.end(), y.begin(), y.end());
+    at += view.rows();
+  }
+  return out;
+}
+
+ColumnAccess::ColumnAccess(const DataSource& src)
+    : src_(&src),
+      rows_(src.rows()),
+      cols_(src.num_features()),
+      single_shard_(src.num_shards() == 1) {
+  if (single_shard_) {
+    labels_ = src.labels(0);
+  } else {
+    label_storage_.reserve(rows_);
+    for (std::size_t s = 0; s < src.num_shards(); ++s) {
+      const std::span<const int> y = src.labels(s);
+      label_storage_.insert(label_storage_.end(), y.begin(), y.end());
+    }
+    labels_ = label_storage_;
+    columns_.resize(cols_);
+    column_once_ = std::make_unique<std::once_flag[]>(cols_);
+  }
+}
+
+std::span<const double> ColumnAccess::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("ColumnAccess::col: bad column");
+  if (single_shard_) return src_->shard(0).col(c);
+  std::call_once(column_once_[c], [&] {
+    columns_[c].resize(rows_);
+    src_->column_into(c, columns_[c]);
+  });
+  return columns_[c];
+}
+
+RowLocator::RowLocator(const DataSource& src) : cols_(src.num_features()) {
+  const std::size_t n_shards = src.num_shards();
+  views_.reserve(n_shards);
+  labels_.reserve(n_shards);
+  offsets_.reserve(n_shards);
+  std::size_t end = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    views_.push_back(src.shard(s));
+    labels_.push_back(src.labels(s));
+    end += views_.back().rows();
+    offsets_.push_back(end);
+  }
+}
+
+RowLocator::Loc RowLocator::locate(std::size_t row) const {
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), row);
+  const std::size_t s = static_cast<std::size_t>(it - offsets_.begin());
+  const std::size_t begin = s == 0 ? 0 : offsets_[s - 1];
+  return {s, row - begin};
+}
+
+}  // namespace drlhmd::ml

@@ -1,0 +1,148 @@
+// Streaming data-plane contract: labeled feature rows exposed shard by
+// shard instead of as one monolithic in-RAM Dataset.
+//
+// A DataSource hands out one zero-copy BatchView (plus a label span) per
+// shard; global row order is shard order (shard 0's rows first, then shard
+// 1's, ...).  Trainers that can stream — the scaler's moment pass, MI
+// selection's per-column histograms, the tree learners' column sorts, the
+// networks' minibatch gathers — consume this interface, and the classic
+// in-RAM path is the one-shard special case (DatasetSource), so streamed
+// and monolithic training share a single code path and stay bit-for-bit
+// identical.
+//
+// Access helpers layered on top:
+//   * ColumnAccess — lazily materializes one global column at a time
+//     (thread-safe, once per column) with a zero-copy fast path when the
+//     source has exactly one shard.  Tree learners sort columns through it.
+//   * RowLocator — maps a global row index to (shard, local row) so the
+//     minibatch trainers can gather shuffled rows without a full matrix.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/feature_matrix.hpp"
+
+namespace drlhmd::ml {
+
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  virtual std::size_t num_shards() const = 0;
+  /// Total rows across all shards.
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t num_features() const = 0;
+  virtual const std::vector<std::string>& feature_names() const = 0;
+
+  /// Zero-copy view over shard s's feature block (column-major).
+  virtual BatchView shard(std::size_t s) const = 0;
+  /// Labels for shard s, aligned with shard(s)'s rows.
+  virtual std::span<const int> labels(std::size_t s) const = 0;
+
+  std::size_t shard_rows(std::size_t s) const { return shard(s).rows(); }
+
+  /// Copy global column c (all shards, shard order) into `out`
+  /// (out.size() must equal rows()).  Pure read — safe to call
+  /// concurrently from parallel chunks.
+  void column_into(std::size_t c, std::span<double> out) const;
+
+  /// Throws std::invalid_argument on label values outside {0, 1} or a
+  /// shard whose label span disagrees with its row count.
+  void validate() const;
+};
+
+/// The whole source materialized as one in-RAM Dataset (shard order).
+Dataset materialize(const DataSource& src);
+
+/// Materialize only the listed feature columns (in the given order) —
+/// the selection-aware path: after MI keeps k of `width` columns, RAM
+/// holds k*rows doubles instead of width*rows.
+Dataset materialize_columns(const DataSource& src,
+                            std::span<const std::size_t> columns);
+
+/// Thin adapter: one in-RAM Dataset viewed as a single-shard source.
+/// Everything is zero-copy, so a streamed trainer fed through this adapter
+/// reads exactly the bytes the monolithic path would have read.
+class DatasetSource final : public DataSource {
+ public:
+  explicit DatasetSource(const Dataset& data) : data_(&data) {}
+
+  std::size_t num_shards() const override { return 1; }
+  std::size_t rows() const override { return data_->size(); }
+  std::size_t num_features() const override { return data_->num_features(); }
+  const std::vector<std::string>& feature_names() const override {
+    return data_->feature_names;
+  }
+  BatchView shard(std::size_t) const override { return data_->view(); }
+  std::span<const int> labels(std::size_t) const override { return data_->y; }
+
+ private:
+  const Dataset* data_;
+};
+
+/// Lazy global-column cache over a DataSource.
+//
+// col(c) returns the concatenated column (shard order); for a one-shard
+// source it aliases the shard's storage directly (zero copy), otherwise the
+// column is materialized on first use and cached.  Materialization is
+// guarded by a per-column std::once_flag so concurrent tree fits (the
+// random forest trains trees in parallel against one shared ColumnAccess)
+// race-freely share the cache.  Labels are concatenated the same way.
+class ColumnAccess {
+ public:
+  explicit ColumnAccess(const DataSource& src);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t num_features() const { return cols_; }
+
+  std::span<const double> col(std::size_t c) const;
+  std::span<const int> labels() const { return labels_; }
+  int label(std::size_t r) const { return labels_[r]; }
+
+ private:
+  const DataSource* src_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  bool single_shard_ = false;
+  std::span<const int> labels_;
+  std::vector<int> label_storage_;  // multi-shard only
+  mutable std::vector<std::vector<double>> columns_;
+  std::unique_ptr<std::once_flag[]> column_once_;
+};
+
+/// Global-row → (shard, local-row) resolver for minibatch gathers.
+class RowLocator {
+ public:
+  explicit RowLocator(const DataSource& src);
+
+  std::size_t rows() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  std::size_t num_features() const { return cols_; }
+
+  double at(std::size_t row, std::size_t c) const {
+    const Loc loc = locate(row);
+    return views_[loc.shard].at(loc.local, c);
+  }
+  int label(std::size_t row) const {
+    const Loc loc = locate(row);
+    return labels_[loc.shard][loc.local];
+  }
+
+ private:
+  struct Loc {
+    std::size_t shard, local;
+  };
+  Loc locate(std::size_t row) const;
+
+  std::size_t cols_ = 0;
+  std::vector<BatchView> views_;
+  std::vector<std::span<const int>> labels_;
+  std::vector<std::size_t> offsets_;  // offsets_[s] = end row of shard s
+};
+
+}  // namespace drlhmd::ml

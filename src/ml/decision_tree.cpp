@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/parallel.hpp"
 
 namespace drlhmd::ml {
@@ -45,21 +46,33 @@ DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
 }
 
 void DecisionTree::fit(const Dataset& train) {
-  const std::vector<std::uint32_t> weights(train.size(), 1);
-  fit_weighted(train, weights);
+  train.validate();
+  fit_stream(DatasetSource(train));
+}
+
+void DecisionTree::fit_stream(const DataSource& train) {
+  const ColumnAccess cols(train);
+  const std::vector<std::uint32_t> weights(cols.rows(), 1);
+  fit_weighted(cols, weights);
 }
 
 void DecisionTree::fit_weighted(const Dataset& train,
                                 std::span<const std::uint32_t> weights) {
   train.validate();
-  if (train.size() == 0)
+  const DatasetSource source(train);
+  fit_weighted(ColumnAccess(source), weights);
+}
+
+void DecisionTree::fit_weighted(const ColumnAccess& train,
+                                std::span<const std::uint32_t> weights) {
+  if (train.rows() == 0)
     throw std::invalid_argument("DecisionTree::fit: empty dataset");
-  if (weights.size() != train.size())
+  if (weights.size() != train.rows())
     throw std::invalid_argument("DecisionTree::fit_weighted: weight size mismatch");
 
   nodes_.clear();
   std::vector<std::size_t> rows;
-  for (std::size_t i = 0; i < train.size(); ++i)
+  for (std::size_t i = 0; i < train.rows(); ++i)
     if (weights[i] > 0) rows.push_back(i);
   if (rows.empty())
     throw std::invalid_argument("DecisionTree::fit_weighted: all weights zero");
@@ -68,7 +81,7 @@ void DecisionTree::fit_weighted(const Dataset& train,
   build_flat();
 }
 
-std::uint32_t DecisionTree::build(const Dataset& train,
+std::uint32_t DecisionTree::build(const ColumnAccess& train,
                                   std::span<const std::uint32_t> weights,
                                   std::vector<std::size_t>& rows, std::size_t depth,
                                   util::Rng& rng) {
@@ -76,7 +89,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   for (std::size_t r : rows) {
     const double w = weights[r];
     w_total += w;
-    if (train.y[r] == 1) w_pos += w;
+    if (train.label(r) == 1) w_pos += w;
   }
 
   const auto node_index = static_cast<std::uint32_t>(nodes_.size());
@@ -112,7 +125,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
         "decision_tree.split_scan", 0, features.size(), 1,
         [&](std::size_t fi) {
           const std::size_t f = features[fi];
-          const ColumnView colf = train.col(f);
+          const std::span<const double> colf = train.col(f);
           std::vector<std::size_t> sorted = rows;
           std::sort(sorted.begin(), sorted.end(),
                     [&](std::size_t a, std::size_t b) {
@@ -128,7 +141,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
             const double w = weights[r];
             left_total += w;
             left_count += 1;
-            if (train.y[r] == 1) left_pos += w;
+            if (train.label(r) == 1) left_pos += w;
             const double v = colf[r];
             const double v_next = colf[sorted[k + 1]];
             if (v == v_next) continue;  // no boundary between equal values
@@ -161,7 +174,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   } else {
     std::vector<std::size_t> sorted = rows;
     for (std::size_t f : features) {
-      const ColumnView colf = train.col(f);
+      const std::span<const double> colf = train.col(f);
       std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
         return colf[a] < colf[b];
       });
@@ -172,7 +185,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
         const double w = weights[r];
         left_total += w;
         left_count += 1;
-        if (train.y[r] == 1) left_pos += w;
+        if (train.label(r) == 1) left_pos += w;
         const double v = colf[r];
         const double v_next = colf[sorted[k + 1]];
         if (v == v_next) continue;  // no boundary between equal values
@@ -198,7 +211,7 @@ std::uint32_t DecisionTree::build(const Dataset& train,
   if (best_feature == width) return node_index;  // no useful split
 
   std::vector<std::size_t> left_rows, right_rows;
-  const ColumnView best_col = train.col(best_feature);
+  const std::span<const double> best_col = train.col(best_feature);
   for (std::size_t r : rows) {
     (best_col[r] <= best_threshold ? left_rows : right_rows).push_back(r);
   }

@@ -9,6 +9,8 @@
 
 namespace drlhmd::ml {
 
+class ColumnAccess;
+
 struct DecisionTreeConfig {
   std::size_t max_depth = 12;
   std::size_t min_samples_split = 4;
@@ -23,9 +25,18 @@ class DecisionTree final : public Classifier {
   explicit DecisionTree(DecisionTreeConfig config = {});
 
   void fit(const Dataset& train) override;
+  /// Streamed fit: columns are pulled shard by shard through a lazy
+  /// ColumnAccess.  The canonical training path — fit(Dataset) routes
+  /// through it via the single-shard adapter (zero copy), so streamed and
+  /// monolithic fits build byte-identical trees.
+  void fit_stream(const DataSource& train) override;
   /// Fit with per-row multiplicities (bootstrap counts); rows with weight 0
   /// are ignored.  Used by RandomForest.
   void fit_weighted(const Dataset& train, std::span<const std::uint32_t> weights);
+  /// Column-access flavor of fit_weighted; RandomForest shares one
+  /// ColumnAccess (and its lazy column cache) across all member trees.
+  void fit_weighted(const ColumnAccess& train,
+                    std::span<const std::uint32_t> weights);
 
   double predict_proba(std::span<const double> features) const override;
   /// Block traversal: lanes of up to 16 rows walk the tree in lockstep so
@@ -76,7 +87,8 @@ class DecisionTree final : public Classifier {
     double proba = 0.0;  // P(malware) at leaf
   };
 
-  std::uint32_t build(const Dataset& train, std::span<const std::uint32_t> weights,
+  std::uint32_t build(const ColumnAccess& train,
+                      std::span<const std::uint32_t> weights,
                       std::vector<std::size_t>& rows, std::size_t depth,
                       util::Rng& rng);
 

@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/parallel.hpp"
 
 namespace drlhmd::ml {
@@ -69,26 +70,65 @@ Gbdt::Gbdt(GbdtConfig config) : config_(config) {
 
 void Gbdt::fit(const Dataset& train) {
   train.validate();
-  const std::size_t n = train.size();
+  fit_stream(DatasetSource(train));
+}
+
+void Gbdt::fit_stream(const DataSource& train) {
+  const std::size_t n = train.rows();
   if (n == 0) throw std::invalid_argument("Gbdt::fit: empty dataset");
   const std::size_t width = train.num_features();
+  const bool single_shard = train.num_shards() == 1;
+
+  // Labels concatenated once (shard order == global row order).
+  std::vector<int> label_storage;
+  std::span<const int> y;
+  if (single_shard) {
+    y = train.labels(0);
+  } else {
+    label_storage.reserve(n);
+    for (std::size_t s = 0; s < train.num_shards(); ++s) {
+      const std::span<const int> part = train.labels(s);
+      label_storage.insert(label_storage.end(), part.begin(), part.end());
+    }
+    y = label_storage;
+  }
 
   // Prior log-odds.
-  const double pos = static_cast<double>(train.count_label(1));
+  std::size_t pos_count = 0;
+  for (int label : y) pos_count += label == 1 ? 1 : 0;
+  const double pos = static_cast<double>(pos_count);
   const double p0 = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
   base_score_ = std::log(p0 / (1.0 - p0));
   trees_.clear();
 
-  // Histogram binning (column-major binned matrix).
+  // Histogram binning (column-major binned matrix).  Each feature's double
+  // column is materialized into a chunk-local scratch, binned to 1-byte
+  // codes, and dropped — after this pass the rest of the fit (including the
+  // per-round raw-score update below) reads only the codes, so peak memory
+  // is width*n bytes + one scratch column per worker, never the full double
+  // matrix.
   std::vector<std::vector<double>> bin_uppers(width);
   std::vector<std::vector<std::uint8_t>> binned(width,
                                                 std::vector<std::uint8_t>(n));
-  util::parallel_for("gbdt.binning", 0, width, 1, [&](std::size_t f) {
-    const ColumnView colf = train.col(f);
-    bin_uppers[f] = make_bin_uppers({colf.begin(), colf.end()}, config_.max_bins);
-    for (std::size_t i = 0; i < n; ++i)
-      binned[f][i] = bin_of(colf[i], bin_uppers[f]);
-  });
+  util::parallel_for_chunks(
+      "gbdt.binning", 0, width, 1,
+      [&](std::size_t, std::size_t fb, std::size_t fe) {
+        std::vector<double> scratch;
+        for (std::size_t f = fb; f < fe; ++f) {
+          std::span<const double> colf;
+          if (single_shard) {
+            colf = train.shard(0).col(f);  // zero-copy fast path
+          } else {
+            scratch.resize(n);
+            train.column_into(f, scratch);
+            colf = scratch;
+          }
+          bin_uppers[f] =
+              make_bin_uppers({colf.begin(), colf.end()}, config_.max_bins);
+          for (std::size_t i = 0; i < n; ++i)
+            binned[f][i] = bin_of(colf[i], bin_uppers[f]);
+        }
+      });
 
   std::vector<double> raw(n, base_score_);
   std::vector<double> gradients(n), hessians(n);
@@ -96,11 +136,24 @@ void Gbdt::fit(const Dataset& train) {
   for (std::size_t round = 0; round < config_.n_rounds; ++round) {
     util::parallel_for("gbdt.gradients", 0, n, 0, [&](std::size_t i) {
       const double p = sigmoid(raw[i]);
-      gradients[i] = p - static_cast<double>(train.y[i]);
+      gradients[i] = p - static_cast<double>(y[i]);
       hessians[i] = std::max(p * (1.0 - p), 1e-12);
     });
     Tree tree = grow_tree(binned, bin_uppers, gradients, hessians, n);
-    // Update raw scores (each row touches only its own slot).
+    // Recover each internal node's split bin: grow_tree sets threshold to
+    // exactly bin_uppers[feature][bin], so lower_bound lands on that bin.
+    std::vector<std::size_t> node_bin(tree.size(), 0);
+    for (std::size_t k = 0; k < tree.size(); ++k) {
+      if (tree[k].feature == Node::kLeaf) continue;
+      const std::vector<double>& uppers =
+          bin_uppers[static_cast<std::size_t>(tree[k].feature)];
+      node_bin[k] = static_cast<std::size_t>(
+          std::lower_bound(uppers.begin(), uppers.end(), tree[k].threshold) -
+          uppers.begin());
+    }
+    // Update raw scores by traversing the binned codes (each row touches
+    // only its own slot).  Decision-identical to comparing the double value
+    // against the threshold: v <= uppers[bin] iff bin_of(v) <= bin.
     util::parallel_for("gbdt.raw_update", 0, n, 0, [&](std::size_t i) {
       std::int32_t idx = 0;
       for (;;) {
@@ -109,7 +162,8 @@ void Gbdt::fit(const Dataset& train) {
           raw[i] += node.value;
           break;
         }
-        idx = train.at(i, static_cast<std::size_t>(node.feature)) <= node.threshold
+        const std::size_t f = static_cast<std::size_t>(node.feature);
+        idx = binned[f][i] <= node_bin[static_cast<std::size_t>(idx)]
                   ? node.left
                   : node.right;
       }

@@ -25,6 +25,15 @@ class Gbdt final : public Classifier {
   explicit Gbdt(GbdtConfig config = {});
 
   void fit(const Dataset& train) override;
+  /// Streamed fit: columns are binned one scratch column at a time, and
+  /// every boosting round (including the raw-score update, which traverses
+  /// the uint8 binned matrix — decision-identical because each split
+  /// threshold sits exactly on a bin upper edge) runs off the 1-byte codes.
+  /// After binning, the double feature matrix is never touched again, so
+  /// training holds width*rows bytes instead of width*rows doubles.
+  /// Canonical path — fit(Dataset) routes through it via the single-shard
+  /// adapter, so streamed and monolithic fits build byte-identical models.
+  void fit_stream(const DataSource& train) override;
   double predict_proba(std::span<const double> features) const override;
   /// Tree-outer block traversal (16-lane lockstep); bitwise identical to
   /// sigmoid(raw_score(row)) per row.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/arena.hpp"
 
 namespace drlhmd::ml {
@@ -24,13 +25,19 @@ MlpClassifier::MlpClassifier(MlpConfig config) : config_(std::move(config)) {
 
 void MlpClassifier::fit(const Dataset& train) {
   train.validate();
-  if (train.size() == 0) throw std::invalid_argument("MlpClassifier::fit: empty dataset");
-  in_features_ = train.num_features();
+  fit_stream(DatasetSource(train));
+}
+
+void MlpClassifier::fit_stream(const DataSource& train) {
+  const RowLocator rows(train);
+  if (rows.rows() == 0)
+    throw std::invalid_argument("MlpClassifier::fit: empty dataset");
+  in_features_ = rows.num_features();
 
   util::Rng rng(config_.seed);
   net_ = nn::make_mlp(in_features_, config_.hidden, 2, rng);
 
-  std::vector<std::size_t> order(train.size());
+  std::vector<std::size_t> order(rows.rows());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -42,8 +49,8 @@ void MlpClassifier::fit(const Dataset& train) {
       for (std::size_t i = start; i < end; ++i) {
         const std::size_t row = order[i];
         for (std::size_t c = 0; c < in_features_; ++c)
-          batch.at(i - start, c) = train.at(row, c);
-        labels[i - start] = train.y[row];
+          batch.at(i - start, c) = rows.at(row, c);
+        labels[i - start] = rows.label(row);
       }
       net_.zero_grad();
       const Matrix logits = net_.forward(batch);

@@ -20,6 +20,11 @@ class MlpClassifier final : public Classifier {
   explicit MlpClassifier(MlpConfig config = {});
 
   void fit(const Dataset& train) override;
+  /// Streamed fit: minibatch rows are gathered straight out of the shard
+  /// views through a RowLocator, so no monolithic matrix is ever built.
+  /// Canonical path — fit(Dataset) routes through it via the single-shard
+  /// adapter, so streamed and monolithic fits train identical networks.
+  void fit_stream(const DataSource& train) override;
   double predict_proba(std::span<const double> features) const override;
   /// Whole-batch forward pass (one matmul per layer instead of N).
   void predict_proba_batch(BatchView batch, std::span<double> out) const override;

@@ -1,18 +1,19 @@
 #include "ml/mutual_info.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 
 namespace drlhmd::ml {
 namespace {
 
 /// Discretize one feature into equal-frequency bins; returns per-row bin ids.
-std::vector<std::size_t> discretize(const Dataset& data, std::size_t feature,
+std::vector<std::size_t> discretize(std::span<const double> values,
                                     std::size_t bins) {
-  const std::size_t n = data.size();
-  const ColumnView values = data.col(feature);
+  const std::size_t n = values.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -33,18 +34,32 @@ std::vector<std::size_t> discretize(const Dataset& data, std::size_t feature,
 
 }  // namespace
 
-MutualInfoResult mutual_information(const Dataset& data, std::size_t bins) {
+MutualInfoResult mutual_information(const DataSource& data, std::size_t bins) {
   data.validate();
-  if (data.size() == 0)
+  if (data.rows() == 0)
     throw std::invalid_argument("mutual_information: empty dataset");
   if (bins < 2) throw std::invalid_argument("mutual_information: bins must be >= 2");
 
-  const std::size_t n = data.size();
+  const std::size_t n = data.rows();
   const std::size_t width = data.num_features();
   const double dn = static_cast<double>(n);
+  const bool single_shard = data.num_shards() == 1;
 
-  // H(Y).
-  std::array<std::size_t, 2> label_counts{data.count_label(0), data.count_label(1)};
+  // Labels concatenated once (shard order == global row order) + H(Y).
+  std::vector<int> label_storage;
+  std::span<const int> y;
+  if (single_shard) {
+    y = data.labels(0);
+  } else {
+    label_storage.reserve(n);
+    for (std::size_t s = 0; s < data.num_shards(); ++s) {
+      const std::span<const int> part = data.labels(s);
+      label_storage.insert(label_storage.end(), part.begin(), part.end());
+    }
+    y = label_storage;
+  }
+  std::array<std::size_t, 2> label_counts{0, 0};
+  for (int label : y) ++label_counts[static_cast<std::size_t>(label)];
   double h_y = 0.0;
   for (std::size_t c : label_counts) {
     if (c == 0) continue;
@@ -54,13 +69,22 @@ MutualInfoResult mutual_information(const Dataset& data, std::size_t bins) {
 
   MutualInfoResult result;
   result.scores.resize(width);
+  std::vector<double> scratch;  // one materialized column at a time
   for (std::size_t f = 0; f < width; ++f) {
-    const auto bin_of = discretize(data, f, bins);
+    std::span<const double> values;
+    if (single_shard) {
+      values = data.shard(0).col(f);  // zero-copy fast path
+    } else {
+      scratch.resize(n);
+      data.column_into(f, scratch);
+      values = scratch;
+    }
+    const auto bin_of = discretize(values, bins);
     std::vector<std::size_t> marginal(bins, 0);
     std::vector<std::size_t> joint(bins * 2, 0);
     for (std::size_t i = 0; i < n; ++i) {
       ++marginal[bin_of[i]];
-      ++joint[bin_of[i] * 2 + static_cast<std::size_t>(data.y[i])];
+      ++joint[bin_of[i] * 2 + static_cast<std::size_t>(y[i])];
     }
     double h_x = 0.0, h_xy = 0.0;
     for (std::size_t b = 0; b < bins; ++b) {
@@ -88,11 +112,21 @@ MutualInfoResult mutual_information(const Dataset& data, std::size_t bins) {
   return result;
 }
 
-std::vector<std::size_t> select_top_k_features(const Dataset& data, std::size_t k,
-                                               std::size_t bins) {
+MutualInfoResult mutual_information(const Dataset& data, std::size_t bins) {
+  data.validate();
+  return mutual_information(DatasetSource(data), bins);
+}
+
+std::vector<std::size_t> select_top_k_features(const DataSource& data,
+                                               std::size_t k, std::size_t bins) {
   const MutualInfoResult mi = mutual_information(data, bins);
   const std::size_t keep = std::min(k, mi.ranking.size());
   return {mi.ranking.begin(), mi.ranking.begin() + static_cast<std::ptrdiff_t>(keep)};
+}
+
+std::vector<std::size_t> select_top_k_features(const Dataset& data, std::size_t k,
+                                               std::size_t bins) {
+  return select_top_k_features(DatasetSource(data), k, bins);
 }
 
 }  // namespace drlhmd::ml

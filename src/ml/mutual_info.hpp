@@ -3,12 +3,20 @@
 // estimated by equal-frequency discretization of each continuous feature,
 // then ranking features by I and keeping the top-k (the paper keeps the top
 // four HPC events).
+//
+// The estimator streams: features are visited one at a time through a
+// DataSource, with at most one materialized column (plus its bin ids) in
+// RAM at any moment — peak memory is O(rows), not O(rows * width) — and a
+// single-shard source reads its column zero-copy, so the in-RAM Dataset
+// overloads are the one-shard special case of the same code path and agree
+// bit for bit.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "ml/data_source.hpp"
 #include "ml/dataset.hpp"
 
 namespace drlhmd::ml {
@@ -18,11 +26,16 @@ struct MutualInfoResult {
   std::vector<std::size_t> ranking;      // feature indices, best first
 };
 
-/// Estimate I(feature; label) for every feature.  `bins` is the number of
-/// equal-frequency buckets used to discretize each feature.
+/// Estimate I(feature; label) for every feature, shard by shard.  `bins` is
+/// the number of equal-frequency buckets used to discretize each feature.
+MutualInfoResult mutual_information(const DataSource& data,
+                                    std::size_t bins = 16);
 MutualInfoResult mutual_information(const Dataset& data, std::size_t bins = 16);
 
 /// Indices of the top-k features by MI (k clamped to the feature count).
+std::vector<std::size_t> select_top_k_features(const DataSource& data,
+                                               std::size_t k,
+                                               std::size_t bins = 16);
 std::vector<std::size_t> select_top_k_features(const Dataset& data, std::size_t k,
                                                std::size_t bins = 16);
 

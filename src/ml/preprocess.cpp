@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
 
@@ -11,13 +12,19 @@ namespace drlhmd::ml {
 
 void StandardScaler::fit(const Dataset& data) {
   data.validate();
-  if (data.size() == 0) throw std::invalid_argument("StandardScaler::fit: empty data");
+  fit_stream(DatasetSource(data));
+}
+
+void StandardScaler::fit_stream(const DataSource& data) {
+  if (data.rows() == 0)
+    throw std::invalid_argument("StandardScaler::fit: empty data");
   const std::size_t width = data.num_features();
   mean_.resize(width);
   scale_.resize(width);
   for (std::size_t c = 0; c < width; ++c) {
     util::RunningStats stats;
-    for (double v : data.col(c)) stats.add(v);
+    for (std::size_t s = 0; s < data.num_shards(); ++s)
+      for (double v : data.shard(s).col(c)) stats.add(v);
     mean_[c] = stats.mean();
     const double sd = stats.stddev();
     scale_[c] = sd > 0.0 ? sd : 1.0;

@@ -11,9 +11,17 @@ namespace drlhmd::ml {
 
 /// Zero-mean/unit-variance scaler (scikit-learn StandardScaler semantics:
 /// constant features scale by 1 to avoid division by zero).
+class DataSource;
+
 class StandardScaler {
  public:
   void fit(const Dataset& data);
+  /// Streamed fit: one Welford accumulator per column, folded shard by
+  /// shard in shard order.  The canonical implementation — fit(Dataset)
+  /// routes through it via the single-shard adapter, so streamed and
+  /// monolithic fits see the identical add() sequence and produce
+  /// bit-identical mean/scale.
+  void fit_stream(const DataSource& data);
   bool fitted() const { return !mean_.empty(); }
 
   std::vector<double> transform(std::span<const double> row) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/data_source.hpp"
 #include "util/parallel.hpp"
 
 namespace drlhmd::ml {
@@ -18,8 +19,13 @@ RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
 
 void RandomForest::fit(const Dataset& train) {
   train.validate();
-  if (train.size() == 0)
-    throw std::invalid_argument("RandomForest::fit: empty dataset");
+  fit_stream(DatasetSource(train));
+}
+
+void RandomForest::fit_stream(const DataSource& train) {
+  const ColumnAccess cols(train);
+  const std::size_t n = cols.rows();
+  if (n == 0) throw std::invalid_argument("RandomForest::fit: empty dataset");
 
   trees_.clear();
   trees_.reserve(config_.n_trees);
@@ -28,8 +34,8 @@ void RandomForest::fit(const Dataset& train) {
   DecisionTreeConfig tree_config = config_.tree;
   if (tree_config.max_features == 0) {
     tree_config.max_features = std::max<std::size_t>(
-        1, static_cast<std::size_t>(
-               std::lround(std::sqrt(static_cast<double>(train.num_features())))));
+        1, static_cast<std::size_t>(std::lround(
+               std::sqrt(static_cast<double>(cols.num_features())))));
   }
 
   // Draw every tree's bootstrap weights and seed serially first — the rng
@@ -39,21 +45,22 @@ void RandomForest::fit(const Dataset& train) {
   std::vector<std::uint64_t> seeds(config_.n_trees);
   for (std::size_t t = 0; t < config_.n_trees; ++t) {
     // Bootstrap: multinomial row multiplicities.
-    weights[t].assign(train.size(), 0);
-    for (std::size_t i = 0; i < train.size(); ++i)
-      ++weights[t][rng.next_below(train.size())];
+    weights[t].assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) ++weights[t][rng.next_below(n)];
     seeds[t] = rng.next();
   }
 
   // Fit trees into pre-sized slots; each slot depends only on its own
-  // pre-drawn state, so scheduling order cannot affect the result.
+  // pre-drawn state, so scheduling order cannot affect the result.  The
+  // shared ColumnAccess cache is once_flag-guarded, so concurrent tree
+  // fits materialize each global column exactly once between them.
   trees_.assign(config_.n_trees, DecisionTree(tree_config));
   util::parallel_for("random_forest.fit", 0, config_.n_trees, 1,
                      [&](std::size_t t) {
                        DecisionTreeConfig cfg = tree_config;
                        cfg.seed = seeds[t];
                        DecisionTree tree(cfg);
-                       tree.fit_weighted(train, weights[t]);
+                       tree.fit_weighted(cols, weights[t]);
                        trees_[t] = std::move(tree);
                      });
   build_kernel();

@@ -20,6 +20,12 @@ class RandomForest final : public Classifier {
   explicit RandomForest(RandomForestConfig config = {});
 
   void fit(const Dataset& train) override;
+  /// Streamed fit: all member trees share one lazy ColumnAccess over the
+  /// source (columns materialize once, under a per-column once_flag, even
+  /// with tree fits running in parallel).  Canonical path — fit(Dataset)
+  /// routes through it via the single-shard adapter, so streamed and
+  /// monolithic fits build byte-identical forests.
+  void fit_stream(const DataSource& train) override;
   double predict_proba(std::span<const double> features) const override;
   /// Tree-outer, block-inner: each tree sweeps the whole batch with
   /// 16-lane lockstep traversal; per-row tree sums accumulate in the same

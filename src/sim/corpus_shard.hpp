@@ -1,0 +1,70 @@
+// Fleet-scale sharded corpus builds.
+//
+// build_corpus holds one in-RAM corpus from one simulated machine; a fleet
+// build instead partitions the application population across N shards, runs
+// each shard on a (possibly different) MachineProfile, and writes every
+// shard straight to a memory-mappable DSH1 file (ml/sharded_dataset.hpp).
+// The corpus therefore never has to fit in RAM — training and feature
+// selection stream the shard directory through ml::ShardedDataset.
+//
+// Determinism and resume:
+//   * Shard s draws all of its workload specs and seeds from a dedicated
+//     counter-seeded rng stream (util::chunk_rng(seed, s)), so a shard's
+//     bytes depend only on (CorpusConfig, FleetConfig, s) — never on thread
+//     count, build order, or which other shards were built in the same run.
+//   * Finished shards are checkpointed into an ArtifactStore under
+//     <out_dir>/state; an interrupted build resumes per-shard, skipping any
+//     shard whose completion marker AND on-disk CRC both check out.
+//   * The store also pins a build fingerprint (config + fleet layout); a
+//     resume with different parameters is refused rather than silently
+//     mixing incompatible shards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/dataset_builder.hpp"
+#include "sim/machine_profile.hpp"
+
+namespace drlhmd::sim {
+
+struct FleetConfig {
+  /// Number of shards the application population is partitioned into.
+  std::size_t shards = 4;
+  /// Machine-profile ids, assigned round-robin (shard s uses
+  /// profiles[s % size]).  Empty = the full machine_profiles() registry.
+  std::vector<std::string> profiles;
+  /// Shard directory; created if missing.  Holds shard-NNNN.dsh files plus
+  /// a state/ artifact store for resume bookkeeping.
+  std::string out_dir;
+  /// Build at most this many *new* shards this invocation (0 = no limit).
+  /// Lets tests and operators simulate an interrupted fleet: run with a
+  /// limit, then run again without one to resume.
+  std::size_t limit_shards = 0;
+};
+
+struct ShardBuildStats {
+  std::size_t shards_total = 0;
+  std::size_t shards_built = 0;    // newly simulated this invocation
+  std::size_t shards_resumed = 0;  // found complete on disk and kept
+  std::size_t rows = 0;            // valid rows on disk after this call
+  double build_seconds = 0.0;      // wall time spent in this call
+  std::map<std::string, std::size_t> rows_per_profile;
+  bool complete = false;  // every shard present with a valid CRC
+};
+
+/// Partition sizes: shard s of a fleet build owns `shard_app_count(total,
+/// shards, s)` of the `total` applications (remainder spread over the
+/// leading shards), with globally contiguous app ids.
+std::size_t shard_app_count(std::size_t total, std::size_t shards, std::size_t s);
+
+/// Build (or resume) a sharded corpus under fleet.out_dir.  Deterministic
+/// per shard in (config, fleet, shard index); see the header comment.
+/// Throws std::invalid_argument on bad config and std::runtime_error when
+/// out_dir holds shards built with different parameters.
+ShardBuildStats build_corpus_sharded(const CorpusConfig& config,
+                                     const FleetConfig& fleet);
+
+}  // namespace drlhmd::sim

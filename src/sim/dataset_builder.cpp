@@ -79,13 +79,27 @@ HpcCorpus build_corpus(const CorpusConfig& config) {
 }
 
 ml::Dataset corpus_to_dataset(const HpcCorpus& corpus) {
+  const std::size_t rows = corpus.records.size();
+  const std::size_t cols = corpus.feature_names.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (corpus.records[r].features.size() != cols)
+      throw std::invalid_argument(
+          "corpus_to_dataset: record " + std::to_string(r) + " has " +
+          std::to_string(corpus.records[r].features.size()) +
+          " features, expected " + std::to_string(cols));
+  }
   ml::Dataset data;
   data.feature_names = corpus.feature_names;
-  data.X = ml::FeatureMatrix(0, corpus.feature_names.size());
-  data.X.reserve_rows(corpus.records.size());
-  data.y.reserve(corpus.records.size());
-  for (const auto& rec : corpus.records)
-    data.push(rec.features, rec.malware ? 1 : 0);
+  // One exact-size allocation filled in place (per column, so every write
+  // lands contiguously in the column-major storage) — no per-record push
+  // growth path and no transient row staging.
+  data.X = ml::FeatureMatrix(rows, cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::span<double> col = data.X.col(c);
+    for (std::size_t r = 0; r < rows; ++r) col[r] = corpus.records[r].features[c];
+  }
+  data.y.reserve(rows);
+  for (const auto& rec : corpus.records) data.y.push_back(rec.malware ? 1 : 0);
   return data;
 }
 
@@ -107,7 +121,15 @@ HpcCorpus corpus_from_csv(const util::CsvDocument& doc) {
   if (doc.header.size() < 4)
     throw std::invalid_argument("corpus_from_csv: header too short");
   corpus.feature_names.assign(doc.header.begin() + 3, doc.header.end());
-  for (const auto& row : doc.rows) {
+  for (std::size_t i = 0; i < doc.rows.size(); ++i) {
+    const auto& row = doc.rows[i];
+    // Ragged rows would otherwise read out of bounds (short) or silently
+    // widen one record (long); both indicate a mangled file, so refuse.
+    if (row.size() != doc.header.size())
+      throw std::invalid_argument(
+          "corpus_from_csv: row " + std::to_string(i + 1) + " has " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(doc.header.size()));
     HpcRecord rec;
     rec.app = row[0];
     rec.family = row[1];

@@ -1,0 +1,108 @@
+#include "sim/machine_profile.hpp"
+
+#include <stdexcept>
+
+namespace drlhmd::sim {
+namespace {
+
+// Each profile starts from the nominal testbed config and perturbs the
+// knobs a real fleet varies: cache capacity/associativity, replacement
+// policy, prefetcher, TLB reach, memory latency, branch predictor, and
+// miss-overlap capability.  The nominal testbed itself is profile 0, so a
+// single-profile fleet reproduces build_corpus exactly.
+std::vector<MachineProfile> build_registry() {
+  std::vector<MachineProfile> out;
+
+  {
+    MachineProfile p;
+    p.id = "testbed-i7";
+    p.description = "nominal 11th-gen testbed (scaled geometry, no prefetch)";
+    out.push_back(std::move(p));
+  }
+  {
+    MachineProfile p;
+    p.id = "desktop-stride";
+    p.description = "desktop part: stride prefetcher, bigger L2, faster DRAM";
+    p.hierarchy.l2.size_bytes = 256 * 1024;
+    p.hierarchy.prefetch = HierarchyConfig::Prefetch::kStride;
+    p.hierarchy.prefetch_degree = 4;
+    p.hierarchy.mem_latency = 190;
+    out.push_back(std::move(p));
+  }
+  {
+    MachineProfile p;
+    p.id = "server-srrip";
+    p.description = "server part: large SRRIP LLC, wide dTLB, deep MLP";
+    p.hierarchy.llc.size_bytes = 2 * 1024 * 1024;
+    p.hierarchy.llc.policy = ReplacementPolicy::kSrrip;
+    p.hierarchy.dtlb.entries = 128;
+    p.hierarchy.mem_latency = 260;  // further DRAM, NUMA-ish
+    p.core.memory_parallelism = 6.0;
+    out.push_back(std::move(p));
+  }
+  {
+    MachineProfile p;
+    p.id = "embedded-small";
+    p.description = "embedded part: halved caches, bimodal predictor, blocking-ish core";
+    p.hierarchy.l1i.size_bytes = 8 * 1024;
+    p.hierarchy.l1d.size_bytes = 8 * 1024;
+    p.hierarchy.l1i.associativity = 4;
+    p.hierarchy.l1d.associativity = 4;
+    p.hierarchy.l2.size_bytes = 64 * 1024;
+    p.hierarchy.llc.size_bytes = 512 * 1024;
+    p.hierarchy.llc.associativity = 8;
+    p.hierarchy.dtlb.entries = 32;
+    p.hierarchy.itlb.entries = 64;
+    p.core.predictor = PredictorKind::kBimodal;
+    p.core.mispredict_penalty = 10;
+    p.core.memory_parallelism = 1.5;
+    out.push_back(std::move(p));
+  }
+  {
+    MachineProfile p;
+    p.id = "laptop-nextline";
+    p.description = "laptop part: next-line prefetch, slower uncore, noisier OS";
+    p.hierarchy.prefetch = HierarchyConfig::Prefetch::kNextLine;
+    p.hierarchy.prefetch_degree = 2;
+    p.hierarchy.l2_latency = 16;
+    p.hierarchy.llc_latency = 50;
+    p.core.page_fault_prob = 1e-3;
+    p.core.context_switch_period = 1'000'000;
+    out.push_back(std::move(p));
+  }
+  {
+    MachineProfile p;
+    p.id = "legacy-node";
+    p.description = "older node: small SRRIP L2, slow memory, costly mispredicts";
+    p.hierarchy.l2.size_bytes = 64 * 1024;
+    p.hierarchy.l2.policy = ReplacementPolicy::kSrrip;
+    p.hierarchy.mem_latency = 300;
+    p.hierarchy.tlb_miss_penalty = 45;
+    p.core.mispredict_penalty = 20;
+    p.core.memory_parallelism = 2.0;
+    out.push_back(std::move(p));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<MachineProfile>& machine_profiles() {
+  static const std::vector<MachineProfile> registry = build_registry();
+  return registry;
+}
+
+const MachineProfile& machine_profile(const std::string& id) {
+  for (const MachineProfile& p : machine_profiles())
+    if (p.id == id) return p;
+  std::string known;
+  for (const MachineProfile& p : machine_profiles()) {
+    if (!known.empty()) known += ", ";
+    known += p.id;
+  }
+  throw std::invalid_argument("machine_profile: unknown id '" + id +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace drlhmd::sim

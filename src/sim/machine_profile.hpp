@@ -1,0 +1,37 @@
+// Fleet machine-profile registry.
+//
+// A fleet-scale corpus build runs the same application population across a
+// set of heterogeneous machines so the detector sees counter distributions
+// from more than one microarchitecture.  Each MachineProfile bundles a
+// complete HierarchyConfig + CoreConfig variant (cache geometry, replacement
+// policy, TLB reach, prefetcher, branch predictor, latency profile) under a
+// stable string id that is stamped into every shard it produces, so a
+// trained model's provenance — which machines contributed which rows — is
+// recoverable from the shard headers alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/memory_hierarchy.hpp"
+
+namespace drlhmd::sim {
+
+struct MachineProfile {
+  std::string id;           // stable key, stamped into shard headers
+  std::string description;  // one-line human summary
+  HierarchyConfig hierarchy;
+  CoreConfig core;
+};
+
+/// The built-in registry, in a fixed order (shard s of a fleet build uses
+/// profile s % n unless FleetConfig restricts the set).  Ids are stable
+/// across releases: shard files reference them by name.
+const std::vector<MachineProfile>& machine_profiles();
+
+/// Lookup by id; throws std::invalid_argument (listing the known ids) when
+/// the id is not in the registry.
+const MachineProfile& machine_profile(const std::string& id);
+
+}  // namespace drlhmd::sim

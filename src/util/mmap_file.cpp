@@ -1,0 +1,70 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace drlhmd::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("MmapFile: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return;  // empty file: valid, empty span, nothing to map
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mem == MAP_FAILED) fail("cannot mmap", path);
+  data_ = static_cast<std::uint8_t*>(mem);
+  size_ = size;
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void MmapFile::reset() noexcept {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace drlhmd::util

@@ -1,0 +1,46 @@
+// Read-only memory-mapped file (POSIX mmap).
+//
+// The out-of-core data plane's storage primitive: a shard file opens as a
+// byte span without reading it into heap memory — the kernel pages data in
+// on first touch and evicts it under memory pressure, so a corpus directory
+// many times larger than RAM behaves like a (slower) in-memory buffer.
+// Move-only RAII: the mapping lives exactly as long as the object, and every
+// span handed out from data() dies with it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace drlhmd::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  /// Map the whole file read-only.  Throws std::runtime_error when the file
+  /// cannot be opened, stat'ed, or mapped.  An empty file maps to an empty
+  /// span (no mapping is created).
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  bool mapped() const { return data_ != nullptr; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace drlhmd::util

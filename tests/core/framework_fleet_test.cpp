@@ -1,0 +1,90 @@
+// Framework fleet mode: the out-of-core acquire/engineer path over a
+// sharded corpus directory, interruption semantics, and checkpoint
+// manifests carrying the fleet configuration (format v2).
+#include "core/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace drlhmd::core {
+namespace {
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / leaf).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+FrameworkConfig fleet_config(const std::string& shard_dir) {
+  FrameworkConfig cfg;
+  cfg.corpus.benign_apps = 45;
+  cfg.corpus.malware_apps = 45;
+  cfg.corpus.windows_per_app = 2;
+  cfg.fleet.out_dir = shard_dir;
+  cfg.fleet.shards = 3;
+  cfg.fleet.profiles = {"testbed-i7", "embedded-small"};
+  return cfg;
+}
+
+TEST(FrameworkFleetTest, AcquireEngineerTrainOverShardDirectory) {
+  Framework fw(fleet_config(fresh_dir("fw-fleet")));
+  ASSERT_TRUE(fw.fleet_mode());
+  fw.acquire_data();
+  fw.engineer_features();
+
+  // Same engineered space as the in-RAM path: the paper's 4 features,
+  // standard-scaled, split 64/16/20.
+  const auto& names = fw.selected_feature_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "LLC-load-misses");
+  EXPECT_EQ(fw.train_set().num_features(), 4u);
+  const std::size_t total =
+      fw.train_set().size() + fw.val_set().size() + fw.test_set().size();
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, 90u * 2u);  // clean() may drop rows, never add them
+
+  // Downstream phases consume the fleet-engineered splits unchanged.
+  fw.train_baselines();
+  EXPECT_FALSE(fw.baseline_models().empty());
+}
+
+TEST(FrameworkFleetTest, InterruptedFleetBuildMustBeResumed) {
+  const std::string dir = fresh_dir("fw-fleet-interrupt");
+  FrameworkConfig cfg = fleet_config(dir);
+  cfg.fleet.limit_shards = 1;
+  Framework fw(cfg);
+  // One shard of three lands on disk; the phase refuses to complete.
+  EXPECT_THROW(fw.acquire_data(), std::logic_error);
+  EXPECT_THROW(fw.engineer_features(), std::logic_error);
+
+  // A framework without the limit resumes the remaining shards.
+  Framework resumed(fleet_config(dir));
+  resumed.acquire_data();
+  resumed.engineer_features();
+  EXPECT_EQ(resumed.train_set().num_features(), 4u);
+}
+
+TEST(FrameworkFleetTest, CheckpointCarriesFleetConfig) {
+  const std::string shard_dir = fresh_dir("fw-fleet-ckpt-shards");
+  const std::string ckpt_dir = fresh_dir("fw-fleet-ckpt");
+  Framework fw(fleet_config(shard_dir));
+  fw.acquire_data();
+  fw.engineer_features();
+  fw.save_checkpoint(ckpt_dir);
+
+  // resume() reads config from the manifest (v2 appends the fleet
+  // fields), reopens the shard directory for anything it needs, and
+  // restores the engineered splits.
+  Framework restored = Framework::resume(ckpt_dir);
+  EXPECT_TRUE(restored.fleet_mode());
+  EXPECT_EQ(restored.selected_feature_names(), fw.selected_feature_names());
+  EXPECT_EQ(restored.train_set().size(), fw.train_set().size());
+  EXPECT_EQ(restored.test_set().size(), fw.test_set().size());
+}
+
+}  // namespace
+}  // namespace drlhmd::core

@@ -88,6 +88,26 @@ TEST(DatasetBuilderTest, CsvRejectsBadLabel) {
   EXPECT_THROW(corpus_from_csv(doc), std::invalid_argument);
 }
 
+TEST(DatasetBuilderTest, CsvRejectsRaggedRows) {
+  // A row with fewer fields than the header (truncated export, stray
+  // newline) must fail loudly, not silently read out of bounds or zero-fill.
+  util::CsvDocument doc;
+  doc.header = {"app", "family", "label", "cycles", "insns"};
+  doc.rows = {{"a", "f", "malware", "1.0", "2.0"},
+              {"b", "f", "benign", "3.0"}};  // short row
+  try {
+    corpus_from_csv(doc);
+    FAIL() << "ragged row accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos)
+        << e.what();
+  }
+
+  // And a row with extra fields is just as malformed.
+  doc.rows = {{"a", "f", "malware", "1.0", "2.0", "3.0"}};
+  EXPECT_THROW(corpus_from_csv(doc), std::invalid_argument);
+}
+
 TEST(DatasetBuilderTest, MalwareHasElevatedLlcMisses) {
   // The core HMD premise: malware families shift the LLC-miss distribution
   // upward relative to benign (with overlap).

@@ -1,6 +1,10 @@
 // hmdctl — command-line front end for the DRL-HMD library.
 //
 //   hmdctl corpus   --benign 300 --malware 300 --windows 5 --out corpus.csv
+//   hmdctl corpus build --out shards/ --shards 6 [--benign N --malware N]
+//                   [--windows W --seed S --limit-shards K --profiles a,b]
+//   hmdctl corpus info  <dir>
+//   hmdctl corpus merge <dir> --out merged.csv
 //   hmdctl features --in corpus.csv [--bins 16] [--top 10]
 //   hmdctl simulate --family ransomware [--windows 4] [--seed 7]
 //   hmdctl pipeline [--benign 150 --malware 150] [--seed 2024] [--mi]
@@ -19,6 +23,7 @@
 // code 0 on success, 1 on runtime/integrity failures, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -27,6 +32,8 @@
 #include "core/framework.hpp"
 #include "core/runtime.hpp"
 #include "ml/mutual_info.hpp"
+#include "ml/sharded_dataset.hpp"
+#include "sim/corpus_shard.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/prom.hpp"
@@ -83,6 +90,8 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+void usage(std::FILE* out);
+
 sim::CorpusConfig corpus_config(const Args& args) {
   sim::CorpusConfig cfg;
   cfg.benign_apps = static_cast<std::size_t>(args.get_int("benign", 150));
@@ -102,6 +111,118 @@ int cmd_corpus(const Args& args) {
   std::printf("wrote %zu labeled HPC samples (%zu features) to %s\n",
               corpus.records.size(), corpus.feature_names.size(), out.c_str());
   return 0;
+}
+
+int cmd_corpus_build(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "corpus build: --out DIR is required\n");
+    return 2;
+  }
+  sim::CorpusConfig cfg = corpus_config(args);
+  sim::FleetConfig fleet;
+  fleet.out_dir = out;
+  fleet.shards = static_cast<std::size_t>(args.get_int("shards", 4));
+  fleet.limit_shards = static_cast<std::size_t>(args.get_int("limit-shards", 0));
+  const std::string profiles = args.get("profiles", "");
+  for (std::size_t at = 0; at < profiles.size();) {
+    std::size_t comma = profiles.find(',', at);
+    if (comma == std::string::npos) comma = profiles.size();
+    if (comma > at) fleet.profiles.push_back(profiles.substr(at, comma - at));
+    at = comma + 1;
+  }
+
+  std::fprintf(stderr,
+               "building sharded corpus: %zu benign + %zu malware apps x %zu "
+               "windows over %zu shards -> %s\n",
+               cfg.benign_apps, cfg.malware_apps, cfg.windows_per_app,
+               fleet.shards, out.c_str());
+  const sim::ShardBuildStats stats = sim::build_corpus_sharded(cfg, fleet);
+  std::printf("shards: %zu/%zu on disk (%zu built, %zu resumed), %zu rows in %.2fs%s\n",
+              stats.shards_built + stats.shards_resumed, stats.shards_total,
+              stats.shards_built, stats.shards_resumed, stats.rows,
+              stats.build_seconds, stats.complete ? "" : " [INCOMPLETE]");
+  for (const auto& [profile, rows] : stats.rows_per_profile)
+    std::printf("  %-18s %zu rows\n", profile.c_str(), rows);
+  return 0;
+}
+
+int cmd_corpus_info(const std::string& dir) {
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "corpus info: '%s' is not a directory\n", dir.c_str());
+    return 1;
+  }
+  const std::vector<ml::ShardInfo> infos = ml::ShardedDataset::inspect(dir);
+  if (infos.empty()) {
+    std::fprintf(stderr, "corpus info: no shard files in '%s'\n", dir.c_str());
+    return 1;
+  }
+  util::Table table({"shard", "rows", "machine profile", "bytes", "CRC"});
+  std::size_t rows = 0;
+  bool all_ok = true;
+  for (const ml::ShardInfo& info : infos) {
+    table.add_row({std::to_string(info.index), std::to_string(info.rows),
+                   info.profile_id, std::to_string(info.file_bytes),
+                   info.crc_ok ? "ok" : "BAD"});
+    if (info.crc_ok) rows += info.rows;
+    all_ok = all_ok && info.crc_ok;
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("%zu shards, %zu valid rows%s\n", infos.size(), rows,
+              all_ok ? "" : " (CRC FAILURES PRESENT)");
+  return all_ok ? 0 : 1;
+}
+
+int cmd_corpus_merge(const std::string& dir, const Args& args) {
+  const std::string out = args.get("out", "merged.csv");
+  // open() verifies every shard CRC; a corrupt directory throws -> exit 1.
+  const ml::ShardedDataset source = ml::ShardedDataset::open(dir);
+  std::ofstream file(out, std::ios::out | std::ios::trunc);
+  file << "label";
+  for (const auto& name : source.feature_names()) file << ',' << name;
+  file << '\n';
+  // Stream shard by shard: the merge never holds more than the mmapped
+  // views, so it works on corpora larger than RAM.
+  for (std::size_t s = 0; s < source.num_shards(); ++s) {
+    const ml::BatchView view = source.shard(s);
+    const std::span<const int> labels = source.labels(s);
+    for (std::size_t r = 0; r < view.rows(); ++r) {
+      file << (labels[r] != 0 ? "malware" : "benign");
+      for (std::size_t c = 0; c < view.cols(); ++c)
+        file << ',' << util::Table::fmt(view.col(c)[r], 6);
+      file << '\n';
+    }
+  }
+  if (!file.good()) {
+    std::fprintf(stderr, "corpus merge: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("merged %zu shards (%zu rows, %zu features) into %s\n",
+              source.num_shards(), source.rows(), source.num_features(),
+              out.c_str());
+  return 0;
+}
+
+/// Dispatch `hmdctl corpus [build|info|merge] ...`.  Bare `hmdctl corpus
+/// --flags` keeps its original meaning (one in-RAM corpus to CSV).
+int cmd_corpus_dispatch(int argc, char** argv) {
+  const std::string sub = argc >= 3 ? argv[2] : "";
+  if (sub.empty() || sub.rfind("--", 0) == 0)
+    return cmd_corpus(Args(argc, argv, 2));  // legacy CSV build
+  if (sub == "build") return cmd_corpus_build(Args(argc, argv, 3));
+  if (sub == "info" || sub == "merge") {
+    if (argc < 4 || std::string(argv[3]).rfind("--", 0) == 0) {
+      std::fprintf(stderr, "corpus %s: a shard directory is required\n",
+                   sub.c_str());
+      return 2;
+    }
+    const std::string dir = argv[3];
+    return sub == "info" ? cmd_corpus_info(dir)
+                         : cmd_corpus_merge(dir, Args(argc, argv, 4));
+  }
+  std::fprintf(stderr, "hmdctl corpus: unknown subcommand '%s'\n", sub.c_str());
+  usage(stderr);
+  return 2;
 }
 
 int cmd_features(const Args& args) {
@@ -559,6 +680,12 @@ void usage(std::FILE* out) {
                "commands:\n"
                "  corpus    generate a labeled HPC corpus CSV\n"
                "            --benign N --malware N --windows W --seed S --out F\n"
+               "  corpus build  fleet-scale sharded corpus (mmap-able .dsh files;\n"
+               "            resumes per shard if interrupted)\n"
+               "            --out DIR --shards N [--benign N --malware N]\n"
+               "            [--windows W --seed S --limit-shards K --profiles a,b]\n"
+               "  corpus info <dir>   shard table (rows, machine profile, CRC)\n"
+               "  corpus merge <dir>  stream shards into one CSV  [--out F]\n"
                "  features  mutual-information report over a corpus CSV\n"
                "            --in F --bins B --top K\n"
                "  simulate  per-window counter trace for one application\n"
@@ -602,9 +729,11 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
-  const Args args(argc, argv, 2);
   try {
-    if (command == "corpus") return cmd_corpus(args);
+    // corpus takes positional subcommands (build|info|merge), so it is
+    // dispatched before the flags-only Args parse below.
+    if (command == "corpus") return cmd_corpus_dispatch(argc, argv);
+    const Args args(argc, argv, 2);
     if (command == "features") return cmd_features(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "pipeline") return cmd_pipeline(args);
